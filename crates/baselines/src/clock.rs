@@ -1,0 +1,109 @@
+//! A shared logical clock handing out timestamps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone logical clock. Timestamp 0 is reserved for initial versions.
+#[derive(Debug)]
+pub struct LogicalClock {
+    next: AtomicU64,
+}
+
+impl Default for LogicalClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogicalClock {
+    /// Clock starting at 1.
+    pub fn new() -> Self {
+        LogicalClock {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Take the next timestamp.
+    pub fn tick(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current value (the next timestamp that would be handed out).
+    pub fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock to at least `floor + 1` and return a timestamp
+    /// `> floor` (used by protocols that must dominate observed stamps).
+    pub fn tick_above(&self, floor: u64) -> u64 {
+        loop {
+            let cur = self.next.load(Ordering::Relaxed);
+            let want = cur.max(floor + 1);
+            if self
+                .next
+                .compare_exchange(cur, want + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return want;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotone() {
+        let c = LogicalClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+        assert_eq!(a, 1);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let c = LogicalClock::new();
+        assert_eq!(c.peek(), 1);
+        assert_eq!(c.peek(), 1);
+    }
+
+    #[test]
+    fn tick_above_dominates_floor() {
+        let c = LogicalClock::new();
+        let t = c.tick_above(100);
+        assert!(t > 100);
+        assert!(c.tick() > t);
+    }
+
+    #[test]
+    fn tick_above_low_floor_still_monotone() {
+        let c = LogicalClock::new();
+        let a = c.tick();
+        let b = c.tick_above(0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn concurrent_ticks_unique() {
+        use std::collections::HashSet;
+        use std::sync::{Arc, Mutex};
+        let c = Arc::new(LogicalClock::new());
+        let seen = Arc::new(Mutex::new(HashSet::new()));
+        let mut hs = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            let seen = Arc::clone(&seen);
+            hs.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    assert!(seen.lock().unwrap().insert(c.tick()));
+                }
+            }));
+        }
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(seen.lock().unwrap().len(), 4000);
+    }
+}

@@ -1,0 +1,40 @@
+//! Baseline multiversion protocols — faithful reimplementations of the
+//! algorithms Section 2 of the paper compares against, each exhibiting
+//! the specific drawback the paper cites:
+//!
+//! * [`reed_mvto::ReedMvto`] — Reed's multiversion timestamp ordering
+//!   \[14\]. Read-only transactions are timestamped like everyone else:
+//!   their reads **update per-version read timestamps** (a write to
+//!   shared state), they **block** behind pending writes, and they can
+//!   **cause read-write transactions to abort**.
+//! * [`chan_mv2pl::ChanMv2pl`] — Chan et al.'s multiversion 2PL \[7\].
+//!   Read-only transactions carry a start timestamp plus a **completed
+//!   transaction list (CTL)** copied at start; every read scans the
+//!   version chain for the newest version whose creator appears in the
+//!   copy. "Cumbersome and complex to deal with."
+//! * [`weihl_ti::WeihlTi`] — Weihl's timestamps-and-initiation protocol
+//!   \[17\]. No CTL, but read-only transactions must synchronize with
+//!   concurrent read-write transactions through per-object timestamp
+//!   floors, which can force mutual waiting/retry ("a race condition
+//!   where neither transaction may proceed with useful work").
+//! * [`sv_2pl::SingleVersion2pl`] — monoversion strict 2PL: the
+//!   no-multiversioning control. Read-only transactions take shared
+//!   locks, block writers, and can deadlock.
+//!
+//! Every baseline implements [`mvcc_core::Engine`], so the workload
+//! driver and the experiment harness treat them interchangeably with the
+//! paper's engine.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chan_mv2pl;
+pub mod clock;
+pub mod reed_mvto;
+pub mod sv_2pl;
+pub mod weihl_ti;
+
+pub use chan_mv2pl::ChanMv2pl;
+pub use reed_mvto::ReedMvto;
+pub use sv_2pl::SingleVersion2pl;
+pub use weihl_ti::WeihlTi;

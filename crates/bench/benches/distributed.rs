@@ -1,0 +1,68 @@
+//! E10 bench — distributed operations: global-min read-only begin+read,
+//! and two-phase-commit read-write transactions, by site count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_dist::{Cluster, RoMode, SiteId};
+use mvcc_model::ObjectId;
+use mvcc_storage::Value;
+use std::hint::black_box;
+
+fn bench_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed");
+    for sites in [2u16, 4, 8] {
+        let cluster = Cluster::new(sites);
+        for s in cluster.site_ids() {
+            cluster.seed(s, ObjectId(0), Value::from_u64(1));
+        }
+        // Warm state: one distributed commit so vtncs are non-trivial.
+        let mut t = cluster.begin_rw();
+        for s in cluster.site_ids() {
+            t.write(s, ObjectId(0), Value::from_u64(2)).unwrap();
+        }
+        t.commit().unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("ro_global_min_read_all_sites", sites),
+            &sites,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = cluster.begin_ro(RoMode::GlobalMin);
+                    for s in cluster.site_ids() {
+                        black_box(r.read(s, ObjectId(0)).unwrap());
+                    }
+                    r.finish();
+                });
+            },
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("rw_2pc_write_all_sites", sites),
+            &sites,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = cluster.begin_rw();
+                    for s in cluster.site_ids() {
+                        t.write(s, ObjectId(1), Value::from_u64(3)).unwrap();
+                    }
+                    black_box(t.commit().unwrap());
+                });
+            },
+        );
+
+        g.bench_with_input(
+            BenchmarkId::new("ro_home_site_single_site_read", sites),
+            &sites,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = cluster.begin_ro(RoMode::HomeSite);
+                    black_box(r.read(SiteId(1), ObjectId(0)).unwrap());
+                    r.finish();
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E9 bench — garbage-collection pass cost and snapshot-read cost as a
+//! function of chain depth (versions retained per object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvcc_model::ObjectId;
+use mvcc_storage::{MvStore, Value};
+use std::hint::black_box;
+
+fn store_with_depth(objects: u64, depth: u64) -> MvStore {
+    let store = MvStore::new();
+    for o in 0..objects {
+        store.with(ObjectId(o), |c| {
+            for v in 1..=depth {
+                c.insert_committed(v, Value::from_u64(v)).unwrap();
+            }
+        });
+    }
+    store
+}
+
+fn bench_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc");
+    for depth in [8u64, 64, 512] {
+        g.bench_with_input(
+            BenchmarkId::new("full_pass_1k_objects", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || store_with_depth(1000, depth),
+                    |store| black_box(store.collect_garbage(depth)),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("snapshot_read_at_depth", depth),
+            &depth,
+            |b, &depth| {
+                let store = store_with_depth(64, depth);
+                b.iter(|| black_box(store.read_at(ObjectId(7), depth / 2)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

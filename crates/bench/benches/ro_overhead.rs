@@ -1,0 +1,52 @@
+//! E5 bench — per-engine read-only transaction latency (8 reads over a
+//! 512-object store with committed history), uncontended. The paper's
+//! engine pays one atomic load of synchronization; each baseline pays
+//! per-read synchronization — visible directly in these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvcc_baselines::{ChanMv2pl, ReedMvto, SingleVersion2pl, WeihlTi};
+use mvcc_cc::presets;
+use mvcc_core::{DbConfig, Engine, OpSpec};
+use mvcc_model::ObjectId;
+use mvcc_storage::Value;
+use std::hint::black_box;
+
+const N_OBJECTS: u64 = 512;
+
+fn prepare(engine: &dyn Engine) -> Vec<ObjectId> {
+    for o in 0..N_OBJECTS {
+        engine.seed(ObjectId(o), Value::from_u64(o));
+    }
+    // Commit some history so chains have depth.
+    for round in 0..4u64 {
+        for o in (0..N_OBJECTS).step_by(7) {
+            engine
+                .run_read_write(&[OpSpec::Write(ObjectId(o), Value::from_u64(round))])
+                .expect("setup write");
+        }
+    }
+    (0..8).map(|i| ObjectId(i * 63 % N_OBJECTS)).collect()
+}
+
+fn bench_ro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ro_txn_8_reads");
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(presets::vc_2pl(DbConfig::default())),
+        Box::new(presets::vc_to(DbConfig::default())),
+        Box::new(presets::vc_occ(DbConfig::default())),
+        Box::new(ReedMvto::new()),
+        Box::new(ChanMv2pl::new()),
+        Box::new(WeihlTi::new()),
+        Box::new(SingleVersion2pl::new()),
+    ];
+    for engine in engines {
+        let keys = prepare(engine.as_ref());
+        g.bench_function(engine.name(), |b| {
+            b.iter(|| black_box(engine.run_read_only(&keys).expect("ro")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ro);
+criterion_main!(benches);

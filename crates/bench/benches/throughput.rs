@@ -1,0 +1,53 @@
+//! E7 bench — mixed-workload batches per engine. Criterion measures the
+//! wall time of a fixed 200-transaction batch (50% read-only, zipf-0.9
+//! increments) driven single-threaded; the multi-threaded sweeps live in
+//! the `experiments` binary where throughput statistics make more sense.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvcc_baselines::{ChanMv2pl, ReedMvto, SingleVersion2pl, WeihlTi};
+use mvcc_cc::presets;
+use mvcc_core::{DbConfig, Engine};
+use mvcc_workload::{driver, KeyDist, WorkloadSpec};
+use std::hint::black_box;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        n_objects: 128,
+        ro_fraction: 0.5,
+        ro_ops: 6,
+        rw_ops: 3,
+        use_increments: true,
+        distribution: KeyDist::Zipf { theta: 0.9 },
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixed_batch_200txn");
+    g.sample_size(20);
+    let engines: Vec<Box<dyn Engine>> = vec![
+        Box::new(presets::vc_2pl(DbConfig::default())),
+        Box::new(presets::vc_to(DbConfig::default())),
+        Box::new(presets::vc_occ(DbConfig::default())),
+        Box::new(ReedMvto::new()),
+        Box::new(ChanMv2pl::new()),
+        Box::new(WeihlTi::new()),
+        Box::new(SingleVersion2pl::new()),
+    ];
+    let s = spec();
+    for engine in engines {
+        driver::seed_zeroes(engine.as_ref(), s.n_objects);
+        g.bench_function(engine.name(), |b| {
+            b.iter_batched(
+                || (),
+                |_| black_box(driver::run_fixed_count(engine.as_ref(), &s, 200, 1000)),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

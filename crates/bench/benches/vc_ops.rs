@@ -1,0 +1,61 @@
+//! E1 bench — the VersionControl module's entry procedures (paper
+//! Figure 1). `VCstart` is the cost a read-only transaction pays for all
+//! of its synchronization; it must stay at atomic-load scale, including
+//! under register/complete churn from other threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvcc_core::VersionControl;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_vc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_module");
+
+    g.bench_function("vcstart_uncontended", |b| {
+        let vc = VersionControl::new();
+        b.iter(|| black_box(vc.start()));
+    });
+
+    g.bench_function("register_complete_cycle", |b| {
+        let vc = VersionControl::new();
+        b.iter(|| {
+            let tn = vc.register();
+            black_box(vc.complete(tn));
+        });
+    });
+
+    g.bench_function("register_discard_cycle", |b| {
+        let vc = VersionControl::new();
+        b.iter(|| {
+            let tn = vc.register();
+            black_box(vc.discard(tn));
+        });
+    });
+
+    g.bench_function("vcstart_under_rw_churn", |b| {
+        let vc = Arc::new(VersionControl::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut churners = Vec::new();
+        for _ in 0..3 {
+            let vc = Arc::clone(&vc);
+            let stop = Arc::clone(&stop);
+            churners.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let tn = vc.register();
+                    vc.complete(tn);
+                }
+            }));
+        }
+        b.iter(|| black_box(vc.start()));
+        stop.store(true, Ordering::Relaxed);
+        for h in churners {
+            h.join().unwrap();
+        }
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_vc);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments [--fast] [all | e1 e2 ... e11]
+//! ```
+//!
+//! Prints one section per experiment (the content of EXPERIMENTS.md).
+//! `--fast` scales run lengths down ~10× for CI.
+
+use mvcc_bench::experiments::{registry, section};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want_all = selected.is_empty() || selected.iter().any(|a| a == "all");
+
+    let reg = registry();
+    let mut ran = 0;
+    for exp in &reg {
+        if want_all || selected.iter().any(|s| s == exp.id) {
+            eprintln!("[experiments] running {} ...", exp.id);
+            let body = (exp.run)(fast);
+            println!("{}", section(exp.id, exp.title, &body));
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment id(s) {:?}; available: {}",
+            selected,
+            reg.iter().map(|e| e.id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,49 @@
+//! The engine lineup every comparative experiment runs against.
+
+use mvcc_baselines::{ChanMv2pl, ReedMvto, SingleVersion2pl, WeihlTi};
+use mvcc_cc::presets;
+use mvcc_core::{DbConfig, Engine};
+
+/// Build the full lineup: the paper's engine under each of its three
+/// concurrency-control integrations, plus every baseline from Section 2.
+pub fn lineup() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(presets::vc_2pl(DbConfig::default())),
+        Box::new(presets::vc_to(DbConfig::default())),
+        Box::new(presets::vc_occ(DbConfig::default())),
+        Box::new(ReedMvto::new()),
+        Box::new(ChanMv2pl::new()),
+        Box::new(WeihlTi::new()),
+        Box::new(SingleVersion2pl::new()),
+    ]
+}
+
+/// Just the paper's engine (three protocol integrations).
+pub fn vc_lineup() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(presets::vc_2pl(DbConfig::default())),
+        Box::new(presets::vc_to(DbConfig::default())),
+        Box::new(presets::vc_occ(DbConfig::default())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_has_all_seven() {
+        let names: Vec<String> = lineup().iter().map(|e| e.name()).collect();
+        for expected in [
+            "vc+2pl",
+            "vc+to",
+            "vc+occ",
+            "reed-mvto",
+            "chan-mv2pl",
+            "weihl-ti",
+            "sv-2pl",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+}

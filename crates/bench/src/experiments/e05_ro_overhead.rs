@@ -1,0 +1,81 @@
+//! E5 — "read-only transactions do not have any concurrency control
+//! overhead" (Sections 1, 4.2, 6).
+//!
+//! Under a mixed workload, count the synchronization actions each engine
+//! performs *on behalf of read-only transactions* and measure read-only
+//! latency. The paper's engine does exactly one action per transaction
+//! (the `VCstart` load) regardless of protocol; Reed's MVTO pays a
+//! timestamp plus an r-ts update per read (and blocks); Chan's MV2PL
+//! pays a CTL copy plus chain-membership scans; Weihl pays per-read
+//! floor updates and waits; single-version 2PL pays a lock per read.
+
+use crate::{engines, scaled_ms};
+use mvcc_workload::report::{fmt_duration, Table};
+use mvcc_workload::{driver, DriverConfig, KeyDist, WorkloadSpec};
+
+pub(crate) fn run(fast: bool) -> String {
+    let spec = WorkloadSpec {
+        n_objects: 512,
+        ro_fraction: 0.5,
+        ro_ops: 8,
+        rw_ops: 4,
+        rw_write_fraction: 0.5,
+        use_increments: false,
+        distribution: KeyDist::Zipf { theta: 0.8 },
+        seed: 5,
+    };
+    let cfg = DriverConfig {
+        threads: 4,
+        duration: scaled_ms(fast, 400),
+        max_retries: 1000,
+        txn_budget: None,
+        gc_every: None,
+    };
+
+    let mut table = Table::new([
+        "engine",
+        "sync/RO txn",
+        "RO blocks",
+        "RO aborts",
+        "RO mean",
+        "RO p99",
+    ]);
+    for engine in engines::lineup() {
+        driver::seed_zeroes(engine.as_ref(), spec.n_objects);
+        let r = driver::run(engine.as_ref(), &spec, &cfg);
+        let per_txn = if r.metrics.ro_begun == 0 {
+            0.0
+        } else {
+            r.metrics.ro_sync_actions as f64 / r.metrics.ro_begun as f64
+        };
+        table.row([
+            r.engine.clone(),
+            format!("{per_txn:.2}"),
+            r.metrics.ro_blocks.to_string(),
+            (r.metrics.ro_aborts + r.ro_retries).to_string(),
+            fmt_duration(r.ro_latency.mean()),
+            fmt_duration(r.ro_latency.p99()),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nexpected shape (paper): vc+* rows show exactly 1.00 sync action and 0 \
+         blocks/aborts; every baseline pays per-read synchronization, and only \
+         baselines can block or abort a read-only transaction.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vc_engines_do_one_sync_action() {
+        let report = super::run(true);
+        // All three vc rows must show exactly 1.00 sync action per RO txn.
+        let ones = report
+            .lines()
+            .filter(|l| l.starts_with("vc+") && l.contains("1.00"))
+            .count();
+        assert_eq!(ones, 3, "report:\n{report}");
+    }
+}

@@ -1,0 +1,122 @@
+//! E11 — the core thesis: *version control composes with any
+//! conflict-based concurrency control, unchanged*.
+//!
+//! The same workload script runs over `MvDatabase<C>` for each of the
+//! three protocol instantiations. The experiment verifies:
+//!
+//! * the read-only code path is byte-for-byte the same type (`RoTxn` is
+//!   not generic over `C`) and behaves identically — one sync action,
+//!   zero blocks, zero aborts — under every protocol;
+//! * each traced run is one-copy serializable by the MVSG oracle;
+//! * only the read-write side differs, in exactly the way each protocol
+//!   predicts (2PL blocks, TO aborts on late writes, OCC aborts at
+//!   validation).
+
+use crate::scaled_ms;
+use crate::engines::vc_lineup;
+use mvcc_cc::presets;
+use mvcc_core::{DbConfig, Engine};
+use mvcc_model::mvsg;
+use mvcc_workload::report::Table;
+use mvcc_workload::{driver, DriverConfig, KeyDist, WorkloadSpec};
+
+pub(crate) fn run(fast: bool) -> String {
+    let spec = WorkloadSpec {
+        n_objects: 64,
+        ro_fraction: 0.5,
+        use_increments: true,
+        distribution: KeyDist::Zipf { theta: 0.9 },
+        seed: 11,
+        ..Default::default()
+    };
+    let cfg = DriverConfig {
+        threads: 4,
+        duration: scaled_ms(fast, 250),
+        max_retries: 10_000,
+        txn_budget: None,
+        gc_every: None,
+    };
+
+    let mut table = Table::new([
+        "protocol under VC",
+        "RO sync/txn",
+        "RO blocks",
+        "RW blocks",
+        "RW aborts: deadlock/ts/valid",
+        "trace 1SR",
+    ]);
+    let mut out = String::new();
+    for engine in vc_lineup() {
+        driver::seed_zeroes(engine.as_ref(), spec.n_objects);
+        let r = driver::run(engine.as_ref(), &spec, &cfg);
+        let per_txn = if r.metrics.ro_begun == 0 {
+            0.0
+        } else {
+            r.metrics.ro_sync_actions as f64 / r.metrics.ro_begun as f64
+        };
+        table.row([
+            r.engine.clone(),
+            format!("{per_txn:.2}"),
+            r.metrics.ro_blocks.to_string(),
+            r.metrics.rw_blocks.to_string(),
+            format!(
+                "{}/{}/{}",
+                r.metrics.aborts_deadlock,
+                r.metrics.aborts_ts_conflict,
+                r.metrics.aborts_validation
+            ),
+            "(below)".to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // Oracle pass on traced (smaller) runs of the same script. The
+    // `Engine` trait erases `trace_history`, so these run on the
+    // concrete `MvDatabase<C>` types.
+    let small_cfg = DriverConfig {
+        threads: 4,
+        duration: scaled_ms(fast, 2000),
+        max_retries: 10_000,
+        // Bound the trace: MVSG checking is superlinear in versions per
+        // object, so the oracle gets a fixed-size concurrent trace.
+        txn_budget: Some(crate::scaled(fast, 3000)),
+        gc_every: None,
+    };
+    let mut oracle = Table::new(["protocol", "trace ops", "MVSG acyclic"]);
+    macro_rules! oracle_run {
+        ($db:expr) => {{
+            let db = $db;
+            driver::seed_zeroes(&db, spec.n_objects);
+            let _ = driver::run(&db, &spec, &small_cfg);
+            let h = db.trace_history().expect("traced");
+            let rep = mvsg::check_tn_order(&h);
+            assert!(rep.acyclic, "{} produced a non-1SR trace", db.name());
+            oracle.row([db.name(), h.len().to_string(), rep.acyclic.to_string()]);
+        }};
+    }
+    oracle_run!(presets::vc_2pl(DbConfig::traced()));
+    oracle_run!(presets::vc_to(DbConfig::traced()));
+    oracle_run!(presets::vc_occ(DbConfig::traced()));
+
+    out.push_str("\nserializability oracle over traced runs of the same script:\n\n");
+    out.push_str(&oracle.render());
+    out.push_str(
+        "\nshape: the RO columns are identical across protocols (the read-only path \
+         is literally the same non-generic code); the RW abort columns differ per \
+         protocol exactly as Figures 3/4 predict — deadlock victims under 2PL, \
+         timestamp conflicts under TO, validation failures under OCC.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_three_protocols_pass_oracle() {
+        let report = super::run(true);
+        assert_eq!(report.matches("true").count(), 3, "{report}");
+        assert!(report.contains("vc+2pl"));
+        assert!(report.contains("vc+to"));
+        assert!(report.contains("vc+occ"));
+    }
+}

@@ -1,0 +1,380 @@
+//! Version control + timestamp ordering (paper Figure 3).
+//!
+//! The serial order is fixed a priori: `begin(T)` calls `VCregister`,
+//! so `tn(T)` doubles as the timestamp and `sn(T) = tn(T)`.
+//!
+//! * `read(x)` — raise `r-ts(x)` to `tn(T)`, return the version with the
+//!   largest number `≤ sn(T)`; **blocked** while a pending write by an
+//!   older transaction exists (its version, if committed, is the one to
+//!   read).
+//! * `write(x)` — rejected (transaction aborted, `VCdiscard`) if
+//!   `r-ts(x) > tn(T)` or `w-ts(x) > tn(T)`; blocked behind an older
+//!   pending write; otherwise installs a pending version stamped `tn(T)`.
+//! * `end(T)` — commit the pending versions ("perform database updates;
+//!   clear pending read actions"), then `VCcomplete(T)`.
+//!
+//! Blocking is deadlock-free: a transaction only ever waits on *older*
+//! transactions, so the waits-for relation follows the total order of
+//! transaction numbers.
+
+use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
+use mvcc_model::{ObjectId, TxnId};
+use mvcc_storage::store::WaitOutcome;
+use mvcc_storage::{PendingVersion, Value};
+use std::sync::atomic::Ordering;
+
+/// Multiversion timestamp ordering behind the version-control interface.
+#[derive(Default)]
+pub struct TimestampOrdering;
+
+/// Per-transaction TO state.
+pub struct ToTxn {
+    /// Transaction number = timestamp, assigned at begin.
+    tn: u64,
+    /// Objects with an installed pending version.
+    written: Vec<ObjectId>,
+    /// Whether the transaction has been aborted (VCdiscard already done).
+    doomed: bool,
+}
+
+impl TimestampOrdering {
+    /// Fresh protocol instance.
+    pub fn new() -> Self {
+        TimestampOrdering
+    }
+
+    fn doom(&self, ctx: &CcContext, txn: &mut ToTxn) {
+        if !txn.doomed {
+            txn.doomed = true;
+            for &obj in &txn.written {
+                ctx.store.with(obj, |c| {
+                    c.discard_pending(TxnId(txn.tn));
+                });
+                ctx.store.notify(obj);
+            }
+            ctx.vc.discard(txn.tn);
+            ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl ConcurrencyControl for TimestampOrdering {
+    type Txn = ToTxn;
+
+    fn name(&self) -> &'static str {
+        "to"
+    }
+
+    fn begin(&self, ctx: &CcContext) -> Result<ToTxn, DbError> {
+        // Serial order known a priori: register now.
+        let tn = ctx.vc.register();
+        ctx.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(ToTxn {
+            tn,
+            written: Vec::new(),
+            doomed: false,
+        })
+    }
+
+    fn read(
+        &self,
+        ctx: &CcContext,
+        txn: &mut ToTxn,
+        obj: ObjectId,
+    ) -> Result<(u64, Value), DbError> {
+        let tn = txn.tn;
+        let m = &ctx.metrics;
+        m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
+        let mut blocked = false;
+        let result = ctx
+            .store
+            .wait_until(obj, ctx.config.read_wait_timeout, |c| {
+                // Own pending write shadows everything.
+                if let Some(p) = c.pending_by(TxnId(tn)) {
+                    return WaitOutcome::Ready((tn, p.value.clone()));
+                }
+                // Pending write by an older transaction: the version we
+                // must read may still materialize — wait (Fig 3: "may be
+                // delayed due to the pending writes as per TO protocol").
+                if c.has_pending_older_than(tn) {
+                    if !blocked {
+                        blocked = true;
+                        m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return WaitOutcome::Wait;
+                }
+                // r-ts(x) ← MAX(r-ts(x), tn(T))
+                c.update_read_ts(tn);
+                let v = c.at(tn).expect("initial version always present");
+                WaitOutcome::Ready((v.number, v.value.clone()))
+            });
+        match result {
+            Ok(pair) => Ok(pair),
+            Err(_) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+        }
+    }
+
+    fn write(
+        &self,
+        ctx: &CcContext,
+        txn: &mut ToTxn,
+        obj: ObjectId,
+        value: Value,
+    ) -> Result<(), DbError> {
+        let tn = txn.tn;
+        let m = &ctx.metrics;
+        m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
+        let mut blocked = false;
+        let decision = ctx
+            .store
+            .wait_until(obj, ctx.config.read_wait_timeout, |c| {
+                // Rewrite of our own pending version: always fine.
+                if c.pending_by(TxnId(tn)).is_some() {
+                    c.install_pending(PendingVersion::stamped(
+                        TxnId(tn),
+                        tn,
+                        value.clone(),
+                    ));
+                    return WaitOutcome::Ready(Ok(()));
+                }
+                // Blocked behind an older pending write.
+                if c.has_pending_older_than(tn) {
+                    if !blocked {
+                        blocked = true;
+                        m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return WaitOutcome::Wait;
+                }
+                // IF r-ts(x) > tn(T) OR w-ts(x) > tn(T) THEN abort(T)
+                if c.read_ts() > tn || c.write_ts() > tn {
+                    return WaitOutcome::Ready(Err(DbError::Aborted(
+                        AbortReason::TimestampConflict,
+                    )));
+                }
+                c.install_pending(PendingVersion::stamped(
+                    TxnId(tn),
+                    tn,
+                    value.clone(),
+                ));
+                WaitOutcome::Ready(Ok(()))
+            });
+        let outcome = match decision {
+            Ok(inner) => inner,
+            Err(_) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+        };
+        match outcome {
+            Ok(()) => {
+                if !txn.written.contains(&obj) {
+                    txn.written.push(obj);
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn commit(&self, ctx: &CcContext, txn: ToTxn) -> Result<u64, DbError> {
+        debug_assert!(!txn.doomed);
+        // perform database updates; clear pending read actions
+        for &obj in &txn.written {
+            let res = ctx
+                .store
+                .with(obj, |c| c.promote_pending(TxnId(txn.tn), None));
+            if let Err(e) = res {
+                return Err(DbError::Internal(format!("TO promote: {e}")));
+            }
+            ctx.store.notify(obj);
+        }
+        // VCcomplete(T)
+        ctx.vc.complete(txn.tn);
+        ctx.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(txn.tn)
+    }
+
+    fn abort(&self, ctx: &CcContext, mut txn: ToTxn) {
+        self.doom(ctx, &mut txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::{DbConfig, MvDatabase};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn db() -> MvDatabase<TimestampOrdering> {
+        MvDatabase::with_config(TimestampOrdering::new(), DbConfig::traced())
+    }
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn figure3_lifecycle() {
+        let db = db();
+        let mut t = db.begin_read_write().unwrap();
+        // begin(T) registered immediately: tn known a priori
+        assert_eq!(db.vc().tnc(), 2);
+        assert_eq!(t.read(obj(0)).unwrap(), Value::empty());
+        t.write(obj(1), Value::from_u64(3)).unwrap();
+        let tn = t.commit().unwrap();
+        assert_eq!(tn, 1);
+        assert_eq!(db.vc().vtnc(), 1);
+        assert_eq!(db.peek_latest(obj(1)).as_u64(), Some(3));
+    }
+
+    #[test]
+    fn late_write_aborts_on_read_timestamp() {
+        let db = db();
+        // T1 (older) and T2 (younger); T2 reads x, then T1 writes x → too late.
+        let mut t1 = db.begin_read_write().unwrap();
+        let mut t2 = db.begin_read_write().unwrap();
+        let _ = t2.read(obj(0)).unwrap(); // r-ts(x) = 2
+        let err = t1.write(obj(0), Value::from_u64(1)).unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::TimestampConflict));
+        t2.commit().unwrap();
+        assert_eq!(db.metrics().aborts_ts_conflict, 1);
+    }
+
+    #[test]
+    fn late_write_aborts_on_write_timestamp() {
+        let db = db();
+        let mut t1 = db.begin_read_write().unwrap();
+        let mut t2 = db.begin_read_write().unwrap();
+        t2.write(obj(0), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap(); // w-ts(x) = 2
+        let err = t1.write(obj(0), Value::from_u64(1)).unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::TimestampConflict));
+    }
+
+    #[test]
+    fn read_blocks_on_older_pending_write() {
+        let db = Arc::new(db());
+        let mut t1 = db.begin_read_write().unwrap(); // tn 1
+        t1.write(obj(0), Value::from_u64(11)).unwrap(); // pending
+        let db2 = Arc::clone(&db);
+        let h = thread::spawn(move || {
+            let mut t2 = db2.begin_read_write().unwrap(); // tn 2
+            // must block until T1 resolves, then read T1's version
+            t2.read_u64(obj(0)).inspect(|_| {
+                t2.commit().unwrap();
+            })
+        });
+        thread::sleep(Duration::from_millis(40));
+        t1.commit().unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), Some(11));
+        assert!(db.metrics().rw_blocks >= 1);
+    }
+
+    #[test]
+    fn read_unblocks_when_older_writer_aborts() {
+        let db = Arc::new(db());
+        db.seed(obj(0), Value::from_u64(7));
+        let mut t1 = db.begin_read_write().unwrap();
+        t1.write(obj(0), Value::from_u64(11)).unwrap();
+        let db2 = Arc::clone(&db);
+        let h = thread::spawn(move || {
+            let mut t2 = db2.begin_read_write().unwrap();
+            t2.read_u64(obj(0))
+        });
+        thread::sleep(Duration::from_millis(40));
+        t1.abort();
+        // reader falls back to the initial version
+        assert_eq!(h.join().unwrap().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn younger_pending_write_aborts_older_writer() {
+        let db = db();
+        let mut t1 = db.begin_read_write().unwrap(); // tn 1
+        let mut t2 = db.begin_read_write().unwrap(); // tn 2
+        t2.write(obj(0), Value::from_u64(2)).unwrap(); // pending, reserved 2
+        // w-ts(x) = 2 > 1 → T1's write is too late even though T2 is pending
+        let err = t1.write(obj(0), Value::from_u64(1)).unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::TimestampConflict));
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn reads_never_rejected() {
+        // "Read requests are never rejected" — even arbitrarily old
+        // transactions can read (they get old versions).
+        let db = db();
+        let mut t1 = db.begin_read_write().unwrap(); // tn 1
+        for v in 2..6u64 {
+            db.run_rw(1, |t| t.write(obj(0), Value::from_u64(v)))
+                .unwrap();
+        }
+        // T1 is the oldest; reads version ≤ 1 → initial
+        assert_eq!(t1.read(obj(0)).unwrap(), Value::empty());
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_commit_delays_visibility() {
+        let db = db();
+        let t1 = db.begin_read_write().unwrap(); // tn 1, stays active
+        let mut t2 = db.begin_read_write().unwrap(); // tn 2
+        t2.write(obj(0), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap();
+        // T2 committed but T1 still active → vtnc stays 0 → RO sees nothing
+        assert_eq!(db.vc().vtnc(), 0);
+        let mut r = db.begin_read_only();
+        assert_eq!(r.read(obj(0)).unwrap(), Value::empty());
+        r.finish();
+        t1.commit().unwrap();
+        assert_eq!(db.vc().vtnc(), 2);
+        let mut r2 = db.begin_read_only();
+        assert_eq!(r2.read_u64(obj(0)).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_increments_serializable_with_retries() {
+        let db = Arc::new(db());
+        db.seed(obj(0), Value::from_u64(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let db = Arc::clone(&db);
+            handles.push(thread::spawn(move || {
+                let mut done = 0;
+                while done < 30 {
+                    if db
+                        .run_rw(1000, |t| {
+                            let v = t.read_u64(obj(0))?.unwrap();
+                            t.write(obj(0), Value::from_u64(v + 1))
+                        })
+                        .is_ok()
+                    {
+                        done += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(240));
+        let h = db.trace_history().unwrap();
+        let report = mvcc_model::mvsg::check_tn_order(&h);
+        assert!(report.acyclic, "TO trace not 1SR (cycle {:?})", report.cycle);
+    }
+
+    #[test]
+    fn ro_txns_unaffected_by_pending_writes() {
+        let db = db();
+        db.seed(obj(0), Value::from_u64(7));
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(8)).unwrap(); // pending
+        // RO does not block on the pending write (unlike Reed's MVTO!)
+        let mut r = db.begin_read_only();
+        assert_eq!(r.read_u64(obj(0)).unwrap(), Some(7));
+        r.finish();
+        t.commit().unwrap();
+        // and the RO transaction did not bump r-ts → no aborts caused
+        assert_eq!(db.metrics().aborts_due_to_ro, 0);
+        assert_eq!(db.metrics().rw_aborted, 0);
+    }
+}

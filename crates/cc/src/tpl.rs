@@ -1,0 +1,364 @@
+//! Version control + strict two-phase locking (paper Figure 4).
+//!
+//! The protocol of Figure 4, action for action:
+//!
+//! * `begin(T)` — `sn(T) = ∞` "for uniformity": a read-write transaction
+//!   always reads the latest version.
+//! * `read(x)` — `r-lock(x)` (may wait), then read the largest version,
+//!   which the lock guarantees is the latest committed one.
+//! * `write(y)` — `w-lock(y)` (may wait), then create `y` with
+//!   **version φ**: a pending version with no number, because the
+//!   transaction has no number before its lock point.
+//! * `end(T)` — `VCregister(T)` *at the lock point* (all locks held, none
+//!   released), then commit: stamp every pending version with `tn(T)`,
+//!   clear locks, `VCcomplete(T)`.
+//!
+//! The paper's observation that "the version control mechanism is not
+//! affected by deadlocks … since the transactions that interact with the
+//! version control have gone past their lock-point" holds structurally
+//! here: `VCregister` is only reached once every lock is held, so a
+//! registered transaction can never be waiting.
+
+use crate::lock::{LockError, LockManager, LockMode};
+use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
+use mvcc_core::config::DeadlockPolicy;
+use mvcc_model::{ObjectId, TxnId};
+use mvcc_storage::{PendingVersion, Value};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Strict two-phase locking over the shared [`LockManager`].
+pub struct TwoPhaseLocking {
+    locks: LockManager,
+    next_token: AtomicU64,
+}
+
+/// Per-transaction 2PL state.
+pub struct TplTxn {
+    /// Lock-requester token; doubles as the pending-version writer id.
+    token: u64,
+    /// Every object this transaction holds a lock on.
+    locked: HashSet<ObjectId>,
+    /// Objects with an installed pending (φ) version.
+    written: Vec<ObjectId>,
+}
+
+impl Default for TwoPhaseLocking {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TwoPhaseLocking {
+    /// Fresh protocol instance with its own lock manager.
+    pub fn new() -> Self {
+        TwoPhaseLocking {
+            locks: LockManager::new(),
+            // Tokens must never collide with transaction numbers used as
+            // pending-writer ids by other protocols; within one engine
+            // only this protocol runs, so a plain counter suffices.
+            next_token: AtomicU64::new(1),
+        }
+    }
+
+    /// The lock manager (exposed for tests and experiments).
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    fn lock(
+        &self,
+        ctx: &CcContext,
+        txn: &mut TplTxn,
+        obj: ObjectId,
+        mode: LockMode,
+    ) -> Result<(), DbError> {
+        let m = &ctx.metrics;
+        m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
+        let detect = ctx.config.deadlock == DeadlockPolicy::Detect;
+        match self
+            .locks
+            .acquire(txn.token, obj, mode, ctx.config.lock_wait_timeout, detect)
+        {
+            Ok(a) => {
+                if a.waited {
+                    m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                }
+                txn.locked.insert(obj);
+                Ok(())
+            }
+            Err(LockError::Deadlock) => Err(DbError::Aborted(AbortReason::Deadlock)),
+            Err(LockError::Timeout) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+        }
+    }
+
+    fn cleanup(&self, ctx: &CcContext, txn: &TplTxn) {
+        for &obj in &txn.written {
+            ctx.store.with(obj, |c| {
+                c.discard_pending(TxnId(txn.token));
+            });
+            ctx.store.notify(obj);
+        }
+        self.locks.release_all(txn.token, txn.locked.iter());
+    }
+}
+
+impl ConcurrencyControl for TwoPhaseLocking {
+    type Txn = TplTxn;
+
+    fn name(&self) -> &'static str {
+        "2pl"
+    }
+
+    fn begin(&self, _ctx: &CcContext) -> Result<TplTxn, DbError> {
+        // sn(T) = ∞: no snapshot is taken; reads follow locks.
+        Ok(TplTxn {
+            token: self.next_token.fetch_add(1, Ordering::Relaxed),
+            locked: HashSet::new(),
+            written: Vec::new(),
+        })
+    }
+
+    fn read(
+        &self,
+        ctx: &CcContext,
+        txn: &mut TplTxn,
+        obj: ObjectId,
+    ) -> Result<(u64, Value), DbError> {
+        self.lock(ctx, txn, obj, LockMode::Shared)?;
+        Ok(ctx.store.with(obj, |c| {
+            // Own pending write shadows the committed latest.
+            if let Some(p) = c.pending_by(TxnId(txn.token)) {
+                return (u64::MAX, p.value.clone());
+            }
+            let v = c.at(u64::MAX).expect("chain never empty");
+            (v.number, v.value.clone())
+        }))
+    }
+
+    fn read_for_update(
+        &self,
+        ctx: &CcContext,
+        txn: &mut TplTxn,
+        obj: ObjectId,
+    ) -> Result<(u64, Value), DbError> {
+        // Take the exclusive lock immediately: no shared→exclusive
+        // upgrade later, hence no upgrade deadlocks on read-modify-write.
+        self.lock(ctx, txn, obj, LockMode::Exclusive)?;
+        Ok(ctx.store.with(obj, |c| {
+            if let Some(p) = c.pending_by(TxnId(txn.token)) {
+                return (u64::MAX, p.value.clone());
+            }
+            let v = c.at(u64::MAX).expect("chain never empty");
+            (v.number, v.value.clone())
+        }))
+    }
+
+    fn write(
+        &self,
+        ctx: &CcContext,
+        txn: &mut TplTxn,
+        obj: ObjectId,
+        value: Value,
+    ) -> Result<(), DbError> {
+        self.lock(ctx, txn, obj, LockMode::Exclusive)?;
+        ctx.store.with(obj, |c| {
+            c.install_pending(PendingVersion::phi(TxnId(txn.token), value));
+        });
+        if !txn.written.contains(&obj) {
+            txn.written.push(obj);
+        }
+        Ok(())
+    }
+
+    fn commit(&self, ctx: &CcContext, txn: TplTxn) -> Result<u64, DbError> {
+        // end(T): the lock point — every lock is held. Serial order fixed.
+        let tn = ctx.vc.register();
+        ctx.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+
+        // perform database updates with version number tn(T)
+        for &obj in &txn.written {
+            let res = ctx.store.with(obj, |c| {
+                c.promote_pending(TxnId(txn.token), Some(tn))
+            });
+            if let Err(e) = res {
+                // Invariant violation: nobody else can touch a pending
+                // version under an exclusive lock.
+                self.cleanup(ctx, &txn);
+                ctx.vc.discard(tn);
+                ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+                return Err(DbError::Internal(format!("2PL promote: {e}")));
+            }
+            ctx.store.notify(obj);
+        }
+
+        // clear locks
+        self.locks.release_all(txn.token, txn.locked.iter());
+
+        // VCcomplete(T)
+        ctx.vc.complete(tn);
+        ctx.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(tn)
+    }
+
+    fn abort(&self, ctx: &CcContext, txn: TplTxn) {
+        // Never registered (aborts happen before the lock point), so no
+        // VCdiscard — exactly the paper's point about deadlocks being
+        // invisible to version control.
+        self.cleanup(ctx, &txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_core::{DbConfig, MvDatabase};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn db() -> MvDatabase<TwoPhaseLocking> {
+        MvDatabase::with_config(TwoPhaseLocking::new(), DbConfig::traced())
+    }
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn figure4_lifecycle() {
+        let db = db();
+        let mut t = db.begin_read_write().unwrap();
+        // read(x): r-lock + latest version
+        assert_eq!(t.read(obj(0)).unwrap(), Value::empty());
+        // write(y): w-lock + version φ
+        t.write(obj(1), Value::from_u64(5)).unwrap();
+        // pending invisible to a concurrent snapshot
+        assert_eq!(db.store().read_latest(obj(1)).0, 0);
+        // end(T): register at lock point, stamp with tn, complete
+        let tn = t.commit().unwrap();
+        assert_eq!(tn, 1);
+        assert_eq!(db.store().read_latest(obj(1)), (1, Value::from_u64(5)));
+        assert_eq!(db.vc().vtnc(), 1);
+    }
+
+    #[test]
+    fn read_own_pending_write() {
+        let db = db();
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(9)).unwrap();
+        assert_eq!(t.read_u64(obj(0)).unwrap(), Some(9));
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_discards_pending_and_releases_locks() {
+        let db = db();
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(9)).unwrap();
+        t.abort();
+        assert_eq!(db.peek_latest(obj(0)), Value::empty());
+        // lock is free again
+        let mut t2 = db.begin_read_write().unwrap();
+        t2.write(obj(0), Value::from_u64(1)).unwrap();
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_writer() {
+        let db = Arc::new(db());
+        let mut t1 = db.begin_read_write().unwrap();
+        t1.write(obj(0), Value::from_u64(1)).unwrap();
+        let db2 = Arc::clone(&db);
+        let h = thread::spawn(move || {
+            let mut t2 = db2.begin_read_write().unwrap();
+            t2.write(obj(0), Value::from_u64(2)).unwrap();
+            t2.commit().unwrap()
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        let tn1 = t1.commit().unwrap();
+        let tn2 = h.join().unwrap();
+        assert!(tn1 < tn2, "lock-point order must equal tn order");
+        assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(2));
+    }
+
+    #[test]
+    fn deadlock_victim_aborts_and_other_commits() {
+        let db = Arc::new(db());
+        db.seed(obj(0), Value::from_u64(0));
+        db.seed(obj(1), Value::from_u64(0));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for (first, second) in [(obj(0), obj(1)), (obj(1), obj(0))] {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                let mut t = db.begin_read_write().unwrap();
+                t.write(first, Value::from_u64(1)).unwrap();
+                barrier.wait();
+                match t.write(second, Value::from_u64(2)) {
+                    Ok(()) => t.commit().map(|_| true),
+                    Err(e) => Err(e),
+                }
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let oks = results.iter().filter(|r| r.is_ok()).count();
+        let deadlocks = results
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Err(DbError::Aborted(AbortReason::Deadlock))
+                )
+            })
+            .count();
+        assert_eq!(oks, 1, "results: {results:?}");
+        assert_eq!(deadlocks, 1, "results: {results:?}");
+        assert_eq!(db.metrics().aborts_deadlock, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_serializable() {
+        let db = Arc::new(db());
+        db.seed(obj(0), Value::from_u64(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let db = Arc::clone(&db);
+            handles.push(thread::spawn(move || {
+                let mut done = 0;
+                while done < 50 {
+                    let r = db.run_rw(100, |t| {
+                        let v = t.read_u64(obj(0))?.unwrap();
+                        t.write(obj(0), Value::from_u64(v + 1))
+                    });
+                    if r.is_ok() {
+                        done += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(400));
+        let h = db.trace_history().unwrap();
+        let report = mvcc_model::mvsg::check_tn_order(&h);
+        assert!(report.acyclic, "2PL trace not 1SR (cycle {:?})", report.cycle);
+    }
+
+    #[test]
+    fn ro_txns_ignore_locks_entirely() {
+        let db = Arc::new(db());
+        db.seed(obj(0), Value::from_u64(7));
+        // An RW transaction holds an exclusive lock + pending write...
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(8)).unwrap();
+        // ...but a read-only transaction is neither blocked nor sees it.
+        let mut r = db.begin_read_only();
+        assert_eq!(r.read_u64(obj(0)).unwrap(), Some(7));
+        r.finish();
+        t.commit().unwrap();
+        let mut r2 = db.begin_read_only();
+        assert_eq!(r2.read_u64(obj(0)).unwrap(), Some(8));
+    }
+}

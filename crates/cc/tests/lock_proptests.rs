@@ -1,0 +1,162 @@
+//! Property tests for the lock manager: mutual exclusion, upgrade
+//! semantics, release completeness, and deadlock-detection liveness
+//! under randomized schedules (single-threaded model checks plus a
+//! multi-threaded exclusion stress).
+
+use mvcc_cc::{LockError, LockManager, LockMode};
+use mvcc_model::ObjectId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const T: Duration = Duration::from_millis(10);
+
+/// Reference model of the lock table: per-holder modes.
+#[derive(Default, Debug)]
+struct Model {
+    /// object → holder → mode
+    locks: HashMap<u64, HashMap<u64, LockMode>>,
+}
+
+impl Model {
+    fn can_grant(&self, token: u64, obj: u64, mode: LockMode) -> bool {
+        let Some(holders) = self.locks.get(&obj) else {
+            return true;
+        };
+        match holders.get(&token) {
+            Some(LockMode::Exclusive) => true, // X covers everything
+            Some(LockMode::Shared) => match mode {
+                LockMode::Shared => true,
+                // upgrade needs sole ownership
+                LockMode::Exclusive => holders.len() == 1,
+            },
+            None => match mode {
+                LockMode::Shared => {
+                    !holders.values().any(|&m| m == LockMode::Exclusive)
+                }
+                LockMode::Exclusive => holders.is_empty(),
+            },
+        }
+    }
+
+    fn grant(&mut self, token: u64, obj: u64, mode: LockMode) {
+        let holders = self.locks.entry(obj).or_default();
+        let slot = holders.entry(token).or_insert(mode);
+        if mode == LockMode::Exclusive {
+            *slot = LockMode::Exclusive;
+        }
+    }
+
+    fn release(&mut self, token: u64, obj: u64) {
+        if let Some(holders) = self.locks.get_mut(&obj) {
+            holders.remove(&token);
+            if holders.is_empty() {
+                self.locks.remove(&obj);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded: the real manager grants exactly when the model
+    /// says a grant is possible (requests the model rejects would block,
+    /// so we only issue model-grantable ones; for model-rejected ones we
+    /// verify the manager times out).
+    #[test]
+    fn manager_matches_reference_model(
+        steps in proptest::collection::vec((0u64..4, 0u64..4, any::<bool>(), any::<bool>()), 1..60)
+    ) {
+        let lm = LockManager::with_shards(2);
+        let mut model = Model::default();
+        for (token, obj, exclusive, release) in steps {
+            let o = ObjectId(obj);
+            if release {
+                lm.release(token, o);
+                model.release(token, obj);
+                continue;
+            }
+            let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+            let expected = model.can_grant(token, obj, mode);
+            let got = lm.acquire(token, o, mode, T, false);
+            match (expected, got) {
+                (true, Ok(_)) => model.grant(token, obj, mode),
+                (false, Err(LockError::Timeout)) => {}
+                (e, g) => prop_assert!(
+                    false,
+                    "model/manager divergence: token {token} obj {obj} {mode:?}: \
+                     expected grant={e}, got {g:?}\nmodel: {model:?}"
+                ),
+            }
+        }
+    }
+
+    /// Held-mode reporting agrees with what was granted.
+    #[test]
+    fn held_mode_tracks_grants(
+        grants in proptest::collection::vec((0u64..3, 0u64..3, any::<bool>()), 1..20)
+    ) {
+        let lm = LockManager::new();
+        let mut model = Model::default();
+        for (token, obj, exclusive) in grants {
+            let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+            if model.can_grant(token, obj, mode) {
+                lm.acquire(token, ObjectId(obj), mode, T, false).unwrap();
+                model.grant(token, obj, mode);
+            }
+        }
+        for (obj, holders) in &model.locks {
+            for (&h, &mode) in holders {
+                let held = lm.held_mode(h, ObjectId(*obj));
+                prop_assert!(held.is_some(), "token {} should hold obj {}", h, obj);
+                if mode == LockMode::Exclusive {
+                    prop_assert_eq!(held, Some(LockMode::Exclusive));
+                }
+            }
+        }
+    }
+}
+
+/// Multi-threaded exclusion: an exclusive lock really excludes — a
+/// shared counter incremented non-atomically under the lock never loses
+/// updates.
+#[test]
+fn exclusive_lock_provides_mutual_exclusion() {
+    use std::sync::Arc;
+    let lm = Arc::new(LockManager::new());
+    let counter = Arc::new(parking_lot::Mutex::new(0u64));
+    // deliberately read-modify-write with a gap, protected by the lock
+    let unsafe_cell = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut hs = Vec::new();
+    for t in 1..=8u64 {
+        let lm = Arc::clone(&lm);
+        let counter = Arc::clone(&counter);
+        let cell = Arc::clone(&unsafe_cell);
+        hs.push(std::thread::spawn(move || {
+            for _ in 0..200 {
+                loop {
+                    match lm.acquire(t, ObjectId(0), LockMode::Exclusive, Duration::from_secs(5), true) {
+                        Ok(_) => break,
+                        Err(LockError::Deadlock) => continue,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                let v = cell.load(std::sync::atomic::Ordering::Relaxed);
+                std::thread::yield_now(); // widen the race window
+                cell.store(v + 1, std::sync::atomic::Ordering::Relaxed);
+                *counter.lock() += 1;
+                lm.release(t, ObjectId(0));
+            }
+        }));
+    }
+    for h in hs {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        unsafe_cell.load(std::sync::atomic::Ordering::Relaxed),
+        *counter.lock(),
+        "exclusive lock failed to exclude"
+    );
+    assert_eq!(*counter.lock(), 1600);
+}

@@ -1,0 +1,138 @@
+//! The uniform concurrency-control interface (the paper's central
+//! abstraction).
+//!
+//! A [`ConcurrencyControl`] implementation owns *only* conflict
+//! bookkeeping for read-write transactions — locks, timestamps, or
+//! validation state. Version control and storage belong to the engine and
+//! are handed to the protocol through [`CcContext`]. The contract mirrors
+//! Section 4:
+//!
+//! * The protocol serializes read-write transactions and calls
+//!   [`CcContext::vc`]`.register()` **exactly once**, at the moment the
+//!   transaction's serial position is fixed: at `begin` for timestamp
+//!   ordering, at the lock point (`commit` entry) for two-phase locking,
+//!   at validation for optimistic schemes.
+//! * Versions written must be stamped with the registered transaction
+//!   number, so version order equals transaction-number order.
+//! * On commit, database updates are applied **before**
+//!   `vc.complete(tn)`; on abort, pendings are discarded and, if the
+//!   transaction was registered, `vc.discard(tn)` is called.
+//! * The protocol never sees read-only transactions at all.
+
+use crate::config::DbConfig;
+use crate::error::DbError;
+use crate::metrics::Metrics;
+use crate::vc::VersionControl;
+use mvcc_model::ObjectId;
+use mvcc_storage::{MvStore, Value};
+use std::sync::Arc;
+
+/// Everything a protocol needs from the engine: storage, version control,
+/// configuration, counters.
+#[derive(Clone)]
+pub struct CcContext {
+    /// The multiversion store.
+    pub store: Arc<MvStore>,
+    /// The version-control module (Figure 1).
+    pub vc: Arc<VersionControl>,
+    /// Engine configuration.
+    pub config: Arc<DbConfig>,
+    /// Shared counters.
+    pub metrics: Arc<Metrics>,
+}
+
+impl CcContext {
+    /// Build a context with fresh storage, version control and metrics.
+    pub fn new(config: DbConfig) -> Self {
+        Self::with_parts(
+            config.clone(),
+            Arc::new(MvStore::with_shards(config.store_shards)),
+            Arc::new(VersionControl::new()),
+        )
+    }
+
+    /// Build a context around existing storage and version control
+    /// (checkpoint restore).
+    pub fn with_parts(
+        config: DbConfig,
+        store: Arc<MvStore>,
+        vc: Arc<VersionControl>,
+    ) -> Self {
+        CcContext {
+            store,
+            vc,
+            config: Arc::new(config),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+}
+
+/// A conflict-based concurrency-control protocol for read-write
+/// transactions.
+///
+/// Implementations in `mvcc-cc`: strict two-phase locking (Figure 4),
+/// timestamp ordering (Figure 3), and backward-validation optimistic
+/// concurrency control (references \[1, 2\] of the paper).
+pub trait ConcurrencyControl: Send + Sync + 'static {
+    /// Per-transaction protocol state (lock set, read/write sets, …).
+    type Txn: Send;
+
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `begin(T)` for a read-write transaction. Timestamp ordering
+    /// registers with version control here.
+    fn begin(&self, ctx: &CcContext) -> Result<Self::Txn, DbError>;
+
+    /// `read(x)`: perform the protocol's synchronization and return the
+    /// version read `(version number, value)`. May block (lock wait,
+    /// pending-write wait). On `Err`, the transaction is doomed but the
+    /// implementation must **not** release its resources yet — the engine
+    /// follows up with [`abort`](Self::abort). If the transaction
+    /// previously wrote `x`, its own pending value is returned with its
+    /// reserved number (or `u64::MAX` when the number is not yet known
+    /// under 2PL — such reads never enter the oracle trace).
+    fn read(
+        &self,
+        ctx: &CcContext,
+        txn: &mut Self::Txn,
+        obj: ObjectId,
+    ) -> Result<(u64, Value), DbError>;
+
+    /// `read(x)` with *update intent*: protocols that lock may acquire
+    /// the exclusive lock up front, avoiding the classic shared→exclusive
+    /// upgrade deadlock of read-modify-write transactions. Semantics are
+    /// otherwise identical to [`read`](Self::read); the default simply
+    /// delegates.
+    fn read_for_update(
+        &self,
+        ctx: &CcContext,
+        txn: &mut Self::Txn,
+        obj: ObjectId,
+    ) -> Result<(u64, Value), DbError> {
+        self.read(ctx, txn, obj)
+    }
+
+    /// `write(x)`: perform the protocol's synchronization and stage the
+    /// new version (pending in the chain or buffered in `txn`). The same
+    /// `Err` contract as [`read`](Self::read) applies.
+    fn write(
+        &self,
+        ctx: &CcContext,
+        txn: &mut Self::Txn,
+        obj: ObjectId,
+        value: Value,
+    ) -> Result<(), DbError>;
+
+    /// `end(T)` + `commit(T)`: fix the serial order if not yet fixed
+    /// (2PL/OCC register here), apply database updates, release protocol
+    /// resources, then `vc.complete(tn)`. Returns the transaction number.
+    ///
+    /// On `Err`, the implementation must have fully cleaned up (as if
+    /// [`abort`](Self::abort) ran).
+    fn commit(&self, ctx: &CcContext, txn: Self::Txn) -> Result<u64, DbError>;
+
+    /// `abort(T)`: discard pendings, release protocol resources,
+    /// `vc.discard(tn)` if registered.
+    fn abort(&self, ctx: &CcContext, txn: Self::Txn);
+}

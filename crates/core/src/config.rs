@@ -1,0 +1,76 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+/// How two-phase locking resolves deadlocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockPolicy {
+    /// Maintain a waits-for graph; abort the requester whose wait would
+    /// close a cycle.
+    Detect,
+    /// No graph; rely on the lock wait timeout alone.
+    TimeoutOnly,
+}
+
+/// Configuration shared by the engine and the protocols.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Shard count for the multiversion store.
+    pub store_shards: usize,
+    /// Upper bound on any single lock wait (2PL).
+    pub lock_wait_timeout: Duration,
+    /// Upper bound on a read's wait for a pending write (TO).
+    pub read_wait_timeout: Duration,
+    /// Deadlock handling under 2PL.
+    pub deadlock: DeadlockPolicy,
+    /// Record an execution trace for the serializability oracle.
+    /// Off by default: tracing serializes on a global mutex.
+    pub trace: bool,
+    /// Versions to retain at or below the GC watermark per object
+    /// (1 = minimal; larger keeps bounded history for time-travel
+    /// reads below the watermark — a Section 6 GC-policy variant).
+    pub gc_keep_versions: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            store_shards: 64,
+            lock_wait_timeout: Duration::from_secs(10),
+            read_wait_timeout: Duration::from_secs(10),
+            deadlock: DeadlockPolicy::Detect,
+            trace: false,
+            gc_keep_versions: 1,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Configuration for oracle tests: tracing on, short timeouts.
+    pub fn traced() -> Self {
+        DbConfig {
+            trace: true,
+            lock_wait_timeout: Duration::from_secs(5),
+            read_wait_timeout: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = DbConfig::default();
+        assert!(c.store_shards >= 1);
+        assert!(!c.trace);
+        assert_eq!(c.deadlock, DeadlockPolicy::Detect);
+    }
+
+    #[test]
+    fn traced_preset_enables_trace() {
+        assert!(DbConfig::traced().trace);
+    }
+}

@@ -1,0 +1,157 @@
+//! The driver-facing engine abstraction.
+//!
+//! The workload driver (`mvcc-workload`) and the experiment harness need
+//! to run the *same* transaction scripts against this paper's engine and
+//! against every baseline protocol. [`Engine`] is that common surface:
+//! declarative operation lists in, outcome summaries out.
+
+use crate::cc_api::ConcurrencyControl;
+use crate::db::MvDatabase;
+use crate::error::DbError;
+use crate::metrics::MetricsSnapshot;
+use mvcc_model::ObjectId;
+use mvcc_storage::{StoreStats, Value};
+
+/// One operation of a read-write transaction script.
+#[derive(Debug, Clone)]
+pub enum OpSpec {
+    /// Read an object.
+    Read(ObjectId),
+    /// Write a value to an object.
+    Write(ObjectId, Value),
+    /// Read an object, add a delta, write it back (the classic
+    /// increment; exercises read-modify-write conflicts).
+    Increment(ObjectId, u64),
+}
+
+/// One read performed by a read-only transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoRead {
+    /// The object read.
+    pub obj: ObjectId,
+    /// The version number returned (= creator's transaction number).
+    pub version: u64,
+    /// The value returned.
+    pub value: Value,
+}
+
+impl RoRead {
+    /// Construct (convenience for engines and tests).
+    pub fn new(obj: ObjectId, version: u64, value: Value) -> Self {
+        RoRead { obj, version, value }
+    }
+}
+
+/// Outcome of a completed read-only transaction.
+#[derive(Debug, Clone, Default)]
+pub struct RoOutcome {
+    /// The start number used.
+    pub sn: u64,
+    /// Every read, in order.
+    pub reads: Vec<RoRead>,
+    /// Visibility lag observed at begin (`(tnc − 1) − sn`): how many
+    /// assigned transactions the snapshot cannot see. Experiment E8.
+    pub lag_at_start: u64,
+}
+
+/// Outcome of a committed read-write transaction.
+#[derive(Debug, Clone, Default)]
+pub struct RwOutcome {
+    /// The transaction number assigned at the serialization point.
+    pub tn: u64,
+}
+
+/// A database engine that can execute transaction scripts.
+///
+/// Implemented by [`MvDatabase`] (the paper's design, for every protocol
+/// in `mvcc-cc`) and by each baseline in `mvcc-baselines`.
+pub trait Engine: Send + Sync {
+    /// Engine name for reports (protocol included).
+    fn name(&self) -> String;
+
+    /// Execute one read-only transaction reading `keys` in order.
+    /// A single attempt; the paper's engine never fails here except for
+    /// GC-pruned versions, but baselines may block or abort.
+    fn run_read_only(&self, keys: &[ObjectId]) -> Result<RoOutcome, DbError>;
+
+    /// Execute one read-write transaction performing `ops` in order.
+    /// A single attempt: on a retryable abort the caller decides whether
+    /// to retry.
+    fn run_read_write(&self, ops: &[OpSpec]) -> Result<RwOutcome, DbError>;
+
+    /// Load an initial value (version 0).
+    fn seed(&self, obj: ObjectId, value: Value);
+
+    /// Counter snapshot.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Zero the counters.
+    fn reset_metrics(&self);
+
+    /// Storage statistics.
+    fn store_stats(&self) -> StoreStats;
+
+    /// Optional background maintenance (GC pass); default no-op.
+    fn maintenance(&self) {}
+}
+
+impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
+    fn name(&self) -> String {
+        format!("vc+{}", self.cc().name())
+    }
+
+    fn run_read_only(&self, keys: &[ObjectId]) -> Result<RoOutcome, DbError> {
+        // Lag is sampled before the snapshot is taken; both are cheap.
+        let lag_at_start = self.vc().lag();
+        let mut txn = self.begin_read_only();
+        let mut out = RoOutcome {
+            sn: txn.sn(),
+            reads: Vec::with_capacity(keys.len()),
+            lag_at_start,
+        };
+        for &k in keys {
+            let (version, value) = txn.read_versioned(k)?;
+            out.reads.push(RoRead::new(k, version, value));
+        }
+        txn.finish();
+        Ok(out)
+    }
+
+    fn run_read_write(&self, ops: &[OpSpec]) -> Result<RwOutcome, DbError> {
+        let mut txn = self.begin_read_write()?;
+        for op in ops {
+            match op {
+                OpSpec::Read(k) => {
+                    txn.read(*k)?;
+                }
+                OpSpec::Write(k, v) => txn.write(*k, v.clone())?,
+                OpSpec::Increment(k, delta) => {
+                    let cur = txn.read_for_update(*k)?.as_u64().unwrap_or(0);
+                    txn.write(*k, Value::from_u64(cur.wrapping_add(*delta)))?;
+                }
+            }
+        }
+        let tn = txn.commit()?;
+        Ok(RwOutcome { tn })
+    }
+
+    fn seed(&self, obj: ObjectId, value: Value) {
+        MvDatabase::seed(self, obj, value);
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        MvDatabase::metrics(self)
+    }
+
+    fn reset_metrics(&self) {
+        MvDatabase::reset_metrics(self);
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        MvDatabase::store_stats(self)
+    }
+
+    fn maintenance(&self) {
+        self.collect_garbage();
+    }
+}

@@ -1,0 +1,140 @@
+//! Engine and protocol counters.
+//!
+//! The counter that carries the paper's headline claim is
+//! [`Metrics::ro_sync_actions`]: synchronization actions performed **on
+//! behalf of read-only transactions**. Under version control it stays at
+//! exactly one per transaction (the `VCstart` load); the baselines
+//! (Reed's MVTO, Chan's MV2PL) accumulate r-ts updates, blocking waits,
+//! and completed-transaction-list scans here. Experiment E5 reports it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metrics {
+    ($(#[$sm:meta] $snap:ident)? ; $( $(#[$m:meta])* $name:ident ),+ $(,)?) => {
+        /// Live atomic counters. Cheap to bump from any thread.
+        #[derive(Default)]
+        pub struct Metrics {
+            $( $(#[$m])* pub $name: AtomicU64, )+
+        }
+
+        /// A point-in-time copy of every counter.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $( $(#[$m])* pub $name: u64, )+
+        }
+
+        impl Metrics {
+            /// Fresh zeroed counters.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Copy every counter.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+
+            /// Reset every counter to zero.
+            pub fn reset(&self) {
+                $( self.$name.store(0, Ordering::Relaxed); )+
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Per-field difference (`self − earlier`), saturating.
+            pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $( $name: self.$name.saturating_sub(earlier.$name), )+
+                }
+            }
+        }
+    };
+}
+
+metrics! { ;
+    /// Read-only transactions begun.
+    ro_begun,
+    /// Read-only transactions finished.
+    ro_finished,
+    /// Reads served to read-only transactions.
+    ro_reads,
+    /// Read-only reads that failed because GC pruned the version.
+    ro_pruned_reads,
+    /// Synchronization actions charged to read-only transactions
+    /// (`VCstart` counts as one; baselines add their own).
+    ro_sync_actions,
+    /// Times a read-only operation blocked (zero under version control).
+    ro_blocks,
+    /// Read-only transactions aborted (zero under version control).
+    ro_aborts,
+    /// Read-write transactions begun.
+    rw_begun,
+    /// Read-write transactions committed.
+    rw_committed,
+    /// Read-write transactions aborted.
+    rw_aborted,
+    /// Aborts caused by a timestamp conflict.
+    aborts_ts_conflict,
+    /// Aborts caused by deadlock victimization.
+    aborts_deadlock,
+    /// Aborts caused by failed optimistic validation.
+    aborts_validation,
+    /// Aborts caused by wait timeouts.
+    aborts_timeout,
+    /// Aborts whose root cause was interference from a read-only
+    /// transaction (possible in Reed's MVTO; impossible under VC).
+    aborts_due_to_ro,
+    /// Synchronization actions by read-write transactions (lock
+    /// acquisitions, timestamp checks, validations).
+    rw_sync_actions,
+    /// Times a read-write operation blocked waiting.
+    rw_blocks,
+    /// `VCstart` invocations.
+    vc_start_calls,
+    /// `VCregister` invocations.
+    vc_register_calls,
+    /// `VCcomplete` invocations.
+    vc_complete_calls,
+    /// `VCdiscard` invocations.
+    vc_discard_calls,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::new();
+        m.ro_begun.fetch_add(3, Ordering::Relaxed);
+        m.rw_committed.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.ro_begun, 3);
+        assert_eq!(s.rw_committed, 2);
+        assert_eq!(s.rw_aborted, 0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let m = Metrics::new();
+        m.ro_reads.fetch_add(10, Ordering::Relaxed);
+        let a = m.snapshot();
+        m.ro_reads.fetch_add(5, Ordering::Relaxed);
+        m.rw_begun.fetch_add(1, Ordering::Relaxed);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.ro_reads, 5);
+        assert_eq!(d.rw_begun, 1);
+        assert_eq!(d.ro_begun, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = Metrics::new();
+        m.vc_start_calls.fetch_add(7, Ordering::Relaxed);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,280 @@
+//! Transaction handles.
+//!
+//! [`RoTxn`] is the paper's Figure 2: one `VCstart()` call at begin, then
+//! pure snapshot reads (`largest version ≤ sn`). It is deliberately **not
+//! generic over the concurrency-control protocol** — the type system
+//! enforces the paper's claim that "the execution of read-only
+//! transactions is completely independent of the chosen concurrency
+//! control protocol".
+//!
+//! [`RwTxn`] wraps the protocol's per-transaction state and forwards
+//! reads/writes through the [`ConcurrencyControl`] trait, recording a
+//! trace for the serializability oracle when tracing is enabled.
+
+use crate::cc_api::{CcContext, ConcurrencyControl};
+use crate::db::DbCore;
+use crate::error::{AbortReason, DbError};
+use crate::trace::TxnTrace;
+use mvcc_model::{ObjectId, TxnId};
+use mvcc_storage::Value;
+use std::sync::atomic::Ordering;
+
+/// Trace ids for transactions that never receive a transaction number
+/// (read-only transactions, and read-write transactions aborted before
+/// registration) start here; real transaction numbers stay far below.
+pub(crate) const ANON_TRACE_BASE: u64 = 1 << 48;
+
+/// A read-only transaction (paper Figure 2).
+pub struct RoTxn<'db> {
+    core: &'db DbCore,
+    sn: u64,
+    trace: TxnTrace,
+    finished: bool,
+}
+
+impl<'db> RoTxn<'db> {
+    pub(crate) fn begin(core: &'db DbCore, sn: u64) -> Self {
+        core.ro_registry.register(sn);
+        let m = &core.ctx.metrics;
+        m.ro_begun.fetch_add(1, Ordering::Relaxed);
+        m.vc_start_calls.fetch_add(1, Ordering::Relaxed);
+        // The single synchronization action of a read-only transaction.
+        m.ro_sync_actions.fetch_add(1, Ordering::Relaxed);
+        RoTxn {
+            core,
+            sn,
+            trace: TxnTrace::new(),
+            finished: false,
+        }
+    }
+
+    /// The start number `sn(T)` (also its `tn(T)` for proof purposes).
+    pub fn sn(&self) -> u64 {
+        self.sn
+    }
+
+    /// `read(x)`: return the value of the version of `x` with the largest
+    /// version number `≤ sn(T)`. Never blocks; fails only if garbage
+    /// collection pruned the needed version.
+    pub fn read(&mut self, obj: ObjectId) -> Result<Value, DbError> {
+        Ok(self.read_versioned(obj)?.1)
+    }
+
+    /// Like [`read`](Self::read), also returning the version number that
+    /// was read (= the creator's transaction number).
+    pub fn read_versioned(&mut self, obj: ObjectId) -> Result<(u64, Value), DbError> {
+        let m = &self.core.ctx.metrics;
+        match self.core.ctx.store.read_at(obj, self.sn) {
+            Some((version, value)) => {
+                m.ro_reads.fetch_add(1, Ordering::Relaxed);
+                self.trace.read(obj, version);
+                Ok((version, value))
+            }
+            None => {
+                m.ro_pruned_reads.fetch_add(1, Ordering::Relaxed);
+                Err(DbError::VersionPruned { obj, sn: self.sn })
+            }
+        }
+    }
+
+    /// Read and decode as `u64` (convenience for counters/balances).
+    pub fn read_u64(&mut self, obj: ObjectId) -> Result<Option<u64>, DbError> {
+        Ok(self.read(obj)?.as_u64())
+    }
+
+    /// `end(T)`: deregister from GC bookkeeping and flush the trace.
+    /// (The paper's figure shows `φ` — there is nothing to synchronize.)
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.core.ro_registry.deregister(self.sn);
+        self.core
+            .ctx
+            .metrics
+            .ro_finished
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(tracer) = &self.core.tracer {
+            let id = self.core.next_anon_trace_id();
+            tracer.flush(TxnId(id), &self.trace, true);
+        }
+    }
+}
+
+impl Drop for RoTxn<'_> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+impl std::fmt::Debug for RoTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoTxn")
+            .field("sn", &self.sn)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+/// A read-write transaction executed under protocol `C`.
+pub struct RwTxn<'db, C: ConcurrencyControl> {
+    core: &'db DbCore,
+    cc: &'db C,
+    state: Option<C::Txn>,
+    trace: TxnTrace,
+}
+
+impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
+    pub(crate) fn begin(core: &'db DbCore, cc: &'db C) -> Result<Self, DbError> {
+        let state = cc.begin(&core.ctx)?;
+        core.ctx
+            .metrics
+            .rw_begun
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(RwTxn {
+            core,
+            cc,
+            state: Some(state),
+            trace: TxnTrace::new(),
+        })
+    }
+
+    fn ctx(&self) -> &CcContext {
+        &self.core.ctx
+    }
+
+    /// `read(x)` under the protocol's synchronization. An error means the
+    /// transaction has been aborted by the protocol; the handle is then
+    /// unusable except for dropping.
+    pub fn read(&mut self, obj: ObjectId) -> Result<Value, DbError> {
+        let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
+        match self.cc.read(&self.core.ctx, state, obj) {
+            Ok((version, value)) => {
+                self.trace.read(obj, version);
+                Ok(value)
+            }
+            Err(e) => {
+                self.on_protocol_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Read and decode as `u64`.
+    pub fn read_u64(&mut self, obj: ObjectId) -> Result<Option<u64>, DbError> {
+        Ok(self.read(obj)?.as_u64())
+    }
+
+    /// `read(x)` with update intent (see
+    /// [`ConcurrencyControl::read_for_update`]): read-modify-write
+    /// transactions should prefer this to avoid lock-upgrade deadlocks
+    /// under locking protocols.
+    pub fn read_for_update(&mut self, obj: ObjectId) -> Result<Value, DbError> {
+        let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
+        match self.cc.read_for_update(&self.core.ctx, state, obj) {
+            Ok((version, value)) => {
+                self.trace.read(obj, version);
+                Ok(value)
+            }
+            Err(e) => {
+                self.on_protocol_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// `write(x)` under the protocol's synchronization.
+    pub fn write(&mut self, obj: ObjectId, value: Value) -> Result<(), DbError> {
+        let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
+        match self.cc.write(&self.core.ctx, state, obj, value) {
+            Ok(()) => {
+                self.trace.write(obj);
+                Ok(())
+            }
+            Err(e) => {
+                self.on_protocol_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// `end(T)`: run the protocol's commit (which registers with version
+    /// control at the serialization point if it has not already), apply
+    /// updates, and make them (eventually) visible. Returns `tn(T)`.
+    pub fn commit(mut self) -> Result<u64, DbError> {
+        let state = self.state.take().ok_or(DbError::TxnFinished)?;
+        match self.cc.commit(&self.core.ctx, state) {
+            Ok(tn) => {
+                self.ctx()
+                    .metrics
+                    .rw_committed
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(tracer) = &self.core.tracer {
+                    tracer.flush(TxnId(tn), &self.trace, true);
+                }
+                Ok(tn)
+            }
+            Err(e) => {
+                self.record_abort(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Voluntarily abort.
+    pub fn abort(mut self) {
+        if let Some(state) = self.state.take() {
+            self.cc.abort(&self.core.ctx, state);
+            self.record_abort(&DbError::Aborted(AbortReason::UserRequested));
+        }
+    }
+
+    /// The protocol aborted the transaction inside read/write: it has
+    /// already cleaned up its own resources; drop our state and record.
+    fn on_protocol_abort(&mut self, e: &DbError) {
+        if e.abort_reason().is_some() {
+            if let Some(state) = self.state.take() {
+                self.cc.abort(&self.core.ctx, state);
+            }
+            self.record_abort(e);
+        }
+    }
+
+    fn record_abort(&mut self, e: &DbError) {
+        let m = &self.ctx().metrics;
+        m.rw_aborted.fetch_add(1, Ordering::Relaxed);
+        match e.abort_reason() {
+            Some(AbortReason::TimestampConflict) => {
+                m.aborts_ts_conflict.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::Deadlock) => {
+                m.aborts_deadlock.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::ValidationFailed) => {
+                m.aborts_validation.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::WaitTimeout) => {
+                m.aborts_timeout.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        if let Some(tracer) = &self.core.tracer {
+            let id = self.core.next_anon_trace_id();
+            tracer.flush(TxnId(id), &self.trace, false);
+        }
+    }
+}
+
+impl<C: ConcurrencyControl> Drop for RwTxn<'_, C> {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            self.cc.abort(&self.core.ctx, state);
+            self.record_abort(&DbError::Aborted(AbortReason::UserRequested));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! `VCQueue` — the ordered list of registered, not-yet-visible read-write
+//! transactions (paper Figure 1).
+//!
+//! Entries are inserted in transaction-number order (registration happens
+//! under the version-control lock, which also assigns the numbers), so the
+//! queue is a `VecDeque` with `push_back` inserts. `drain_completed` pops
+//! completed entries off the head and reports the last popped number — the
+//! new `vtnc`.
+
+use std::collections::VecDeque;
+
+/// Lifecycle state of a queue entry (paper: `E(T).type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Registered, still executing (paper: `"active"`).
+    Active,
+    /// Finished its database updates, waiting for older transactions
+    /// before becoming visible (paper: `"complete"`).
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tn: u64,
+    state: EntryState,
+}
+
+/// The version-control queue of Figure 1.
+#[derive(Debug, Default)]
+pub struct VcQueue {
+    entries: VecDeque<Entry>,
+}
+
+impl VcQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a newly registered transaction. `tn` must exceed every
+    /// number already queued (registration order = number order).
+    ///
+    /// # Panics
+    /// In debug builds, if `tn` is out of order — that would mean the
+    /// version-control lock discipline was violated.
+    pub fn insert(&mut self, tn: u64) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.tn < tn),
+            "VCQueue insert out of order: {tn}"
+        );
+        self.entries.push_back(Entry {
+            tn,
+            state: EntryState::Active,
+        });
+    }
+
+    /// Remove an aborted transaction's entry (paper `VCdiscard`). Returns
+    /// `false` if no entry with that number exists.
+    pub fn discard(&mut self, tn: u64) -> bool {
+        match self.position(tn) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Mark a transaction complete (paper `VCcomplete`, first line).
+    /// Returns `false` if no entry with that number exists.
+    pub fn mark_complete(&mut self, tn: u64) -> bool {
+        match self.position(tn) {
+            Some(i) => {
+                self.entries[i].state = EntryState::Complete;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Paper `VCcomplete`, the `WHILE` loop: pop completed entries off the
+    /// head; the last popped transaction number is the new `vtnc`.
+    /// Returns `None` if the head is active (or the queue is empty and
+    /// nothing was popped).
+    pub fn drain_completed(&mut self) -> Option<u64> {
+        let mut new_vtnc = None;
+        while let Some(head) = self.entries.front() {
+            if head.state != EntryState::Complete {
+                break;
+            }
+            new_vtnc = Some(head.tn);
+            self.entries.pop_front();
+        }
+        new_vtnc
+    }
+
+    /// Number of queued (registered, not yet visible) transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The state of `tn`'s entry, if present.
+    pub fn state_of(&self, tn: u64) -> Option<EntryState> {
+        self.position(tn).map(|i| self.entries[i].state)
+    }
+
+    /// The smallest queued transaction number (the visibility blocker).
+    pub fn head_tn(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.tn)
+    }
+
+    fn position(&self, tn: u64) -> Option<usize> {
+        // Entries are sorted by tn; binary search.
+        self.entries
+            .binary_search_by_key(&tn, |e| e.tn)
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut q = VcQueue::new();
+        q.insert(1);
+        q.insert(2);
+        q.insert(5);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.head_tn(), Some(1));
+        assert_eq!(q.state_of(2), Some(EntryState::Active));
+        assert_eq!(q.state_of(4), None);
+    }
+
+    #[test]
+    fn in_order_completion_drains_each_time() {
+        let mut q = VcQueue::new();
+        q.insert(1);
+        q.insert(2);
+        assert!(q.mark_complete(1));
+        assert_eq!(q.drain_completed(), Some(1));
+        assert!(q.mark_complete(2));
+        assert_eq!(q.drain_completed(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_completion_delays_visibility() {
+        // The scenario the paper's vtnc exists for: T2 completes before T1.
+        let mut q = VcQueue::new();
+        q.insert(1);
+        q.insert(2);
+        assert!(q.mark_complete(2));
+        assert_eq!(q.drain_completed(), None); // head (1) still active
+        assert!(q.mark_complete(1));
+        assert_eq!(q.drain_completed(), Some(2)); // both drain; vtnc jumps to 2
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn discard_unblocks_the_queue() {
+        let mut q = VcQueue::new();
+        q.insert(1);
+        q.insert(2);
+        q.insert(3);
+        q.mark_complete(2);
+        q.mark_complete(3);
+        assert_eq!(q.drain_completed(), None);
+        assert!(q.discard(1)); // T1 aborts
+        assert_eq!(q.drain_completed(), Some(3));
+    }
+
+    #[test]
+    fn discard_missing_is_false() {
+        let mut q = VcQueue::new();
+        q.insert(1);
+        assert!(!q.discard(9));
+        assert!(!q.mark_complete(9));
+    }
+
+    #[test]
+    fn discard_middle_keeps_order() {
+        let mut q = VcQueue::new();
+        for tn in [1, 2, 3, 4] {
+            q.insert(tn);
+        }
+        assert!(q.discard(2));
+        assert_eq!(q.len(), 3);
+        q.mark_complete(1);
+        assert_eq!(q.drain_completed(), Some(1));
+        assert_eq!(q.head_tn(), Some(3));
+    }
+
+    #[test]
+    fn drain_on_empty_is_none() {
+        let mut q = VcQueue::new();
+        assert_eq!(q.drain_completed(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_insert_panics_in_debug() {
+        let mut q = VcQueue::new();
+        q.insert(5);
+        q.insert(3);
+    }
+}

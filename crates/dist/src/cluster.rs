@@ -1,0 +1,492 @@
+//! The distributed database surface: multiple sites, two-phase commit,
+//! and globally serializable read-only transactions.
+
+use crate::gtn::Gtn;
+use crate::site::{Site, SiteId};
+use mvcc_core::trace::TxnTrace;
+use mvcc_core::{DbError, Tracer};
+use mvcc_model::{ObjectId, TxnId};
+use mvcc_storage::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a distributed read-only transaction picks its snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoMode {
+    /// One global start number = the minimum `vtnc` over all sites,
+    /// gathered at begin (one `VCstart` message per site). Never waits.
+    GlobalMin,
+    /// One global start number = the first-contacted site's `vtnc`;
+    /// other sites are contacted lazily and briefly wait until their
+    /// visibility covers it. No a-priori site list needed (the paper's
+    /// criticism of \[8\]'s requirement).
+    HomeSite,
+    /// **Deliberately broken** reproduction of the anomaly in the
+    /// distributed MV2PL of \[8\]: an independent snapshot per site. Each
+    /// site's view is consistent, but the set of read-only transactions
+    /// is not globally serializable; experiment E10 shows the oracle
+    /// catching the resulting MVSG cycle.
+    PerSiteSnapshots,
+}
+
+/// A simulated multi-site database.
+pub struct Cluster {
+    sites: Vec<Arc<Site>>,
+    next_token: AtomicU64,
+    next_anon: AtomicU64,
+    messages: AtomicU64,
+    delay: Option<Duration>,
+    tracer: Option<Tracer>,
+    timeout: Duration,
+}
+
+impl Cluster {
+    /// `n` fresh sites (ids `1..=n`; 0 is reserved for `T_0`).
+    pub fn new(n: u16) -> Self {
+        Self::build(n, false, None)
+    }
+
+    /// Cluster with a global execution trace for the oracle.
+    pub fn traced(n: u16) -> Self {
+        Self::build(n, true, None)
+    }
+
+    /// Cluster with an injected per-message delay (models network
+    /// latency; widens the in-doubt windows the protocol must tolerate).
+    pub fn with_delay(n: u16, delay: Duration) -> Self {
+        Self::build(n, true, Some(delay))
+    }
+
+    fn build(n: u16, trace: bool, delay: Option<Duration>) -> Self {
+        assert!(n >= 1);
+        Cluster {
+            sites: (1..=n).map(|i| Arc::new(Site::new(SiteId(i)))).collect(),
+            next_token: AtomicU64::new(1),
+            next_anon: AtomicU64::new(1),
+            messages: AtomicU64::new(0),
+            delay,
+            tracer: trace.then(Tracer::new),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> u16 {
+        self.sites.len() as u16
+    }
+
+    /// All site ids.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        self.sites.iter().map(|s| s.id()).collect()
+    }
+
+    /// Access one site.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[(id.0 - 1) as usize]
+    }
+
+    /// Total simulated messages so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    fn msg(&self) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// The global execution history, if tracing is enabled.
+    pub fn trace_history(&self) -> Option<mvcc_model::History> {
+        self.tracer.as_ref().map(|t| t.history())
+    }
+
+    /// Global trace object id: `(site, object)` flattened.
+    pub fn global_obj(site: SiteId, obj: ObjectId) -> ObjectId {
+        ObjectId(((site.0 as u64) << 40) | obj.get())
+    }
+
+    /// Seed an object at a site.
+    pub fn seed(&self, site: SiteId, obj: ObjectId, value: Value) {
+        self.site(site).seed(obj, value);
+    }
+
+    /// Begin a distributed read-write transaction.
+    pub fn begin_rw(&self) -> DistRwTxn<'_> {
+        DistRwTxn {
+            cluster: self,
+            token: self.next_token.fetch_add(1, Ordering::Relaxed),
+            parts: BTreeMap::new(),
+            trace: TxnTrace::new(),
+            done: false,
+        }
+    }
+
+    /// Begin a distributed read-only transaction.
+    pub fn begin_ro(&self, mode: RoMode) -> DistRoTxn<'_> {
+        let sn = match mode {
+            RoMode::GlobalMin => {
+                // One VCstart message per site; take the minimum.
+                let mut sn = None;
+                for s in &self.sites {
+                    self.msg();
+                    let v = s.ro_start();
+                    sn = Some(sn.map_or(v, |cur: Gtn| cur.min(v)));
+                }
+                Some(sn.expect("at least one site"))
+            }
+            RoMode::HomeSite | RoMode::PerSiteSnapshots => None,
+        };
+        DistRoTxn {
+            cluster: self,
+            mode,
+            sn,
+            per_site_sn: BTreeMap::new(),
+            trace: TxnTrace::new(),
+        }
+    }
+}
+
+/// State kept per participant site of a read-write transaction.
+#[derive(Default)]
+struct Participant {
+    locked: Vec<ObjectId>,
+    written: Vec<ObjectId>,
+}
+
+/// A distributed read-write transaction (per-site strict 2PL + 2PC).
+pub struct DistRwTxn<'c> {
+    cluster: &'c Cluster,
+    token: u64,
+    parts: BTreeMap<SiteId, Participant>,
+    trace: TxnTrace,
+    done: bool,
+}
+
+impl DistRwTxn<'_> {
+    /// Read `obj` at `site`.
+    pub fn read(&mut self, site: SiteId, obj: ObjectId) -> Result<Value, DbError> {
+        self.cluster.msg();
+        let s = self.cluster.site(site);
+        match s.rw_read(self.token, obj) {
+            Ok((version, value)) => {
+                let part = self.parts.entry(site).or_default();
+                if !part.locked.contains(&obj) {
+                    part.locked.push(obj);
+                }
+                if version != u64::MAX {
+                    self.trace.read(Cluster::global_obj(site, obj), version);
+                }
+                Ok(value)
+            }
+            Err(e) => {
+                self.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Write `obj` at `site`.
+    pub fn write(&mut self, site: SiteId, obj: ObjectId, value: Value) -> Result<(), DbError> {
+        self.cluster.msg();
+        let s = self.cluster.site(site);
+        match s.rw_write(self.token, obj, value) {
+            Ok(()) => {
+                let part = self.parts.entry(site).or_default();
+                if !part.locked.contains(&obj) {
+                    part.locked.push(obj);
+                }
+                if !part.written.contains(&obj) {
+                    part.written.push(obj);
+                }
+                self.trace.write(Cluster::global_obj(site, obj));
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Two-phase commit. Returns the single global transaction number.
+    pub fn commit(mut self) -> Result<Gtn, DbError> {
+        // Phase 1: every participant is past its lock point; gather
+        // proposals. (Participants cannot vote no here — all their
+        // conflicts were resolved by locks — so this prepare always
+        // succeeds; the in-doubt window is still real for visibility.)
+        let mut proposals: BTreeMap<SiteId, Gtn> = BTreeMap::new();
+        for &site in self.parts.keys() {
+            self.cluster.msg();
+            proposals.insert(site, self.cluster.site(site).prepare(self.token));
+        }
+        // The single global number dominates every proposal (it *is* the
+        // largest proposal, hence unique).
+        let fin = proposals
+            .values()
+            .copied()
+            .max()
+            .unwrap_or_else(|| {
+                // Empty transaction: synthesize a number from site 1.
+                self.cluster.msg();
+                self.cluster.site(SiteId(1)).prepare(self.token)
+            });
+        if self.parts.is_empty() {
+            self.cluster.msg();
+            self.cluster.site(SiteId(1)).commit(self.token, fin, fin, &[], &[])?;
+            self.done = true;
+            self.flush(fin, true);
+            return Ok(fin);
+        }
+        // Phase 2: commit everywhere with the final number.
+        for (&site, part) in &self.parts {
+            self.cluster.msg();
+            let p = proposals[&site];
+            self.cluster
+                .site(site)
+                .commit(self.token, p, fin, &part.locked, &part.written)?;
+        }
+        self.done = true;
+        self.flush(fin, true);
+        Ok(fin)
+    }
+
+    /// Abort everywhere.
+    pub fn abort(mut self) {
+        self.rollback();
+        self.done = true;
+    }
+
+    fn rollback(&mut self) {
+        if self.done {
+            return;
+        }
+        for (&site, part) in &self.parts {
+            self.cluster.msg();
+            self.cluster
+                .site(site)
+                .rollback(self.token, None, &part.locked, &part.written);
+        }
+        self.done = true;
+        let anon = (1 << 63) | self.cluster.next_anon.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.cluster.tracer {
+            t.flush(TxnId(anon), &self.trace, false);
+        }
+    }
+
+    fn flush(&self, fin: Gtn, committed: bool) {
+        if let Some(t) = &self.cluster.tracer {
+            t.flush(TxnId(fin.encoded()), &self.trace, committed);
+        }
+    }
+}
+
+impl Drop for DistRwTxn<'_> {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}
+
+/// A distributed read-only transaction.
+pub struct DistRoTxn<'c> {
+    cluster: &'c Cluster,
+    mode: RoMode,
+    /// The single global start number (GlobalMin: fixed at begin;
+    /// HomeSite: fixed at first contact).
+    sn: Option<Gtn>,
+    /// PerSiteSnapshots only: the (broken) per-site start numbers.
+    per_site_sn: BTreeMap<SiteId, Gtn>,
+    trace: TxnTrace,
+}
+
+impl DistRoTxn<'_> {
+    /// The global start number, if fixed yet.
+    pub fn sn(&self) -> Option<Gtn> {
+        self.sn
+    }
+
+    /// Read `obj` at `site` under the transaction's snapshot discipline.
+    pub fn read(&mut self, site: SiteId, obj: ObjectId) -> Result<Value, DbError> {
+        self.cluster.msg();
+        let s = self.cluster.site(site);
+        let sn = match self.mode {
+            RoMode::GlobalMin => self.sn.expect("fixed at begin"),
+            RoMode::HomeSite => match self.sn {
+                Some(sn) => {
+                    // Lazily contacted site: wait until it is caught up.
+                    s.ro_catch_up(sn, self.cluster.timeout)?;
+                    sn
+                }
+                None => {
+                    let sn = s.ro_start();
+                    self.sn = Some(sn);
+                    sn
+                }
+            },
+            RoMode::PerSiteSnapshots => *self
+                .per_site_sn
+                .entry(site)
+                .or_insert_with(|| s.ro_start()),
+        };
+        let (version, value) = s.ro_read(obj, sn)?;
+        self.trace.read(Cluster::global_obj(site, obj), version);
+        Ok(value)
+    }
+
+    /// Read and decode as `u64`.
+    pub fn read_u64(&mut self, site: SiteId, obj: ObjectId) -> Result<Option<u64>, DbError> {
+        Ok(self.read(site, obj)?.as_u64())
+    }
+
+    /// Finish (flush the trace).
+    pub fn finish(self) {
+        if let Some(t) = &self.cluster.tracer {
+            let anon = (1 << 63)
+                | (1 << 62)
+                | self.cluster.next_anon.fetch_add(1, Ordering::Relaxed);
+            t.flush(TxnId(anon), &self.trace, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_model::mvsg;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn distributed_rw_commits_atomically() {
+        let c = Cluster::traced(3);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t.write(SiteId(2), obj(0), Value::from_u64(2)).unwrap();
+        t.write(SiteId(3), obj(0), Value::from_u64(3)).unwrap();
+        let fin = t.commit().unwrap();
+        // one global number, same version everywhere
+        for (i, site) in c.site_ids().into_iter().enumerate() {
+            let (n, v) = c.site(site).store().read_latest(obj(0));
+            assert_eq!(n, fin.encoded());
+            assert_eq!(v.as_u64(), Some(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn ro_global_min_is_consistent() {
+        let c = Cluster::traced(2);
+        // two distributed txns, each writing both sites
+        for round in 1..=3u64 {
+            let mut t = c.begin_rw();
+            t.write(SiteId(1), obj(0), Value::from_u64(round)).unwrap();
+            t.write(SiteId(2), obj(0), Value::from_u64(round)).unwrap();
+            t.commit().unwrap();
+        }
+        let mut r = c.begin_ro(RoMode::GlobalMin);
+        let a = r.read_u64(SiteId(1), obj(0)).unwrap();
+        let b = r.read_u64(SiteId(2), obj(0)).unwrap();
+        assert_eq!(a, b, "a distributed snapshot must agree across sites");
+        assert_eq!(a, Some(3));
+        r.finish();
+        let h = c.trace_history().unwrap();
+        assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    #[test]
+    fn ro_home_site_waits_for_lagging_site() {
+        let c = Cluster::traced(2);
+        // Site 1 is ahead: a local txn committed there.
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(5)).unwrap();
+        t.commit().unwrap();
+        let mut r = c.begin_ro(RoMode::HomeSite);
+        assert_eq!(r.read_u64(SiteId(1), obj(0)).unwrap(), Some(5));
+        let sn = r.sn().unwrap();
+        // Site 2's vtnc (ZERO) lags the home start number; a commit
+        // through site 2 advances it past sn, releasing the catch-up.
+        let mut t2 = c.begin_rw();
+        t2.write(SiteId(2), obj(1), Value::from_u64(1)).unwrap();
+        let f2 = t2.commit().unwrap();
+        assert!(f2 > sn, "site-2 commit is later in gtn order");
+        // obj(0) at site 2 was never written: the snapshot reads the
+        // (empty) initial version after catching up.
+        assert_eq!(r.read(SiteId(2), obj(0)).unwrap(), Value::empty());
+        assert!(c.site(SiteId(2)).metrics().snapshot().ro_blocks <= 1);
+        r.finish();
+        let h = c.trace_history().unwrap();
+        assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    /// The classic crossing of the distributed MV2PL of \[8\]: RO_x sees
+    /// T1 but not T2; RO_y sees T2 but not T1 — each view is internally
+    /// consistent, but together they are not globally serializable.
+    fn crossing_script(c: &Cluster, mode: RoMode) {
+        // RO_y pins site 1 before T1 commits.
+        let mut ro_y = c.begin_ro(mode);
+        let v = ro_y.read(SiteId(1), obj(0)).unwrap(); // version 0
+        assert!(v.is_empty());
+        // T1 commits at site 1.
+        let mut t1 = c.begin_rw();
+        t1.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t1.commit().unwrap();
+        // RO_x pins site 1 after T1 (sees it) and site 2 before T2.
+        let mut ro_x = c.begin_ro(mode);
+        let _ = ro_x.read(SiteId(1), obj(0)).unwrap();
+        let _ = ro_x.read(SiteId(2), obj(0)).unwrap();
+        // T2 commits at site 2.
+        let mut t2 = c.begin_rw();
+        t2.write(SiteId(2), obj(0), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap();
+        // RO_y now reads site 2 (sees T2 in the broken mode).
+        let _ = ro_y.read(SiteId(2), obj(0)).unwrap();
+        ro_x.finish();
+        ro_y.finish();
+    }
+
+    #[test]
+    fn per_site_snapshots_anomaly_detected_by_oracle() {
+        let c = Cluster::traced(2);
+        crossing_script(&c, RoMode::PerSiteSnapshots);
+        let h = c.trace_history().unwrap();
+        let rep = mvsg::check_tn_order(&h);
+        assert!(
+            !rep.acyclic,
+            "per-site snapshots must NOT be globally serializable; trace: {h}"
+        );
+        // And no version order can repair it — the anomaly is real.
+        assert!(mvcc_model::mvsg::check_exhaustive(&h, 1_000_000)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn global_min_stays_serializable_under_same_script() {
+        let c = Cluster::traced(2);
+        crossing_script(&c, RoMode::GlobalMin);
+        let h = c.trace_history().unwrap();
+        let rep = mvsg::check_tn_order(&h);
+        assert!(rep.acyclic, "GlobalMin must stay serializable: {:?}", rep.cycle);
+    }
+
+    #[test]
+    fn message_counting_and_delay() {
+        let c = Cluster::new(2);
+        let before = c.messages();
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t.commit().unwrap();
+        // 1 write + 1 prepare + 1 commit = 3 messages
+        assert_eq!(c.messages() - before, 3);
+        let before = c.messages();
+        let mut r = c.begin_ro(RoMode::GlobalMin);
+        let _ = r.read(SiteId(1), obj(0)).unwrap();
+        r.finish();
+        // 2 VCstart (one per site) + 1 read
+        assert_eq!(c.messages() - before, 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Global transaction numbers: Lamport `(time, site)` pairs in a `u64`.
+//!
+//! The paper requires "only one transaction number for every read-write
+//! transaction" across all sites, totally ordered and consistent with the
+//! serialization order. Lamport pairs give exactly that: `time` in the
+//! high bits (so the clock dominates), the site id in the low bits (so
+//! numbers from different sites never collide).
+
+/// Bits reserved for the site id.
+pub const SITE_BITS: u32 = 16;
+
+/// A global transaction number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gtn(pub u64);
+
+impl Gtn {
+    /// Compose from Lamport time and site id.
+    ///
+    /// # Panics
+    /// If `time` overflows the 48 available bits (never in practice).
+    pub fn new(time: u64, site: u16) -> Self {
+        assert!(time < (1 << (64 - SITE_BITS)), "lamport time overflow");
+        Gtn((time << SITE_BITS) | site as u64)
+    }
+
+    /// The Lamport time component.
+    pub fn time(self) -> u64 {
+        self.0 >> SITE_BITS
+    }
+
+    /// The site component.
+    pub fn site(self) -> u16 {
+        (self.0 & ((1 << SITE_BITS) - 1)) as u16
+    }
+
+    /// Raw encoded value (usable as a storage version number).
+    pub fn encoded(self) -> u64 {
+        self.0
+    }
+
+    /// The number of the initial version `x_0` (time 0, site 0).
+    pub const ZERO: Gtn = Gtn(0);
+}
+
+impl std::fmt::Display for Gtn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@s{}", self.time(), self.site())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Gtn::new(123, 7);
+        assert_eq!(g.time(), 123);
+        assert_eq!(g.site(), 7);
+        assert_eq!(Gtn(g.encoded()), g);
+    }
+
+    #[test]
+    fn time_dominates_ordering() {
+        assert!(Gtn::new(2, 0) > Gtn::new(1, 65535));
+        assert!(Gtn::new(5, 3) < Gtn::new(6, 0));
+    }
+
+    #[test]
+    fn site_breaks_ties() {
+        assert!(Gtn::new(5, 1) < Gtn::new(5, 2));
+        assert_ne!(Gtn::new(5, 1), Gtn::new(5, 2));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert_eq!(Gtn::ZERO.encoded(), 0);
+        assert!(Gtn::ZERO < Gtn::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn time_overflow_panics() {
+        let _ = Gtn::new(1 << 48, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Gtn::new(9, 2).to_string(), "9@s2");
+    }
+}

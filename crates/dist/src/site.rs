@@ -1,0 +1,251 @@
+//! A database site: multiversion storage + lock manager + distributed
+//! version control. Methods on [`Site`] are the "RPC handlers" of the
+//! simulation; the [`crate::cluster::Cluster`] counts each invocation as
+//! a network message.
+
+use crate::gtn::Gtn;
+use crate::vc::DistVc;
+use mvcc_cc::{LockError, LockManager, LockMode};
+use mvcc_core::{AbortReason, DbError, Metrics};
+use mvcc_model::{ObjectId, TxnId};
+use mvcc_storage::{MvStore, PendingVersion, StoreStats, Value};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Site identifier (also the low bits of every [`Gtn`] it proposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u16);
+
+/// One database site.
+pub struct Site {
+    id: SiteId,
+    store: MvStore,
+    locks: LockManager,
+    vc: DistVc,
+    metrics: Metrics,
+    lock_timeout: Duration,
+}
+
+impl Site {
+    /// Fresh site.
+    pub fn new(id: SiteId) -> Self {
+        Site {
+            id,
+            store: MvStore::new(),
+            locks: LockManager::new(),
+            vc: DistVc::new(id.0),
+            metrics: Metrics::new(),
+            lock_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The site's version-control module.
+    pub fn vc(&self) -> &DistVc {
+        &self.vc
+    }
+
+    /// The site's storage (tests/experiments).
+    pub fn store(&self) -> &MvStore {
+        &self.store
+    }
+
+    /// The site's counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Load an initial value.
+    pub fn seed(&self, obj: ObjectId, value: Value) {
+        self.store.seed(obj, value);
+    }
+
+    /// Storage statistics.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    // ---- read-write transaction handlers (per-site strict 2PL) ----------
+
+    /// `read(x)` under a shared lock; own pending writes shadow.
+    pub fn rw_read(&self, token: u64, obj: ObjectId) -> Result<(u64, Value), DbError> {
+        self.lock(token, obj, LockMode::Shared)?;
+        Ok(self.store.with(obj, |c| {
+            if let Some(p) = c.pending_by(TxnId(token)) {
+                return (u64::MAX, p.value.clone());
+            }
+            let v = c.at(u64::MAX).expect("chain never empty");
+            (v.number, v.value.clone())
+        }))
+    }
+
+    /// `write(x)` under an exclusive lock; installs a φ pending version.
+    pub fn rw_write(&self, token: u64, obj: ObjectId, value: Value) -> Result<(), DbError> {
+        self.lock(token, obj, LockMode::Exclusive)?;
+        self.store.with(obj, |c| {
+            c.install_pending(PendingVersion::phi(TxnId(token), value));
+        });
+        Ok(())
+    }
+
+    /// Two-phase commit, phase 1: this participant is past its lock
+    /// point; register a proposal with distributed version control.
+    pub fn prepare(&self, _token: u64) -> Gtn {
+        self.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        self.vc.propose()
+    }
+
+    /// Two-phase commit, phase 2: stamp pendings with the final global
+    /// number, release locks, complete version control.
+    pub fn commit(
+        &self,
+        token: u64,
+        proposal: Gtn,
+        fin: Gtn,
+        locked: &[ObjectId],
+        written: &[ObjectId],
+    ) -> Result<(), DbError> {
+        for &obj in written {
+            let r = self
+                .store
+                .with(obj, |c| c.promote_pending(TxnId(token), Some(fin.encoded())));
+            if let Err(e) = r {
+                return Err(DbError::Internal(format!("site {} commit: {e}", self.id.0)));
+            }
+            self.store.notify(obj);
+        }
+        self.locks.release_all(token, locked.iter());
+        self.vc.complete(proposal, fin);
+        self.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Abort/rollback at this participant.
+    pub fn rollback(
+        &self,
+        token: u64,
+        proposal: Option<Gtn>,
+        locked: &[ObjectId],
+        written: &[ObjectId],
+    ) {
+        for &obj in written {
+            self.store.with(obj, |c| {
+                c.discard_pending(TxnId(token));
+            });
+            self.store.notify(obj);
+        }
+        self.locks.release_all(token, locked.iter());
+        if let Some(p) = proposal {
+            self.vc.discard(p);
+            self.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ---- read-only transaction handlers ----------------------------------
+
+    /// `VCstart` at this site.
+    pub fn ro_start(&self) -> Gtn {
+        self.metrics.vc_start_calls.fetch_add(1, Ordering::Relaxed);
+        self.metrics.ro_sync_actions.fetch_add(1, Ordering::Relaxed);
+        self.vc.start()
+    }
+
+    /// Snapshot read at a global start number. Never blocks.
+    pub fn ro_read(&self, obj: ObjectId, sn: Gtn) -> Result<(u64, Value), DbError> {
+        self.metrics.ro_reads.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .read_at(obj, sn.encoded())
+            .ok_or(DbError::VersionPruned {
+                obj,
+                sn: sn.encoded(),
+            })
+    }
+
+    /// Wait until this site's visibility covers `sn` (lazy contact in a
+    /// distributed read-only transaction).
+    pub fn ro_catch_up(&self, sn: Gtn, timeout: Duration) -> Result<Gtn, DbError> {
+        if self.vc.vtnc() >= sn {
+            return Ok(self.vc.vtnc());
+        }
+        self.metrics.ro_blocks.fetch_add(1, Ordering::Relaxed);
+        self.vc
+            .wait_visible(sn, timeout)
+            .ok_or(DbError::Aborted(AbortReason::WaitTimeout))
+    }
+
+    fn lock(&self, token: u64, obj: ObjectId, mode: LockMode) -> Result<(), DbError> {
+        self.metrics.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
+        match self.locks.acquire(token, obj, mode, self.lock_timeout, true) {
+            Ok(a) => {
+                if a.waited {
+                    self.metrics.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }
+            Err(LockError::Deadlock) => Err(DbError::Aborted(AbortReason::Deadlock)),
+            // Distributed deadlocks span sites and are invisible to a
+            // single site's waits-for graph; the timeout breaks them.
+            Err(LockError::Timeout) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn single_site_rw_lifecycle() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
+        let p = s.prepare(7);
+        s.commit(7, p, p, &[obj(0)], &[obj(0)]).unwrap();
+        assert_eq!(s.vc().vtnc(), p);
+        let (n, v) = s.ro_read(obj(0), s.ro_start()).unwrap();
+        assert_eq!(n, p.encoded());
+        assert_eq!(v.as_u64(), Some(5));
+    }
+
+    #[test]
+    fn rollback_leaves_clean_state() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
+        let p = s.prepare(7);
+        s.rollback(7, Some(p), &[obj(0)], &[obj(0)]);
+        assert_eq!(s.ro_read(obj(0), s.ro_start()).unwrap().0, 0);
+        // locks free again
+        s.rw_write(8, obj(0), Value::from_u64(6)).unwrap();
+        s.rollback(8, None, &[obj(0)], &[obj(0)]);
+    }
+
+    #[test]
+    fn ro_read_ignores_in_doubt_commit() {
+        // Version staged and even promoted with a final number, but the
+        // site's vtnc has not advanced past an older in-doubt proposal:
+        // the RO snapshot (taken at vtnc) must not include it.
+        let s = Site::new(SiteId(1));
+        let _blocker = s.prepare(98); // older in-doubt proposal
+        s.rw_write(99, obj(0), Value::from_u64(9)).unwrap();
+        let p = s.prepare(99);
+        s.commit(99, p, p, &[obj(0)], &[obj(0)]).unwrap();
+        let sn = s.ro_start();
+        assert_eq!(sn, Gtn::ZERO, "in-doubt blocker must pin visibility");
+        assert_eq!(s.ro_read(obj(0), sn).unwrap().0, 0);
+    }
+
+    #[test]
+    fn catch_up_immediate_when_visible() {
+        let s = Site::new(SiteId(1));
+        let p = s.prepare(1);
+        s.commit(1, p, p, &[], &[]).unwrap();
+        assert_eq!(s.ro_catch_up(p, Duration::from_millis(5)).unwrap(), p);
+    }
+}

@@ -1,0 +1,284 @@
+//! A small directed graph over [`TxnId`] nodes with cycle detection and
+//! topological sorting — the substrate for both serialization-graph
+//! checkers. Kept dependency-free and allocation-light (adjacency lists
+//! over a dense index map) per the workspace performance guidelines.
+
+use crate::ids::TxnId;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Directed graph whose nodes are transactions.
+#[derive(Clone, Default)]
+pub struct DiGraph {
+    /// Node id → dense index.
+    index: BTreeMap<TxnId, usize>,
+    /// Dense index → node id.
+    nodes: Vec<TxnId>,
+    /// Adjacency: edges[i] = successors of node i (dense indices).
+    edges: Vec<Vec<usize>>,
+    /// Edge dedup set — keeps `add_edge` O(1) on dense graphs (oracle
+    /// traces can reach hundreds of thousands of edges).
+    edge_set: HashSet<(usize, usize)>,
+}
+
+impl DiGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a node (idempotent); returns its dense index.
+    pub fn add_node(&mut self, t: TxnId) -> usize {
+        if let Some(&i) = self.index.get(&t) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.index.insert(t, i);
+        self.nodes.push(t);
+        self.edges.push(Vec::new());
+        i
+    }
+
+    /// Insert a directed edge `from → to` (nodes are created as needed).
+    /// Self-loops are recorded and make the graph cyclic.
+    pub fn add_edge(&mut self, from: TxnId, to: TxnId) {
+        let f = self.add_node(from);
+        let t = self.add_node(to);
+        if self.edge_set.insert((f, t)) {
+            self.edges[f].push(t);
+        }
+    }
+
+    /// All nodes, in insertion order.
+    pub fn nodes(&self) -> &[TxnId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the edge `from → to` exists.
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        match (self.index.get(&from), self.index.get(&to)) {
+            (Some(&f), Some(&t)) => self.edges[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, t: TxnId) -> Vec<TxnId> {
+        match self.index.get(&t) {
+            Some(&i) => self.edges[i].iter().map(|&j| self.nodes[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Kahn's algorithm: `Some(order)` if acyclic, `None` if cyclic.
+    pub fn topo_sort(&self) -> Option<Vec<TxnId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for succs in &self.edges {
+            for &s in succs {
+                indeg[s] += 1;
+            }
+        }
+        // Pop smallest-indexed ready node for deterministic output.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.sort_unstable_by(|a, b| b.cmp(a)); // reverse, pop() takes smallest
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(self.nodes[i]);
+            for &s in &self.edges[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    // Insert keeping `ready` reverse-sorted.
+                    let pos = ready.partition_point(|&x| x > s);
+                    ready.insert(pos, s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Whether the graph contains a directed cycle.
+    pub fn is_cyclic(&self) -> bool {
+        self.topo_sort().is_none()
+    }
+
+    /// One directed cycle as a node sequence (first == last), if any.
+    /// Iterative DFS with coloring; used to produce diagnostics when an
+    /// oracle check fails.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.nodes.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // stack of (node, next-successor-index)
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Grey;
+            while let Some(&mut (u, next)) = stack.last_mut() {
+                if next < self.edges[u].len() {
+                    stack.last_mut().expect("stack nonempty").1 += 1;
+                    let v = self.edges[u][next];
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Grey;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        Color::Grey => {
+                            // Found a back edge u → v; v is a grey ancestor
+                            // of u, so walking parent pointers from u
+                            // reaches v. Emit v → … → u → v.
+                            let mut path = Vec::new();
+                            let mut cur = u;
+                            while cur != v {
+                                path.push(self.nodes[cur]);
+                                cur = parent[cur];
+                            }
+                            path.reverse();
+                            let mut cycle = vec![self.nodes[v]];
+                            cycle.extend(path);
+                            cycle.push(self.nodes[v]);
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DiGraph {{")?;
+        for (i, succs) in self.edges.iter().enumerate() {
+            for &s in succs {
+                writeln!(f, "  {} -> {}", self.nodes[i], self.nodes[s])?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = DiGraph::new();
+        assert!(!g.is_cyclic());
+        assert_eq!(g.topo_sort().unwrap(), Vec::<TxnId>::new());
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_correct_order() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        assert!(!g.is_cyclic());
+        assert_eq!(g.topo_sort().unwrap(), vec![t(1), t(2), t(3)]);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        assert!(g.is_cyclic());
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.first(), c.last());
+        assert!(c.len() >= 3);
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(1));
+        assert!(g.is_cyclic());
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c, vec![t(1), t(1)]);
+    }
+
+    #[test]
+    fn long_cycle_found() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(4));
+        g.add_edge(t(4), t(2));
+        g.add_edge(t(1), t(5));
+        assert!(g.is_cyclic());
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.first(), c.last());
+        // cycle must contain 2,3,4
+        for x in [t(2), t(3), t(4)] {
+            assert!(c.contains(&x), "cycle {c:?} missing {x}");
+        }
+        assert!(!c.contains(&t(1)));
+    }
+
+    #[test]
+    fn dedup_edges() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(2));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(3));
+        g.add_edge(t(2), t(4));
+        g.add_edge(t(3), t(4));
+        assert!(!g.is_cyclic());
+        let order = g.topo_sort().unwrap();
+        let pos = |x: TxnId| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(t(1)) < pos(t(2)));
+        assert!(pos(t(1)) < pos(t(3)));
+        assert!(pos(t(2)) < pos(t(4)));
+        assert!(pos(t(3)) < pos(t(4)));
+    }
+
+    #[test]
+    fn successors_and_queries() {
+        let mut g = DiGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(1), t(3));
+        assert_eq!(g.successors(t(1)), vec![t(2), t(3)]);
+        assert!(g.has_edge(t(1), t(2)));
+        assert!(!g.has_edge(t(2), t(1)));
+        assert!(!g.has_edge(t(9), t(1)));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.successors(t(42)), Vec::<TxnId>::new());
+    }
+}

@@ -1,0 +1,357 @@
+//! Multiversion histories and derived relations (reads-from, writer sets).
+//!
+//! A [`History`] records a *total* order of operations — the interleaving
+//! the scheduler actually produced. The paper's definitions are stated for
+//! partial orders; every total order is a partial order, so all the
+//! Section 3 machinery applies unchanged.
+
+use crate::ids::{ObjectId, TxnId, INITIAL_TXN};
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Declared class of a transaction (paper Section 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxnKind {
+    /// Executes no writes; synchronized by version control alone.
+    ReadOnly,
+    /// Executes at least one write (or class unknown — the paper defaults
+    /// unknown transactions to read-write).
+    ReadWrite,
+}
+
+/// Terminal status of a transaction within a history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxnStatus {
+    /// Committed (`c_i` present).
+    Committed,
+    /// Aborted (`a_i` present); its versions are destroyed.
+    Aborted,
+    /// Neither terminal operation present.
+    Active,
+}
+
+/// Summary of one transaction's footprint in a history.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxnInfo {
+    /// The transaction.
+    pub id: TxnId,
+    /// Read-only or read-write, inferred from the operations present.
+    pub kind: TxnKind,
+    /// Commit / abort / still active.
+    pub status: TxnStatus,
+    /// Objects read, with the version each read returned.
+    pub reads: Vec<(ObjectId, TxnId)>,
+    /// Objects written.
+    pub writes: Vec<ObjectId>,
+}
+
+/// A recorded multiversion history: a sequence of [`Op`]s.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    ops: Vec<Op>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an operation sequence.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        History { ops }
+    }
+
+    /// Append one operation.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    /// The operation sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All transactions appearing in the history, in first-appearance order.
+    pub fn txns(&self) -> Vec<TxnId> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if seen.insert(op.txn()) {
+                out.push(op.txn());
+            }
+        }
+        out
+    }
+
+    /// All objects touched by the history.
+    pub fn objects(&self) -> BTreeSet<ObjectId> {
+        self.ops.iter().filter_map(Op::obj).collect()
+    }
+
+    /// Terminal status of `txn` in this history.
+    pub fn status(&self, txn: TxnId) -> TxnStatus {
+        for op in self.ops.iter().rev() {
+            match *op {
+                Op::Commit { txn: t } if t == txn => return TxnStatus::Committed,
+                Op::Abort { txn: t } if t == txn => return TxnStatus::Aborted,
+                _ => {}
+            }
+        }
+        TxnStatus::Active
+    }
+
+    /// Per-transaction summaries, keyed by transaction id.
+    pub fn txn_infos(&self) -> BTreeMap<TxnId, TxnInfo> {
+        let mut infos: BTreeMap<TxnId, TxnInfo> = BTreeMap::new();
+        for op in &self.ops {
+            let e = infos.entry(op.txn()).or_insert_with(|| TxnInfo {
+                id: op.txn(),
+                kind: TxnKind::ReadOnly,
+                status: TxnStatus::Active,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            });
+            match *op {
+                Op::Read { obj, version, .. } => e.reads.push((obj, version)),
+                Op::Write { obj, .. } => {
+                    e.kind = TxnKind::ReadWrite;
+                    e.writes.push(obj);
+                }
+                Op::Commit { .. } => e.status = TxnStatus::Committed,
+                Op::Abort { .. } => e.status = TxnStatus::Aborted,
+                Op::Begin { .. } => {}
+            }
+        }
+        infos
+    }
+
+    /// The *committed projection*: operations of committed transactions
+    /// only. Serializability of a history is defined over its committed
+    /// projection (aborted transactions' versions are destroyed, paper
+    /// Section 3.2); reads recorded in a trace never return versions of
+    /// aborted transactions because engines only expose committed (or
+    /// self-written) versions.
+    pub fn committed_projection(&self) -> History {
+        let committed: BTreeSet<TxnId> = self
+            .txn_infos()
+            .into_iter()
+            .filter(|(_, i)| i.status == TxnStatus::Committed)
+            .map(|(t, _)| t)
+            .collect();
+        History {
+            ops: self
+                .ops
+                .iter()
+                .filter(|op| committed.contains(&op.txn()))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The reads-from relation: for each `(reader, object)` the writer
+    /// whose version was read. `T_j` reads `x` from `T_i` iff
+    /// `r_j[x_i] ∈ H` (paper Section 3.2).
+    pub fn reads_from(&self) -> Vec<ReadsFrom> {
+        self.ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Read { txn, obj, version } => Some(ReadsFrom {
+                    reader: txn,
+                    writer: version,
+                    obj,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// For each object, the set of transactions that wrote it (including
+    /// `T_0` if any read returned the initial version).
+    pub fn writers_per_object(&self) -> BTreeMap<ObjectId, BTreeSet<TxnId>> {
+        let mut map: BTreeMap<ObjectId, BTreeSet<TxnId>> = BTreeMap::new();
+        for op in &self.ops {
+            match *op {
+                Op::Write { txn, obj } => {
+                    map.entry(obj).or_default().insert(txn);
+                }
+                Op::Read { obj, version, .. } => {
+                    // A read of x_j proves T_j wrote x, even if the write
+                    // predates this trace (e.g. the initial version).
+                    map.entry(obj).or_default().insert(version);
+                }
+                _ => {}
+            }
+        }
+        // Every object implicitly has an initial version written by T_0.
+        for writers in map.values_mut() {
+            writers.insert(INITIAL_TXN);
+        }
+        map
+    }
+
+    /// Check the model's well-formedness restrictions on a trace:
+    ///
+    /// 1. every read returns a version that exists (written in-trace, or
+    ///    the initial version),
+    /// 2. no transaction operates after its terminal operation,
+    /// 3. no read returns a version written by a transaction that had
+    ///    already *aborted* before the read.
+    ///
+    /// Returns the first violation found, or `Ok(())`.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut terminated: BTreeSet<TxnId> = BTreeSet::new();
+        let mut aborted: BTreeSet<TxnId> = BTreeSet::new();
+        let mut written: BTreeMap<ObjectId, BTreeSet<TxnId>> = BTreeMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if terminated.contains(&op.txn()) {
+                return Err(format!("op #{i} {op} after terminal op of {}", op.txn()));
+            }
+            match *op {
+                Op::Read { obj, version, .. } => {
+                    let exists = version == INITIAL_TXN
+                        || written.get(&obj).is_some_and(|w| w.contains(&version));
+                    if !exists {
+                        return Err(format!("op #{i} {op} reads nonexistent version"));
+                    }
+                    if aborted.contains(&version) {
+                        return Err(format!("op #{i} {op} reads version of aborted txn"));
+                    }
+                }
+                Op::Write { txn, obj } => {
+                    written.entry(obj).or_default().insert(txn);
+                }
+                Op::Commit { txn } => {
+                    terminated.insert(txn);
+                }
+                Op::Abort { txn } => {
+                    terminated.insert(txn);
+                    aborted.insert(txn);
+                }
+                Op::Begin { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One edge of the reads-from relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadsFrom {
+    /// The reading transaction `T_j`.
+    pub reader: TxnId,
+    /// The transaction `T_i` whose version was read.
+    pub writer: TxnId,
+    /// The object `x`.
+    pub obj: ObjectId,
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::notation::format_history(self))
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::parse_history;
+
+    #[test]
+    fn txn_infos_classify_kinds() {
+        let h = parse_history("b1 r1[x:0] w1[x] c1 b2 r2[x:1] c2").unwrap();
+        let infos = h.txn_infos();
+        assert_eq!(infos[&TxnId(1)].kind, TxnKind::ReadWrite);
+        assert_eq!(infos[&TxnId(2)].kind, TxnKind::ReadOnly);
+        assert_eq!(infos[&TxnId(1)].status, TxnStatus::Committed);
+        assert_eq!(infos[&TxnId(1)].writes, vec![ObjectId(0)]);
+        assert_eq!(infos[&TxnId(2)].reads, vec![(ObjectId(0), TxnId(1))]);
+    }
+
+    #[test]
+    fn status_detection() {
+        let h = parse_history("w1[x] c1 w2[x] a2 w3[x]").unwrap();
+        assert_eq!(h.status(TxnId(1)), TxnStatus::Committed);
+        assert_eq!(h.status(TxnId(2)), TxnStatus::Aborted);
+        assert_eq!(h.status(TxnId(3)), TxnStatus::Active);
+    }
+
+    #[test]
+    fn committed_projection_drops_aborted_and_active() {
+        let h = parse_history("w1[x] c1 w2[x] a2 w3[y] r4[x:1] c4").unwrap();
+        let p = h.committed_projection();
+        let txns = p.txns();
+        assert!(txns.contains(&TxnId(1)));
+        assert!(txns.contains(&TxnId(4)));
+        assert!(!txns.contains(&TxnId(2)));
+        assert!(!txns.contains(&TxnId(3)));
+    }
+
+    #[test]
+    fn reads_from_extraction() {
+        let h = parse_history("w1[x] c1 r2[x:1] r2[y:0] c2").unwrap();
+        let rf = h.reads_from();
+        assert_eq!(rf.len(), 2);
+        assert_eq!(rf[0].reader, TxnId(2));
+        assert_eq!(rf[0].writer, TxnId(1));
+        assert_eq!(rf[1].writer, INITIAL_TXN);
+    }
+
+    #[test]
+    fn writers_include_initial_txn() {
+        let h = parse_history("w1[x] c1 r2[x:1] c2").unwrap();
+        let w = h.writers_per_object();
+        assert!(w[&ObjectId(0)].contains(&INITIAL_TXN));
+        assert!(w[&ObjectId(0)].contains(&TxnId(1)));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let h = parse_history("b1 w1[x] c1 b2 r2[x:1] c2").unwrap();
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_read_of_missing_version() {
+        let h = parse_history("r1[x:5] c1").unwrap();
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_op_after_terminal() {
+        let h = parse_history("w1[x] c1 w1[y]").unwrap();
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_read_from_aborted() {
+        let h = parse_history("w1[x] a1 r2[x:1] c2").unwrap();
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn objects_and_len() {
+        let h = parse_history("w1[x] w1[y] c1").unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.objects().len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Identifier newtypes shared across the workspace model.
+//!
+//! Transaction numbers double as version numbers: the version of object `x`
+//! written by transaction `T_i` is `x_i` (paper Section 3.2, "the version
+//! number most often corresponds to the transaction number of the
+//! transaction that wrote that version").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transaction identifier / transaction number `tn(T)`.
+///
+/// The ordering of `TxnId`s is the serialization order assigned by the
+/// concurrency-control protocol (paper Section 4: "if `T_1` precedes `T_2`
+/// in the serial order then `tn(T_1) < tn(T_2)`").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+/// The pseudo-transaction that wrote every object's initial version.
+///
+/// Database initialization is modeled, as is conventional, as a transaction
+/// `T_0` that precedes every other transaction and writes version `x_0` of
+/// every object.
+pub const INITIAL_TXN: TxnId = TxnId(0);
+
+impl TxnId {
+    /// Raw numeric value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the initializing pseudo-transaction `T_0`.
+    #[inline]
+    pub const fn is_initial(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u64> for TxnId {
+    fn from(v: u64) -> Self {
+        TxnId(v)
+    }
+}
+
+/// A database object (logical item `x`); versions of it are `x_i`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Raw numeric value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Objects 0..26 print as x, y, z, a, b ... for readable histories.
+        if self.0 < 26 {
+            let c = if self.0 < 3 {
+                (b'x' + self.0 as u8) as char
+            } else {
+                (b'a' + (self.0 - 3) as u8) as char
+            };
+            write!(f, "{c}")
+        } else {
+            write!(f, "obj{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_matches_numeric() {
+        assert!(TxnId(1) < TxnId(2));
+        assert!(TxnId(10) > TxnId(2));
+        assert_eq!(TxnId(7), TxnId(7));
+    }
+
+    #[test]
+    fn initial_txn_is_zero_and_minimal() {
+        assert!(INITIAL_TXN.is_initial());
+        assert!(!TxnId(1).is_initial());
+        assert!(INITIAL_TXN < TxnId(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(ObjectId(0).to_string(), "x");
+        assert_eq!(ObjectId(1).to_string(), "y");
+        assert_eq!(ObjectId(2).to_string(), "z");
+        assert_eq!(ObjectId(3).to_string(), "a");
+        assert_eq!(ObjectId(100).to_string(), "obj100");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(TxnId::from(9).get(), 9);
+        assert_eq!(ObjectId::from(4).get(), 4);
+    }
+}

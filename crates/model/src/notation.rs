@@ -1,0 +1,166 @@
+//! Compact textual notation for histories, for tests and diagnostics.
+//!
+//! Grammar (whitespace-separated tokens):
+//!
+//! ```text
+//! token   := begin | read | write | commit | abort
+//! begin   := 'b' NUM
+//! read    := 'r' NUM '[' OBJ ':' NUM ']'     -- r2[x:1]  = r_2[x_1]
+//! write   := 'w' NUM '[' OBJ ']'             -- w1[x]    = w_1[x_1]
+//! commit  := 'c' NUM
+//! abort   := 'a' NUM
+//! OBJ     := single letter (x→0, y→1, z→2, a→3, …) | 'obj' NUM
+//! ```
+//!
+//! This is the same notation the paper (and Bernstein et al.) use, with the
+//! read's returned version made explicit after a colon.
+
+use crate::history::History;
+use crate::ids::{ObjectId, TxnId};
+use crate::op::Op;
+
+/// Parse error with token position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Index of the offending whitespace-separated token.
+    pub token_index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token #{}: {}", self.token_index, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_obj(s: &str) -> Option<ObjectId> {
+    if let Some(rest) = s.strip_prefix("obj") {
+        return rest.parse::<u64>().ok().map(ObjectId);
+    }
+    let mut chars = s.chars();
+    let c = chars.next()?;
+    if chars.next().is_some() || !c.is_ascii_lowercase() {
+        return None;
+    }
+    let v = match c {
+        'x' => 0,
+        'y' => 1,
+        'z' => 2,
+        other => 3 + (other as u64 - 'a' as u64),
+    };
+    Some(ObjectId(v))
+}
+
+fn parse_token(tok: &str) -> Option<Op> {
+    let kind = tok.chars().next()?;
+    let rest = &tok[1..];
+    match kind {
+        'b' | 'c' | 'a' => {
+            let n: u64 = rest.parse().ok()?;
+            Some(match kind {
+                'b' => Op::Begin { txn: TxnId(n) },
+                'c' => Op::Commit { txn: TxnId(n) },
+                _ => Op::Abort { txn: TxnId(n) },
+            })
+        }
+        'r' => {
+            let open = rest.find('[')?;
+            let n: u64 = rest[..open].parse().ok()?;
+            let inner = rest[open + 1..].strip_suffix(']')?;
+            let (obj_s, ver_s) = inner.split_once(':')?;
+            let obj = parse_obj(obj_s)?;
+            let ver: u64 = ver_s.parse().ok()?;
+            Some(Op::Read {
+                txn: TxnId(n),
+                obj,
+                version: TxnId(ver),
+            })
+        }
+        'w' => {
+            let open = rest.find('[')?;
+            let n: u64 = rest[..open].parse().ok()?;
+            let obj_s = rest[open + 1..].strip_suffix(']')?;
+            let obj = parse_obj(obj_s)?;
+            Some(Op::Write { txn: TxnId(n), obj })
+        }
+        _ => None,
+    }
+}
+
+/// Parse a history from the compact notation. See module docs for grammar.
+pub fn parse_history(s: &str) -> Result<History, ParseError> {
+    let mut h = History::new();
+    for (i, tok) in s.split_whitespace().enumerate() {
+        match parse_token(tok) {
+            Some(op) => h.push(op),
+            None => {
+                return Err(ParseError {
+                    token_index: i,
+                    message: format!("cannot parse {tok:?}"),
+                })
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// Render a history back into the compact notation.
+pub fn format_history(h: &History) -> String {
+    let mut out = String::new();
+    for (i, op) in h.ops().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&op.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_op_kinds() {
+        let src = "b1 r1[x:0] w1[x] c1 b2 r2[x:1] a2 w3[obj99] c3";
+        let h = parse_history(src).unwrap();
+        assert_eq!(format_history(&h), src);
+    }
+
+    #[test]
+    fn object_letter_mapping() {
+        assert_eq!(parse_obj("x"), Some(ObjectId(0)));
+        assert_eq!(parse_obj("y"), Some(ObjectId(1)));
+        assert_eq!(parse_obj("z"), Some(ObjectId(2)));
+        assert_eq!(parse_obj("a"), Some(ObjectId(3)));
+        assert_eq!(parse_obj("w"), Some(ObjectId(3 + 22)));
+        assert_eq!(parse_obj("obj42"), Some(ObjectId(42)));
+        assert_eq!(parse_obj("X"), None);
+        assert_eq!(parse_obj("xy"), None);
+    }
+
+    #[test]
+    fn bad_tokens_error_with_position() {
+        let err = parse_history("w1[x] glorp c1").unwrap_err();
+        assert_eq!(err.token_index, 1);
+        assert!(err.to_string().contains("glorp"));
+        assert!(parse_history("r1[x]").is_err()); // read needs :version
+        assert!(parse_history("w[x]").is_err()); // missing txn number
+        assert!(parse_history("q1").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_history() {
+        assert!(parse_history("").unwrap().is_empty());
+        assert!(parse_history("   \n\t ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn whitespace_flexible() {
+        let h = parse_history("  w1[x]\n\tc1  ").unwrap();
+        assert_eq!(h.len(), 2);
+    }
+}

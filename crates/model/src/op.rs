@@ -1,0 +1,166 @@
+//! Operations of (multiversion) histories.
+
+use crate::ids::{ObjectId, TxnId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One operation in a multiversion history.
+///
+/// Reads are recorded *with the version they returned* (`r_i[x_j]`), which
+/// is what makes the MVSG constructible from a trace. In the paper's model
+/// a transaction has at most one read and one write per object; the
+/// checkers in this crate do not require that restriction, but engine
+/// traces produced by `mvcc-core` satisfy it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Transaction start (`begin(T)`); informational, carries no conflict.
+    Begin {
+        /// The starting transaction.
+        txn: TxnId,
+    },
+    /// `r_i[x_j]`: `txn` read the version of `obj` written by `version`.
+    Read {
+        /// The reading transaction `T_i`.
+        txn: TxnId,
+        /// The object `x`.
+        obj: ObjectId,
+        /// The transaction `T_j` whose version was returned.
+        version: TxnId,
+    },
+    /// `w_i[x_i]`: `txn` wrote a new version of `obj` (version number =
+    /// `txn` by the multiversion convention).
+    Write {
+        /// The writing transaction `T_i`.
+        txn: TxnId,
+        /// The object `x`.
+        obj: ObjectId,
+    },
+    /// `c_i`: `txn` committed.
+    Commit {
+        /// The committing transaction.
+        txn: TxnId,
+    },
+    /// `a_i`: `txn` aborted; all versions it created are destroyed.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
+}
+
+impl Op {
+    /// The transaction that issued this operation.
+    pub fn txn(&self) -> TxnId {
+        match *self {
+            Op::Begin { txn }
+            | Op::Read { txn, .. }
+            | Op::Write { txn, .. }
+            | Op::Commit { txn }
+            | Op::Abort { txn } => txn,
+        }
+    }
+
+    /// The object this operation touches, if it is a data operation.
+    pub fn obj(&self) -> Option<ObjectId> {
+        match *self {
+            Op::Read { obj, .. } | Op::Write { obj, .. } => Some(obj),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a read operation.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read { .. })
+    }
+
+    /// Whether this is a write operation.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+
+    /// Whether this operation terminates its transaction.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Op::Commit { .. } | Op::Abort { .. })
+    }
+
+    /// Single-version conflict test (Section 3.1): both touch the same
+    /// object and at least one is a write. `Begin`/`Commit`/`Abort` never
+    /// conflict.
+    pub fn conflicts_with(&self, other: &Op) -> bool {
+        match (self.obj(), other.obj()) {
+            (Some(a), Some(b)) if a == b => self.is_write() || other.is_write(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Begin { txn } => write!(f, "b{}", txn.0),
+            Op::Read { txn, obj, version } => write!(f, "r{}[{}:{}]", txn.0, obj, version.0),
+            Op::Write { txn, obj } => write!(f, "w{}[{}]", txn.0, obj),
+            Op::Commit { txn } => write!(f, "c{}", txn.0),
+            Op::Abort { txn } => write!(f, "a{}", txn.0),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(t: u64, o: u64, v: u64) -> Op {
+        Op::Read {
+            txn: TxnId(t),
+            obj: ObjectId(o),
+            version: TxnId(v),
+        }
+    }
+    fn w(t: u64, o: u64) -> Op {
+        Op::Write {
+            txn: TxnId(t),
+            obj: ObjectId(o),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(r(1, 2, 0).txn(), TxnId(1));
+        assert_eq!(w(3, 4).txn(), TxnId(3));
+        assert_eq!(r(1, 2, 0).obj(), Some(ObjectId(2)));
+        assert_eq!(Op::Commit { txn: TxnId(1) }.obj(), None);
+        assert!(Op::Commit { txn: TxnId(1) }.is_terminal());
+        assert!(Op::Abort { txn: TxnId(1) }.is_terminal());
+        assert!(!w(1, 1).is_terminal());
+    }
+
+    #[test]
+    fn conflicts() {
+        // read-read on same object: no conflict
+        assert!(!r(1, 0, 0).conflicts_with(&r(2, 0, 0)));
+        // read-write same object: conflict
+        assert!(r(1, 0, 0).conflicts_with(&w(2, 0)));
+        assert!(w(2, 0).conflicts_with(&r(1, 0, 0)));
+        // write-write same object: conflict
+        assert!(w(1, 0).conflicts_with(&w(2, 0)));
+        // different objects: never
+        assert!(!w(1, 0).conflicts_with(&w(2, 1)));
+        // terminal ops never conflict
+        assert!(!Op::Commit { txn: TxnId(1) }.conflicts_with(&w(2, 0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 0, 0).to_string(), "r1[x:0]");
+        assert_eq!(w(2, 1).to_string(), "w2[y]");
+        assert_eq!(Op::Commit { txn: TxnId(3) }.to_string(), "c3");
+        assert_eq!(Op::Abort { txn: TxnId(4) }.to_string(), "a4");
+        assert_eq!(Op::Begin { txn: TxnId(5) }.to_string(), "b5");
+    }
+}

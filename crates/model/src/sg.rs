@@ -1,0 +1,137 @@
+//! Single-version conflict serializability (paper Section 3.1).
+//!
+//! Used to check the monoversion baseline engine (`sv_2pl`) and as the
+//! `SG(H)` ingredient of the multiversion graph. For a single-version
+//! history the `version` field of reads is ignored — reads touch *the*
+//! object.
+
+use crate::graph::DiGraph;
+use crate::history::History;
+use crate::op::Op;
+
+/// Build the serialization graph `SG(H)` of the committed projection of
+/// `h`, with an edge `T_i → T_j` whenever an operation of `T_i` precedes
+/// and conflicts with an operation of `T_j` (single-version conflict:
+/// same object, at least one write, different transactions).
+pub fn serialization_graph(h: &History) -> DiGraph {
+    let committed = h.committed_projection();
+    let ops = committed.ops();
+    let mut g = DiGraph::new();
+    for t in committed.txns() {
+        g.add_node(t);
+    }
+    for (i, a) in ops.iter().enumerate() {
+        for b in &ops[i + 1..] {
+            if a.txn() != b.txn() && a.conflicts_with(b) {
+                g.add_edge(a.txn(), b.txn());
+            }
+        }
+    }
+    g
+}
+
+/// Whether `h` (committed projection) is conflict-serializable, i.e.
+/// `SG(H)` is acyclic.
+pub fn is_conflict_serializable(h: &History) -> bool {
+    !serialization_graph(h).is_cyclic()
+}
+
+/// A witness serial order (topological sort of `SG(H)`), if one exists.
+pub fn serial_order_witness(h: &History) -> Option<Vec<crate::ids::TxnId>> {
+    serialization_graph(h).topo_sort()
+}
+
+/// Whether the history is *serial*: transactions execute one at a time
+/// (no operation of `T_j` appears between two operations of `T_i` for
+/// `i ≠ j`).
+pub fn is_serial(h: &History) -> bool {
+    let mut finished = std::collections::BTreeSet::new();
+    let mut current: Option<crate::ids::TxnId> = None;
+    for op in h.ops() {
+        let t = op.txn();
+        if finished.contains(&t) {
+            return false;
+        }
+        match current {
+            Some(c) if c == t => {}
+            Some(c) => {
+                finished.insert(c);
+                current = Some(t);
+            }
+            None => current = Some(t),
+        }
+        if matches!(op, Op::Commit { .. } | Op::Abort { .. }) {
+            finished.insert(t);
+            current = None;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+    use crate::notation::parse_history;
+
+    #[test]
+    fn serial_history_is_conflict_serializable() {
+        let h = parse_history("r1[x:0] w1[x] c1 r2[x:1] w2[y] c2").unwrap();
+        assert!(is_serial(&h));
+        assert!(is_conflict_serializable(&h));
+        assert_eq!(
+            serial_order_witness(&h).unwrap(),
+            vec![TxnId(1), TxnId(2)]
+        );
+    }
+
+    #[test]
+    fn classic_lost_update_is_not_serializable() {
+        // r1[x] r2[x] w1[x] w2[x]: T1→T2 (r1,w2) and T2→T1 (r2,w1)
+        let h = parse_history("r1[x:0] r2[x:0] w1[x] c1 w2[x] c2").unwrap();
+        assert!(!is_conflict_serializable(&h));
+    }
+
+    #[test]
+    fn interleaved_but_serializable() {
+        // r2[x] between T1's ops but no conflicting cycle
+        let h = parse_history("r1[x:0] r2[y:0] w1[x] c1 w2[y] c2").unwrap();
+        assert!(!is_serial(&h));
+        assert!(is_conflict_serializable(&h));
+    }
+
+    #[test]
+    fn aborted_txn_excluded_from_graph() {
+        // T2 would create a cycle but aborts.
+        let h = parse_history("r1[x:0] r2[x:0] w2[x] w1[x] c1 a2").unwrap();
+        assert!(is_conflict_serializable(&h));
+        let g = serialization_graph(&h);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn write_write_conflict_ordered() {
+        let h = parse_history("w1[x] c1 w2[x] c2").unwrap();
+        let g = serialization_graph(&h);
+        assert!(g.has_edge(TxnId(1), TxnId(2)));
+        assert!(!g.has_edge(TxnId(2), TxnId(1)));
+    }
+
+    #[test]
+    fn is_serial_detects_resumed_txn() {
+        // T1 resumes after T2 ran: not serial.
+        let h = parse_history("w1[x] w2[y] w1[z] c1 c2").unwrap();
+        assert!(!is_serial(&h));
+    }
+
+    #[test]
+    fn three_way_cycle() {
+        // T1 reads x then T2 writes x (T1→T2); T2 reads y then T3 writes y
+        // (T2→T3); T3 reads z then T1 writes z (T3→T1): cycle.
+        let h = parse_history(
+            "r1[x:0] r2[y:0] r3[z:0] w2[x] w3[y] w1[z] c1 c2 c3",
+        )
+        .unwrap();
+        assert!(!is_conflict_serializable(&h));
+    }
+}

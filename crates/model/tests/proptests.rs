@@ -1,0 +1,208 @@
+//! Property tests for the formal-model crate: the two independent
+//! one-copy-serializability decision procedures must agree, serial MV
+//! executions must always be accepted, and the notation must round-trip.
+
+use mvcc_model::history::History;
+use mvcc_model::ids::{ObjectId, TxnId, INITIAL_TXN};
+use mvcc_model::notation::{format_history, parse_history};
+use mvcc_model::op::Op;
+use mvcc_model::{equiv, mvsg, DiGraph};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Generate a random *well-formed* MV history by simulating a scheduler:
+/// maintain committed versions per object; each step either starts work on
+/// a transaction, issues a read of a random existing version, issues a
+/// write, or commits/aborts. Reads pick arbitrary existing versions, so
+/// the result is frequently NOT serializable — exercising both answers.
+fn arb_history(max_txns: usize, max_steps: usize) -> impl Strategy<Value = History> {
+    (
+        2..=max_txns,
+        proptest::collection::vec((0..5u8, 0..8usize, 0..3u64), 1..max_steps),
+    )
+        .prop_map(move |(ntxn, steps)| {
+            let mut h = History::new();
+            // committed versions per object (always contains T0)
+            let mut versions: BTreeMap<ObjectId, Vec<TxnId>> = BTreeMap::new();
+            let mut alive: Vec<bool> = vec![false; ntxn + 1];
+            let mut done: Vec<bool> = vec![false; ntxn + 1];
+            let mut wrote: Vec<Vec<ObjectId>> = vec![Vec::new(); ntxn + 1];
+            let mut read: Vec<Vec<ObjectId>> = vec![Vec::new(); ntxn + 1];
+            for (kind, pick, obj) in steps {
+                let obj = ObjectId(obj);
+                let t = 1 + pick % ntxn;
+                if done[t] {
+                    continue;
+                }
+                let txn = TxnId(t as u64);
+                match kind {
+                    0 => {
+                        if !alive[t] {
+                            alive[t] = true;
+                            h.push(Op::Begin { txn });
+                        }
+                    }
+                    1 => {
+                        // Read a random committed version — at most one
+                        // read per (txn, object), and never after the
+                        // txn's own write (the model's r < w restriction).
+                        alive[t] = true;
+                        if read[t].contains(&obj) || wrote[t].contains(&obj) {
+                            continue;
+                        }
+                        read[t].push(obj);
+                        let mut cands: Vec<TxnId> = vec![INITIAL_TXN];
+                        if let Some(vs) = versions.get(&obj) {
+                            cands.extend(vs.iter().copied());
+                        }
+                        let v = cands[pick % cands.len()];
+                        h.push(Op::Read {
+                            txn,
+                            obj,
+                            version: v,
+                        });
+                    }
+                    2 => {
+                        alive[t] = true;
+                        if !wrote[t].contains(&obj) {
+                            wrote[t].push(obj);
+                            h.push(Op::Write { txn, obj });
+                        }
+                    }
+                    3 => {
+                        if alive[t] {
+                            done[t] = true;
+                            for &o in &wrote[t] {
+                                versions.entry(o).or_default().push(txn);
+                            }
+                            h.push(Op::Commit { txn });
+                        }
+                    }
+                    _ => {
+                        if alive[t] {
+                            done[t] = true;
+                            h.push(Op::Abort { txn });
+                        }
+                    }
+                }
+            }
+            // Terminate leftovers with commits so the committed projection
+            // is interesting.
+            for t in 1..=ntxn {
+                if alive[t] && !done[t] {
+                    for &o in &wrote[t] {
+                        versions.entry(o).or_default().push(TxnId(t as u64));
+                    }
+                    h.push(Op::Commit {
+                        txn: TxnId(t as u64),
+                    });
+                }
+            }
+            h
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The MVSG exhaustive search and the serial-order enumeration are two
+    /// independent implementations of the 1SR definition; they must agree.
+    #[test]
+    fn mvsg_and_enumeration_agree(h in arb_history(4, 14)) {
+        prop_assume!(h.validate().is_ok());
+        let by_mvsg = mvsg::check_exhaustive(&h, 1_000_000);
+        let by_enum = equiv::find_equivalent_serial_order(&h, 1_000_000);
+        if let (Ok(m), Ok(e)) = (by_mvsg, by_enum) {
+            prop_assert_eq!(m.is_some(), e.is_some(), "history: {}", h);
+        }
+    }
+
+    /// tn-order acceptance implies some-order acceptance (tn order is one
+    /// of the searched orders).
+    #[test]
+    fn tn_order_is_sound(h in arb_history(4, 14)) {
+        prop_assume!(h.validate().is_ok());
+        if mvsg::is_one_copy_serializable(&h) {
+            if let Ok(found) = mvsg::check_exhaustive(&h, 1_000_000) {
+                prop_assert!(found.is_some(), "history: {}", h);
+            }
+        }
+    }
+
+    /// Notation round-trips for arbitrary generated histories.
+    #[test]
+    fn notation_round_trips(h in arb_history(5, 20)) {
+        let text = format_history(&h);
+        let parsed = parse_history(&text).unwrap();
+        prop_assert_eq!(parsed.ops(), h.ops());
+    }
+
+    /// A strictly serial execution (each txn runs to completion alone,
+    /// reading only the latest committed version) is always 1SR.
+    #[test]
+    fn serial_executions_always_1sr(
+        script in proptest::collection::vec(
+            (proptest::collection::vec((0..4u64, proptest::bool::ANY), 1..4), proptest::bool::ANY),
+            1..6,
+        )
+    ) {
+        let mut h = History::new();
+        let mut latest: BTreeMap<ObjectId, TxnId> = BTreeMap::new();
+        for (i, (ops, commit)) in script.iter().enumerate() {
+            let txn = TxnId(i as u64 + 1);
+            h.push(Op::Begin { txn });
+            let mut wrote: Vec<ObjectId> = Vec::new();
+            for &(o, is_write) in ops {
+                let obj = ObjectId(o);
+                if is_write {
+                    if !wrote.contains(&obj) {
+                        wrote.push(obj);
+                        h.push(Op::Write { txn, obj });
+                    }
+                } else if !wrote.contains(&obj) {
+                    // reads precede writes per object in the model
+                    let v = latest.get(&obj).copied().unwrap_or(INITIAL_TXN);
+                    h.push(Op::Read { txn, obj, version: v });
+                }
+            }
+            if *commit {
+                for o in wrote {
+                    latest.insert(o, txn);
+                }
+                h.push(Op::Commit { txn });
+            } else {
+                h.push(Op::Abort { txn });
+            }
+        }
+        prop_assert!(h.validate().is_ok(), "history: {}", h);
+        prop_assert!(mvsg::is_one_copy_serializable(&h), "history: {}", h);
+    }
+
+    /// Random graphs: topo_sort is a correct witness (respects all edges)
+    /// and find_cycle returns a real cycle exactly when topo_sort fails.
+    #[test]
+    fn graph_invariants(edges in proptest::collection::vec((0..8u64, 0..8u64), 0..24)) {
+        let mut g = DiGraph::new();
+        for &(a, b) in &edges {
+            g.add_edge(TxnId(a), TxnId(b));
+        }
+        match g.topo_sort() {
+            Some(order) => {
+                prop_assert!(g.find_cycle().is_none());
+                let pos: BTreeMap<TxnId, usize> =
+                    order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+                for &(a, b) in &edges {
+                    prop_assert!(pos[&TxnId(a)] < pos[&TxnId(b)] || a == b);
+                }
+            }
+            None => {
+                let cyc = g.find_cycle().expect("cyclic graph must yield a cycle");
+                prop_assert!(cyc.len() >= 2);
+                prop_assert_eq!(cyc.first(), cyc.last());
+                for w in cyc.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]), "missing edge {}->{}", w[0], w[1]);
+                }
+            }
+        }
+    }
+}

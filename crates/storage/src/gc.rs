@@ -1,0 +1,156 @@
+//! Garbage collection support (paper Section 6).
+//!
+//! "The only restriction the version control mechanism imposes on the
+//! garbage collection scheme is that it must not discard any version of
+//! objects as young as or younger than `vtnc`." A GC pass therefore prunes
+//! against a *watermark* no larger than `vtnc`; and because versions older
+//! than `vtnc` may still be needed by *currently running* read-only
+//! transactions (whose start numbers were earlier values of `vtnc`), the
+//! watermark is further lowered to the minimum live start number tracked
+//! by [`RoScanRegistry`]. The paper notes this integration is easy
+//! precisely because RO transactions are invisible to concurrency control:
+//! "a garbage collection algorithm, which keeps the information about
+//! read-only transactions, can be easily integrated".
+
+use crate::VersionNo;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Statistics of one GC pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Watermark the pass used.
+    pub watermark: VersionNo,
+    /// Number of chains visited.
+    pub chains_examined: usize,
+    /// Committed versions removed.
+    pub versions_pruned: usize,
+    /// Committed versions remaining after the pass.
+    pub versions_retained: usize,
+}
+
+/// Multiset of live read-only start numbers.
+///
+/// Each RO transaction registers its start number when it begins and
+/// deregisters on completion; [`RoScanRegistry::min_active`] bounds the GC
+/// watermark from below. Registration is the *only* bookkeeping an RO
+/// transaction performs besides `VCstart()`, and it is with the GC — not
+/// with concurrency control — preserving the paper's separation.
+#[derive(Default)]
+pub struct RoScanRegistry {
+    active: Mutex<BTreeMap<VersionNo, usize>>,
+}
+
+impl RoScanRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read-only transaction starting with start number `sn`.
+    pub fn register(&self, sn: VersionNo) {
+        *self.active.lock().entry(sn).or_insert(0) += 1;
+    }
+
+    /// Record the completion of a read-only transaction that had start
+    /// number `sn`. Returns `false` if no such registration existed.
+    pub fn deregister(&self, sn: VersionNo) -> bool {
+        let mut map = self.active.lock();
+        match map.get_mut(&sn) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                true
+            }
+            Some(_) => {
+                map.remove(&sn);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The smallest live start number, if any RO transaction is running.
+    pub fn min_active(&self) -> Option<VersionNo> {
+        self.active.lock().keys().next().copied()
+    }
+
+    /// Number of live registrations.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().values().sum()
+    }
+
+    /// The GC watermark given the current `vtnc`: the largest number `w`
+    /// such that every live *and future* start number is `≥ w`.
+    pub fn watermark(&self, vtnc: VersionNo) -> VersionNo {
+        match self.min_active() {
+            Some(m) => m.min(vtnc),
+            None => vtnc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_watermark_is_vtnc() {
+        let r = RoScanRegistry::new();
+        assert_eq!(r.min_active(), None);
+        assert_eq!(r.watermark(42), 42);
+        assert_eq!(r.active_count(), 0);
+    }
+
+    #[test]
+    fn watermark_clamped_by_oldest_reader() {
+        let r = RoScanRegistry::new();
+        r.register(10);
+        r.register(20);
+        assert_eq!(r.watermark(25), 10);
+        assert!(r.deregister(10));
+        assert_eq!(r.watermark(25), 20);
+        assert!(r.deregister(20));
+        assert_eq!(r.watermark(25), 25);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let r = RoScanRegistry::new();
+        r.register(5);
+        r.register(5);
+        assert_eq!(r.active_count(), 2);
+        assert!(r.deregister(5));
+        assert_eq!(r.min_active(), Some(5));
+        assert!(r.deregister(5));
+        assert_eq!(r.min_active(), None);
+        assert!(!r.deregister(5));
+    }
+
+    #[test]
+    fn watermark_never_exceeds_vtnc() {
+        let r = RoScanRegistry::new();
+        r.register(100); // reader started "in the future" relative to vtnc 7
+        assert_eq!(r.watermark(7), 7);
+    }
+
+    #[test]
+    fn concurrent_register_deregister() {
+        use std::sync::Arc;
+        let r = Arc::new(RoScanRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let sn = t * 1000 + i;
+                    r.register(sn);
+                    assert!(r.deregister(sn));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.active_count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Multiversion storage substrate for the `mvdb` workspace.
+//!
+//! The 1989 paper assumes "for each object `x` in the database, there is a
+//! list of associated versions" (Section 3.2) and leaves the storage layer
+//! abstract. This crate is that substrate, built from scratch:
+//!
+//! * [`value`] — cheaply-cloneable values ([`bytes::Bytes`]-backed).
+//! * [`version`] — committed and *pending* versions. A pending version is
+//!   the paper's "version φ" under 2PL (Figure 4): installed during the
+//!   execution phase and stamped with the transaction number only at
+//!   commit, after `VCregister`.
+//! * [`chain`] — per-object version chains ordered by version number
+//!   (= creator transaction number), with snapshot reads
+//!   (`largest version ≤ sn`, Figure 2), read/write timestamps for the
+//!   timestamp-ordering protocol, and pruning.
+//! * [`store`] — a sharded concurrent map of chains with condition-variable
+//!   waiting, used by protocols that must *block* a read on a pending
+//!   write (Figure 3's "may be delayed due to the pending writes").
+//! * [`gc`] — watermark garbage collection. The only rule version control
+//!   imposes (paper Section 6): never discard versions "as young as or
+//!   younger than `vtnc`"; additionally a registry of live read-only start
+//!   numbers lowers the watermark so active snapshots stay readable.
+//! * [`stats`] — storage statistics used by the experiments.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chain;
+pub mod gc;
+pub mod persist;
+pub mod stats;
+pub mod store;
+pub mod value;
+pub mod version;
+
+pub use chain::VersionChain;
+pub use gc::{GcStats, RoScanRegistry};
+pub use persist::CheckpointStats;
+pub use stats::StoreStats;
+pub use store::{MvStore, WaitOutcome, WaitTimeout};
+pub use value::Value;
+pub use version::{CommittedVersion, PendingVersion};
+
+/// Version numbers are transaction numbers (`u64`); the initial version of
+/// every object has number 0 (written by the pseudo-transaction `T_0`).
+pub type VersionNo = u64;
+
+/// The version number of every object's initial version.
+pub const INITIAL_VERSION: VersionNo = 0;

@@ -1,0 +1,393 @@
+//! Sharded concurrent multiversion store.
+//!
+//! [`MvStore`] maps objects to [`VersionChain`]s behind per-shard mutexes,
+//! with a per-shard condition variable so protocols can *block* on chain
+//! state — e.g. a timestamp-ordering read waiting out a pending write by
+//! an older transaction (paper Figure 3). Read-only snapshot reads
+//! ([`MvStore::read_at`]) never block: they look only at committed
+//! versions, which is the structural basis of the paper's "read requests
+//! of read-only transactions are never rejected" claim.
+
+use crate::chain::VersionChain;
+use crate::gc::GcStats;
+use crate::stats::StoreStats;
+use crate::value::Value;
+use crate::VersionNo;
+use mvcc_model::ObjectId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Result of one poll inside [`MvStore::wait_until`].
+pub enum WaitOutcome<R> {
+    /// Done; return this value.
+    Ready(R),
+    /// Condition not met; sleep until the chain's shard changes.
+    Wait,
+}
+
+/// A blocking wait exceeded its deadline.
+///
+/// The paper's protocols never deadlock through these waits (TO blocks
+/// only behind *older* transactions, which cannot in turn wait on younger
+/// ones), so a timeout indicates either a protocol bug or an aborted
+/// waitee whose wake-up was lost; callers surface it as a transaction
+/// abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// How long the caller waited.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage wait timed out after {:?}", self.waited)
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
+struct Shard {
+    map: Mutex<HashMap<ObjectId, VersionChain>>,
+    cv: Condvar,
+}
+
+/// Sharded map of object → version chain.
+///
+/// ```
+/// use mvcc_storage::{MvStore, Value};
+/// use mvcc_model::ObjectId;
+///
+/// let store = MvStore::new();
+/// let x = ObjectId(1);
+/// store.seed(x, Value::from_u64(10)); // initial version x_0
+/// store.with(x, |chain| chain.insert_committed(5, Value::from_u64(50)).unwrap());
+///
+/// // snapshot reads: largest version number ≤ sn
+/// assert_eq!(store.read_at(x, 4).unwrap().0, 0);
+/// assert_eq!(store.read_at(x, 9).unwrap().1.as_u64(), Some(50));
+/// ```
+pub struct MvStore {
+    shards: Box<[Shard]>,
+}
+
+impl std::fmt::Debug for MvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvStore")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for MvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MvStore {
+    /// Store with a default shard count suited to benchmark thread counts.
+    pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    /// Store with an explicit power-of-two-ish shard count (min 1).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                map: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MvStore { shards }
+    }
+
+    fn shard(&self, obj: ObjectId) -> &Shard {
+        // Fibonacci hashing spreads sequential object ids across shards.
+        let h = obj.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Run `f` with exclusive access to `obj`'s chain (created on first
+    /// touch, holding the implicit initial version).
+    pub fn with<R>(&self, obj: ObjectId, f: impl FnOnce(&mut VersionChain) -> R) -> R {
+        let shard = self.shard(obj);
+        let mut map = shard.map.lock();
+        f(map.entry(obj).or_default())
+    }
+
+    /// Repeatedly run `f` until it returns [`WaitOutcome::Ready`], sleeping
+    /// on the shard's condition variable between polls. Wakes on any
+    /// [`notify`](Self::notify) for an object in the same shard.
+    pub fn wait_until<R>(
+        &self,
+        obj: ObjectId,
+        timeout: Duration,
+        mut f: impl FnMut(&mut VersionChain) -> WaitOutcome<R>,
+    ) -> Result<R, WaitTimeout> {
+        let shard = self.shard(obj);
+        let deadline = Instant::now() + timeout;
+        let mut map = shard.map.lock();
+        loop {
+            if let WaitOutcome::Ready(r) = f(map.entry(obj).or_default()) {
+                return Ok(r);
+            }
+            if shard.cv.wait_until(&mut map, deadline).timed_out() {
+                // Final re-check: the condition may have become true in the
+                // race between the last poll and the timeout.
+                if let WaitOutcome::Ready(r) = f(map.entry(obj).or_default()) {
+                    return Ok(r);
+                }
+                return Err(WaitTimeout { waited: timeout });
+            }
+        }
+    }
+
+    /// Wake every waiter that could be blocked on `obj`'s chain. Call
+    /// after commits, aborts, and pending-version changes.
+    pub fn notify(&self, obj: ObjectId) {
+        self.shard(obj).cv.notify_all();
+    }
+
+    // ---- convenience wrappers ---------------------------------------------
+
+    /// Non-blocking snapshot read: `(version number, value)` of the
+    /// largest committed version `≤ sn` (paper Figure 2). `None` means GC
+    /// pruned the needed version.
+    pub fn read_at(&self, obj: ObjectId, sn: VersionNo) -> Option<(VersionNo, Value)> {
+        self.with(obj, |c| c.at(sn).map(|v| (v.number, v.value.clone())))
+    }
+
+    /// Non-blocking read of the latest committed version.
+    pub fn read_latest(&self, obj: ObjectId) -> (VersionNo, Value) {
+        self.with(obj, |c| {
+            let v = c.latest();
+            (v.number, v.value.clone())
+        })
+    }
+
+    /// Set the initial version's payload (bulk loading).
+    pub fn seed(&self, obj: ObjectId, value: Value) {
+        self.with(obj, |c| c.seed(value));
+    }
+
+    /// Every object currently materialized.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.map.lock().keys().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Aggregate statistics across all chains.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
+        for shard in self.shards.iter() {
+            let map = shard.map.lock();
+            s.objects += map.len();
+            for chain in map.values() {
+                s.committed_versions += chain.committed_len();
+                s.pending_versions += chain.pending_len();
+                s.payload_bytes += chain.payload_bytes();
+            }
+        }
+        s
+    }
+
+    /// Prune every chain against `watermark` (see
+    /// [`VersionChain::prune_below`]): all live and future start numbers
+    /// must be `≥ watermark`. Returns aggregate GC statistics.
+    pub fn collect_garbage(&self, watermark: VersionNo) -> GcStats {
+        self.collect_garbage_keep(watermark, 1)
+    }
+
+    /// Like [`collect_garbage`](Self::collect_garbage) but retaining up
+    /// to `keep` versions at or below the watermark per chain (bounded
+    /// history for time-travel reads).
+    pub fn collect_garbage_keep(&self, watermark: VersionNo, keep: usize) -> GcStats {
+        let mut stats = GcStats::default();
+        for shard in self.shards.iter() {
+            let mut map = shard.map.lock();
+            for chain in map.values_mut() {
+                stats.chains_examined += 1;
+                let removed = chain.prune_keep_recent(watermark, keep);
+                stats.versions_pruned += removed;
+                stats.versions_retained += chain.committed_len();
+            }
+        }
+        stats.watermark = watermark;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::PendingVersion;
+    use mvcc_model::TxnId;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn read_at_on_fresh_object_returns_initial() {
+        let s = MvStore::new();
+        let (n, v) = s.read_at(obj(1), 100).unwrap();
+        assert_eq!(n, 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn seed_then_read() {
+        let s = MvStore::new();
+        s.seed(obj(1), Value::from_u64(7));
+        assert_eq!(s.read_latest(obj(1)).1.as_u64(), Some(7));
+    }
+
+    #[test]
+    fn with_mutates_chain() {
+        let s = MvStore::new();
+        s.with(obj(2), |c| c.insert_committed(5, Value::from_u64(50)).unwrap());
+        assert_eq!(s.read_at(obj(2), 5).unwrap().0, 5);
+        assert_eq!(s.read_at(obj(2), 4).unwrap().0, 0);
+    }
+
+    #[test]
+    fn objects_lists_touched() {
+        let s = MvStore::new();
+        s.seed(obj(3), Value::empty());
+        s.seed(obj(1), Value::empty());
+        assert_eq!(s.objects(), vec![obj(1), obj(3)]);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let s = MvStore::new();
+        s.with(obj(1), |c| c.insert_committed(1, Value::from_u64(1)).unwrap());
+        s.with(obj(2), |c| {
+            c.install_pending(PendingVersion::phi(TxnId(9), Value::from_str("abc")))
+        });
+        let st = s.stats();
+        assert_eq!(st.objects, 2);
+        assert_eq!(st.committed_versions, 3); // two initials + one insert
+        assert_eq!(st.pending_versions, 1);
+        assert_eq!(st.payload_bytes, 11);
+    }
+
+    #[test]
+    fn wait_until_ready_immediately() {
+        let s = MvStore::new();
+        let r = s
+            .wait_until(obj(1), Duration::from_millis(10), |c| {
+                WaitOutcome::Ready(c.latest().number)
+            })
+            .unwrap();
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let s = MvStore::new();
+        let err = s
+            .wait_until::<()>(obj(1), Duration::from_millis(20), |_| WaitOutcome::Wait)
+            .unwrap_err();
+        assert_eq!(err.waited, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn wait_until_wakes_on_notify() {
+        let s = Arc::new(MvStore::new());
+        let s2 = Arc::clone(&s);
+        let waiter = thread::spawn(move || {
+            s2.wait_until(obj(7), Duration::from_secs(5), |c| {
+                if c.latest().number >= 3 {
+                    WaitOutcome::Ready(c.latest().value.as_u64())
+                } else {
+                    WaitOutcome::Wait
+                }
+            })
+        });
+        thread::sleep(Duration::from_millis(20));
+        s.with(obj(7), |c| c.insert_committed(3, Value::from_u64(33)).unwrap());
+        s.notify(obj(7));
+        let got = waiter.join().unwrap().unwrap();
+        assert_eq!(got, Some(33));
+    }
+
+    #[test]
+    fn gc_prunes_across_objects() {
+        let s = MvStore::new();
+        for o in 0..10u64 {
+            s.with(obj(o), |c| {
+                for n in 1..=5 {
+                    c.insert_committed(n, Value::from_u64(n)).unwrap();
+                }
+            });
+        }
+        let stats = s.collect_garbage(5);
+        assert_eq!(stats.chains_examined, 10);
+        assert_eq!(stats.versions_pruned, 50); // versions 0..4 die per chain
+        assert_eq!(stats.versions_retained, 10);
+        assert_eq!(stats.watermark, 5);
+        // snapshot at watermark still served
+        assert_eq!(s.read_at(obj(0), 5).unwrap().0, 5);
+        // snapshot below watermark is gone
+        assert!(s.read_at(obj(0), 3).is_none());
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_objects() {
+        let s = Arc::new(MvStore::with_shards(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    let o = obj(t * 100 + i);
+                    s.with(o, |c| c.insert_committed(1, Value::from_u64(i)).unwrap());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.stats().objects, 800);
+    }
+
+    #[test]
+    fn concurrent_same_object_versions() {
+        let s = Arc::new(MvStore::new());
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for i in 0..50u64 {
+                    let n = t * 1000 + i;
+                    s.with(obj(1), |c| {
+                        c.insert_committed(n, Value::from_u64(n)).unwrap()
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let chain_len = s.with(obj(1), |c| c.committed_len());
+        assert_eq!(chain_len, 1 + 8 * 50);
+        // chain stayed sorted
+        s.with(obj(1), |c| {
+            let nums: Vec<u64> = c.committed().iter().map(|v| v.number).collect();
+            let mut sorted = nums.clone();
+            sorted.sort_unstable();
+            assert_eq!(nums, sorted);
+        });
+    }
+}

@@ -1,0 +1,166 @@
+//! Cheaply-cloneable opaque values.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// An opaque database value.
+///
+/// Backed by [`Bytes`], so cloning a value into a new version is an atomic
+/// refcount bump — version chains never deep-copy payloads. Helper
+/// constructors cover the encodings the examples and workloads use.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// The empty value (also every object's initial-version payload unless
+    /// seeded otherwise).
+    pub fn empty() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// Wrap raw bytes.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
+        Value(b.into())
+    }
+
+    /// Encode a `u64` (big-endian, fixed width).
+    pub fn from_u64(v: u64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Encode an `i64` (big-endian, fixed width).
+    pub fn from_i64(v: i64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Encode a UTF-8 string.
+    #[allow(clippy::should_implement_trait)] // infallible constructor, not a parse
+    pub fn from_str(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    /// Decode as `u64` if the payload is exactly 8 bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0
+            .as_ref()
+            .try_into()
+            .ok()
+            .map(u64::from_be_bytes)
+    }
+
+    /// Decode as `i64` if the payload is exactly 8 bytes.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0
+            .as_ref()
+            .try_into()
+            .ok()
+            .map(i64::from_be_bytes)
+    }
+
+    /// Decode as UTF-8 if valid.
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.0).ok()
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.as_u64() {
+            write!(f, "Value(u64:{v})")
+        } else if let Some(s) = self.as_str() {
+            write!(f, "Value({s:?})")
+        } else {
+            write!(f, "Value({} bytes)", self.0.len())
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::from_u64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::from_str(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::from_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let v = Value::from_u64(42);
+        assert_eq!(v.as_u64(), Some(42));
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn i64_round_trip_negative() {
+        let v = Value::from_i64(-7);
+        assert_eq!(v.as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn str_round_trip() {
+        let v = Value::from_str("hello");
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(v.as_u64(), None); // wrong width
+    }
+
+    #[test]
+    fn empty_value() {
+        let v = Value::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v, Value::default());
+    }
+
+    #[test]
+    fn clone_is_shallow_equal() {
+        let v = Value::from_str("payload");
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(v.as_bytes().as_ptr(), w.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Value::from_u64(5)), "Value(u64:5)");
+        assert!(format!("{:?}", Value::from_str("abcdefghij")).contains("abcdefghij"));
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Value = 9u64.into();
+        assert_eq!(a.as_u64(), Some(9));
+        let b: Value = "s".into();
+        assert_eq!(b.as_str(), Some("s"));
+        let c: Value = vec![1u8, 2, 3].into();
+        assert_eq!(c.as_bytes(), &[1, 2, 3]);
+    }
+}

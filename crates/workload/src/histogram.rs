@@ -1,0 +1,223 @@
+//! Log-bucketed latency histogram (power-of-two nanosecond buckets).
+//!
+//! Fixed memory, O(1) record, mergeable across driver threads, with
+//! approximate quantiles by geometric interpolation within a bucket —
+//! the standard trick for benchmark latency collection without
+//! per-sample storage.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A histogram of durations.
+///
+/// ```
+/// use mvcc_workload::Histogram;
+/// use std::time::Duration;
+///
+/// let mut h = Histogram::new();
+/// for us in [10, 20, 30] {
+///     h.record(Duration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.mean(), Duration::from_micros(20));
+/// assert!(h.p99() >= h.p50());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        (64 - ns.leading_zeros()) as usize % BUCKETS
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` by locating the bucket holding
+    /// the q-th sample and interpolating geometrically inside it.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = (1u64 << i.min(62)).max(lo + 1);
+                let frac = (target - seen) as f64 / c as f64;
+                let ns = lo as f64 + (hi - lo) as f64 * frac;
+                return Duration::from_nanos(ns.min(self.max_ns as f64) as u64);
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Shorthand for the median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_extremes_exact() {
+        let mut h = Histogram::new();
+        h.record(us(10));
+        h.record(us(20));
+        h.record(us(30));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), us(20));
+        assert_eq!(h.max(), us(30));
+        assert_eq!(h.min(), us(10));
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_right() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(us(100));
+        }
+        h.record(Duration::from_millis(10));
+        let p50 = h.p50();
+        assert!(p50 >= us(50) && p50 <= us(200), "p50 {p50:?}");
+        let p99 = h.p99();
+        assert!(p99 >= us(50), "p99 {p99:?}");
+        assert!(h.quantile(1.0) >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(us(10));
+        b.record(us(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), us(1000));
+        assert_eq!(a.min(), us(10));
+        assert_eq!(a.mean(), us(505));
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_nanos(i * 97));
+        }
+        let mut prev = Duration::ZERO;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at {q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_duration_sample() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+}

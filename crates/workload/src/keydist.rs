@@ -1,0 +1,196 @@
+//! Key-access distributions.
+
+use rand::Rng;
+use std::sync::Arc;
+
+/// How transaction keys are drawn from `0..n_objects`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every object equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta` (`theta = 0` degenerates to
+    /// uniform; common skew is `0.8…1.2`). Rank 0 is the hottest key.
+    Zipf {
+        /// Skew exponent.
+        theta: f64,
+    },
+}
+
+/// A sampler for a fixed `(distribution, n)` pair.
+///
+/// Zipf sampling precomputes the normalized CDF once (O(n)) and samples
+/// by binary search (O(log n)); the CDF is behind an [`Arc`] so driver
+/// threads share one copy.
+/// ```
+/// use mvcc_workload::{KeyDist, KeySampler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let sampler = KeySampler::new(KeyDist::Zipf { theta: 1.0 }, 100);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let key = sampler.sample(&mut rng);
+/// assert!(key < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    n: u64,
+    cdf: Option<Arc<[f64]>>,
+}
+
+impl KeySampler {
+    /// Build a sampler over `0..n` (`n ≥ 1`).
+    pub fn new(dist: KeyDist, n: u64) -> Self {
+        assert!(n >= 1, "need at least one object");
+        match dist {
+            KeyDist::Uniform => KeySampler { n, cdf: None },
+            KeyDist::Zipf { theta } => {
+                if theta == 0.0 {
+                    return KeySampler { n, cdf: None };
+                }
+                let mut weights = Vec::with_capacity(n as usize);
+                let mut total = 0.0f64;
+                for rank in 0..n {
+                    let w = 1.0 / ((rank + 1) as f64).powf(theta);
+                    total += w;
+                    weights.push(total);
+                }
+                for w in &mut weights {
+                    *w /= total;
+                }
+                KeySampler {
+                    n,
+                    cdf: Some(weights.into()),
+                }
+            }
+        }
+    }
+
+    /// Number of objects.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.cdf {
+            None => rng.random_range(0..self.n),
+            Some(cdf) => {
+                let u: f64 = rng.random();
+                cdf.partition_point(|&c| c < u) as u64
+            }
+        }
+    }
+
+    /// Draw `k` distinct keys (k ≤ n), preserving draw order.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<u64> {
+        let k = k.min(self.n as usize);
+        let mut out = Vec::with_capacity(k);
+        let mut guard = 0;
+        while out.len() < k {
+            let key = self.sample(rng);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+            guard += 1;
+            if guard > 64 * k {
+                // Extremely skewed + tiny n: fall back to a sweep.
+                for key in 0..self.n {
+                    if out.len() == k {
+                        break;
+                    }
+                    if !out.contains(&key) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_range() {
+        let s = KeySampler::new(KeyDist::Uniform, 10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let s = KeySampler::new(KeyDist::Zipf { theta: 1.0 }, 1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut hot = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if s.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // With theta=1, the top-10 of 1000 keys draw ~39% of accesses.
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.30, "zipf not skewed enough: {frac}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniform() {
+        let s = KeySampler::new(KeyDist::Zipf { theta: 0.0 }, 100);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hot = 0;
+        for _ in 0..10_000 {
+            if s.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / 10_000.0;
+        assert!((frac - 0.10).abs() < 0.03, "should be ~uniform: {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 1.2 }] {
+            let s = KeySampler::new(dist, 7);
+            let mut rng = SmallRng::seed_from_u64(4);
+            for _ in 0..1000 {
+                assert!(s.sample(&mut rng) < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_sampling() {
+        let s = KeySampler::new(KeyDist::Zipf { theta: 2.0 }, 5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let keys = s.sample_distinct(&mut rng, 5);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+        }
+        // k larger than n clamps
+        assert_eq!(s.sample_distinct(&mut rng, 10).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = KeySampler::new(KeyDist::Zipf { theta: 0.9 }, 50);
+        let a: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..20).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

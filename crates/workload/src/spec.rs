@@ -1,0 +1,112 @@
+//! Workload specification.
+
+use crate::keydist::KeyDist;
+
+/// A synthetic transaction mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Database size (objects `0..n_objects`).
+    pub n_objects: u64,
+    /// Probability that a generated transaction is read-only.
+    pub ro_fraction: f64,
+    /// Reads per read-only transaction.
+    pub ro_ops: usize,
+    /// Operations per read-write transaction.
+    pub rw_ops: usize,
+    /// Probability that a read-write operation is a write (the rest are
+    /// reads). Ignored when `use_increments` is set.
+    pub rw_write_fraction: f64,
+    /// Use read-modify-write increments instead of independent
+    /// reads/writes (maximizes conflicts; the totals are checkable).
+    pub use_increments: bool,
+    /// Key distribution.
+    pub distribution: KeyDist,
+    /// Base RNG seed; thread `t` derives `seed ⊕ (t+1)·0x9E3779B9…`.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_objects: 1024,
+            ro_fraction: 0.5,
+            ro_ops: 4,
+            rw_ops: 4,
+            rw_write_fraction: 0.5,
+            use_increments: false,
+            distribution: KeyDist::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Builder-style override of the read-only fraction.
+    pub fn with_ro_fraction(mut self, f: f64) -> Self {
+        self.ro_fraction = f;
+        self
+    }
+
+    /// Builder-style override of the object count.
+    pub fn with_objects(mut self, n: u64) -> Self {
+        self.n_objects = n;
+        self
+    }
+
+    /// Builder-style override of the distribution.
+    pub fn with_distribution(mut self, d: KeyDist) -> Self {
+        self.distribution = d;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builder-style switch to increment (read-modify-write) mode.
+    pub fn with_increments(mut self) -> Self {
+        self.use_increments = true;
+        self
+    }
+
+    /// Per-thread RNG seed derivation.
+    pub fn thread_seed(&self, thread: usize) -> u64 {
+        self.seed ^ ((thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let s = WorkloadSpec::default();
+        assert!(s.n_objects > 0);
+        assert!((0.0..=1.0).contains(&s.ro_fraction));
+        assert!(s.ro_ops > 0 && s.rw_ops > 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let s = WorkloadSpec::default()
+            .with_ro_fraction(0.9)
+            .with_objects(10)
+            .with_distribution(KeyDist::Zipf { theta: 1.0 })
+            .with_seed(7)
+            .with_increments();
+        assert_eq!(s.ro_fraction, 0.9);
+        assert_eq!(s.n_objects, 10);
+        assert_eq!(s.seed, 7);
+        assert!(s.use_increments);
+    }
+
+    #[test]
+    fn thread_seeds_differ() {
+        let s = WorkloadSpec::default();
+        assert_ne!(s.thread_seed(0), s.thread_seed(1));
+        assert_eq!(s.thread_seed(3), s.thread_seed(3));
+    }
+}

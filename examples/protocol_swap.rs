@@ -1,0 +1,92 @@
+//! Modularity in action: one application, three concurrency controls.
+//!
+//! ```sh
+//! cargo run --example protocol_swap
+//! ```
+//!
+//! The paper's thesis is that version control composes with *any*
+//! conflict-based concurrency control. This example writes the
+//! application once — generic over [`ConcurrencyControl`] — and runs it
+//! unchanged over two-phase locking, timestamp ordering, and optimistic
+//! concurrency control. The read-only reporting code is not even
+//! generic: `RoTxn` has no protocol parameter at all.
+
+use mvdb::cc::{Optimistic, TimestampOrdering, TwoPhaseLocking};
+use mvdb::core::db::MvDatabase;
+use mvdb::core::prelude::*;
+
+/// The "application": seed a counter matrix, run concurrent row bumps,
+/// then produce a report from a single snapshot.
+fn run_app<C: ConcurrencyControl>(db: &MvDatabase<C>) -> (u64, Vec<u64>, u64) {
+    const ROWS: u64 = 8;
+    for r in 0..ROWS {
+        db.seed(ObjectId(r), Value::from_u64(0));
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            scope.spawn(move || {
+                for i in 0..200u64 {
+                    let row = ObjectId((t + i) % ROWS);
+                    db.run_rw(1000, |txn| {
+                        let v = txn.read_u64(row)?.unwrap();
+                        txn.write(row, Value::from_u64(v + 1))
+                    })
+                    .expect("bump eventually commits");
+                }
+            });
+        }
+    });
+
+    // Reporting: the read-only path — identical for every protocol, by
+    // construction (RoTxn is not generic over C).
+    let mut report = db.begin_read_only();
+    let rows: Vec<u64> = (0..ROWS)
+        .map(|r| report.read_u64(ObjectId(r)).unwrap().unwrap())
+        .collect();
+    let sn = report.sn();
+    report.finish();
+    (sn, rows, db.metrics().ro_sync_actions)
+}
+
+fn main() {
+    let on_2pl = MvDatabase::new(TwoPhaseLocking::new());
+    let on_to = MvDatabase::new(TimestampOrdering::new());
+    let on_occ = MvDatabase::new(Optimistic::new());
+
+    let (sn1, rows1, sync1) = run_app(&on_2pl);
+    let (sn2, rows2, sync2) = run_app(&on_to);
+    let (sn3, rows3, sync3) = run_app(&on_occ);
+
+    println!("protocol  sn    row totals                    RO sync actions");
+    println!("2pl       {sn1:<5} {rows1:?}  {sync1}");
+    println!("to        {sn2:<5} {rows2:?}  {sync2}");
+    println!("occ       {sn3:<5} {rows3:?}  {sync3}");
+
+    // Same application outcome under every protocol...
+    assert_eq!(rows1, rows2);
+    assert_eq!(rows2, rows3);
+    assert_eq!(rows1.iter().sum::<u64>(), 800);
+    // ...and the identical single synchronization action per report.
+    assert_eq!((sync1, sync2, sync3), (1, 1, 1));
+
+    // The protocols do differ — on the read-write side, as expected:
+    let (m1, m2, m3) = (on_2pl.metrics(), on_to.metrics(), on_occ.metrics());
+    println!(
+        "\nread-write differences (aborts deadlock/ts/validation):\n\
+         2pl: {}/{}/{}   to: {}/{}/{}   occ: {}/{}/{}",
+        m1.aborts_deadlock,
+        m1.aborts_ts_conflict,
+        m1.aborts_validation,
+        m2.aborts_deadlock,
+        m2.aborts_ts_conflict,
+        m2.aborts_validation,
+        m3.aborts_deadlock,
+        m3.aborts_ts_conflict,
+        m3.aborts_validation,
+    );
+    assert_eq!(m1.aborts_ts_conflict + m1.aborts_validation, 0);
+    assert_eq!(m2.aborts_deadlock + m2.aborts_validation, 0);
+    assert_eq!(m3.aborts_deadlock + m3.aborts_ts_conflict, 0);
+    println!("\nsame version control, three concurrency controls — unchanged app.");
+}

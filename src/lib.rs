@@ -1,0 +1,49 @@
+//! Facade crate re-exporting the whole `mvdb` workspace.
+//!
+//! `mvdb` is a from-scratch reproduction of *Modular Synchronization in
+//! Multiversion Databases: Version Control and Concurrency Control*
+//! (Sen Gupta & Agrawal, 1989). See [`mvcc_core`] for the engine and the
+//! paper's `VersionControl` module, [`mvcc_cc`] for the pluggable
+//! concurrency-control protocols, [`mvcc_baselines`] for the protocols the
+//! paper compares against, and [`mvcc_dist`] for the distributed extension
+//! of Section 6.
+//!
+//! # Example
+//!
+//! ```
+//! use mvdb::cc::presets;
+//! use mvdb::core::prelude::*;
+//!
+//! // The paper's engine: version control + (here) two-phase locking.
+//! let db = presets::vc_2pl(DbConfig::default());
+//! db.seed(ObjectId(0), Value::from_u64(100));
+//!
+//! // Read-write transactions go through the protocol.
+//! let (tn, ()) = db.run_rw(8, |txn| {
+//!     let v = txn.read_for_update(ObjectId(0))?.as_u64().unwrap();
+//!     txn.write(ObjectId(0), Value::from_u64(v + 1))
+//! })?;
+//! assert_eq!(tn, 1);
+//!
+//! // Read-only transactions: one VCstart(), pure snapshot reads.
+//! let mut report = db.begin_read_only();
+//! assert_eq!(report.sn(), 1);
+//! assert_eq!(report.read_u64(ObjectId(0))?, Some(101));
+//! report.finish();
+//!
+//! // The snapshot is stable against later commits.
+//! let mut old = db.begin_read_only();
+//! db.run_rw(8, |txn| txn.write(ObjectId(0), Value::from_u64(999)))?;
+//! assert_eq!(old.read_u64(ObjectId(0))?, Some(101));
+//! # Ok::<(), mvdb::core::DbError>(())
+//! ```
+
+pub use mvcc_baselines as baselines;
+pub use mvcc_cc as cc;
+pub use mvcc_core as core;
+pub use mvcc_dist as dist;
+pub use mvcc_model as model;
+pub use mvcc_storage as storage;
+pub use mvcc_workload as workload;
+
+pub use mvcc_core::prelude::*;

@@ -1,0 +1,237 @@
+//! Cross-crate invariant tests: the two counter properties of Section 4.1
+//! observed through real engine behaviour, snapshot stability, GC safety,
+//! and post-chaos cleanliness of every shared structure.
+
+use mvdb::cc::presets;
+use mvdb::core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+/// Transaction Visibility Property, observed end-to-end: whatever start
+/// number a read-only transaction gets, every read below it must be
+/// fully committed data — concurrently running writers can never surface
+/// inside a snapshot, and re-reading an object must be stable.
+#[test]
+fn snapshots_are_stable_under_concurrent_updates() {
+    let db = presets::vc_to(DbConfig::default());
+    let obj = ObjectId(0);
+    db.seed(obj, Value::from_u64(0));
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        for t in 0..3u64 {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t);
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = db.run_rw(100, |txn| {
+                        let v = txn.read_u64(obj)?.unwrap();
+                        txn.write(obj, Value::from_u64(v + 1))
+                    });
+                    if rng.random_bool(0.01) {
+                        thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            });
+        }
+        let db = &db;
+        let stop = &stop;
+        scope.spawn(move || {
+            for _ in 0..300 {
+                let mut r = db.begin_read_only();
+                let first = r.read_u64(obj).unwrap();
+                thread::yield_now();
+                let second = r.read_u64(obj).unwrap();
+                assert_eq!(first, second, "snapshot read must be repeatable");
+                r.finish();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+}
+
+/// The `vtnc < tnc` requirement and queue consistency hold at every
+/// observable moment during a concurrent run.
+#[test]
+fn counter_properties_hold_under_load() {
+    let db = presets::vc_2pl(DbConfig::default());
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        for t in 0..4u64 {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 50);
+                while !stop.load(Ordering::Relaxed) {
+                    let obj = ObjectId(rng.random_range(0..8));
+                    let _ = db.run_rw(10, |txn| {
+                        let v = txn.read_u64(obj)?.unwrap_or(0);
+                        txn.write(obj, Value::from_u64(v + 1))
+                    });
+                }
+            });
+        }
+        let db = &db;
+        let stop = &stop;
+        scope.spawn(move || {
+            for _ in 0..2000 {
+                db.vc().validate().expect("VC invariant violated mid-run");
+                assert!(db.vc().vtnc() < db.vc().tnc());
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    // quiesced: everything registered has completed
+    assert_eq!(db.vc().queue_len(), 0);
+    assert_eq!(db.vc().lag(), 0);
+}
+
+/// GC safety as a property: run updates + GC concurrently with many
+/// snapshot readers; no reader may ever observe `VersionPruned` as long
+/// as the watermark honors the registry.
+#[test]
+fn gc_never_breaks_live_snapshots() {
+    let db = presets::vc_occ(DbConfig::default());
+    for o in 0..16u64 {
+        db.seed(ObjectId(o), Value::from_u64(1));
+    }
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        // writers
+        for t in 0..2u64 {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 99);
+                while !stop.load(Ordering::Relaxed) {
+                    let obj = ObjectId(rng.random_range(0..16));
+                    let _ = db.run_rw(50, |txn| {
+                        let v = txn.read_u64(obj)?.unwrap_or(0);
+                        txn.write(obj, Value::from_u64(v + 1))
+                    });
+                }
+            });
+        }
+        // aggressive GC loop
+        {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    db.collect_garbage();
+                }
+            });
+        }
+        // snapshot readers — never an error
+        for t in 0..3u64 {
+            let db = &db;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 7);
+                let mut count = 0;
+                while count < 400 {
+                    let mut r = db.begin_read_only();
+                    for _ in 0..4 {
+                        let obj = ObjectId(rng.random_range(0..16));
+                        r.read(obj).expect("GC must never break a live snapshot");
+                    }
+                    r.finish();
+                    count += 1;
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+    });
+}
+
+/// After a run mixing commits, aborts, and handle drops, all shared
+/// structures are clean: no pendings, no queue entries, no lag, and the
+/// data equals the number of successful increments.
+#[test]
+fn chaos_then_clean_state() {
+    let db = presets::vc_2pl(DbConfig::default());
+    let obj = ObjectId(0);
+    db.seed(obj, Value::from_u64(0));
+    let committed = std::sync::atomic::AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        for t in 0..6u64 {
+            let db = &db;
+            let committed = &committed;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 1000);
+                for _ in 0..200 {
+                    match rng.random_range(0..3) {
+                        0 => {
+                            // normal increment (with retries)
+                            if db
+                                .run_rw(200, |txn| {
+                                    let v = txn.read_u64(obj)?.unwrap();
+                                    txn.write(obj, Value::from_u64(v + 1))
+                                })
+                                .is_ok()
+                            {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            // explicit abort after writing
+                            if let Ok(mut txn) = db.begin_read_write() {
+                                let _ = txn.write(obj, Value::from_u64(777));
+                                txn.abort();
+                            }
+                        }
+                        _ => {
+                            // drop without terminal call
+                            if let Ok(mut txn) = db.begin_read_write() {
+                                let _ = txn.write(obj, Value::from_u64(888));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        db.peek_latest(obj).as_u64(),
+        Some(committed.load(Ordering::Relaxed)),
+        "aborted/dropped transactions must leave no effect"
+    );
+    assert_eq!(db.vc().queue_len(), 0, "VCQueue must drain");
+    let stats = db.store_stats();
+    assert_eq!(stats.pending_versions, 0, "no pending versions may leak");
+    // all locks free: an immediate exclusive writer succeeds without waiting
+    let mut t = db.begin_read_write().unwrap();
+    t.write(obj, Value::from_u64(0)).unwrap();
+    t.commit().unwrap();
+}
+
+/// Read-only transactions never interact with the protocol even when the
+/// protocol is wedged: start a writer that holds locks indefinitely and
+/// verify snapshots proceed instantly.
+#[test]
+fn ro_progress_despite_wedged_writers() {
+    let db = presets::vc_2pl(DbConfig::default());
+    db.seed(ObjectId(0), Value::from_u64(5));
+    // Wedge: hold an exclusive lock on the object forever.
+    let mut wedge = db.begin_read_write().unwrap();
+    wedge.write(ObjectId(0), Value::from_u64(6)).unwrap();
+
+    let started = std::time::Instant::now();
+    for _ in 0..100 {
+        let mut r = db.begin_read_only();
+        assert_eq!(r.read_u64(ObjectId(0)).unwrap(), Some(5));
+        r.finish();
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "read-only transactions must not queue behind the wedged writer"
+    );
+    assert_eq!(db.metrics().ro_blocks, 0);
+    wedge.abort();
+}
