@@ -20,7 +20,10 @@
 
 use mvcc_cc::{LockError, LockManager, LockMode};
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome, Tracer};
+use mvcc_core::{
+    AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome,
+    Tracer,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{MvStore, StoreStats, Value};
 use parking_lot::Mutex;
@@ -144,7 +147,10 @@ impl ChanMv2pl {
     fn lock(&self, token: u64, obj: ObjectId, mode: LockMode) -> Result<(), DbError> {
         let m = &self.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
-        match self.locks.acquire(token, obj, mode, self.lock_timeout, true) {
+        match self
+            .locks
+            .acquire(token, obj, mode, self.lock_timeout, true)
+        {
             Ok(a) => {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);

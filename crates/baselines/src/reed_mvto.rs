@@ -21,7 +21,10 @@
 
 use crate::clock::LogicalClock;
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome, Tracer};
+use mvcc_core::{
+    AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome,
+    Tracer,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::store::WaitOutcome;
 use mvcc_storage::{MvStore, PendingVersion, StoreStats, Value};
@@ -170,9 +173,7 @@ impl ReedMvto {
                 if by_ro {
                     m.aborts_due_to_ro.fetch_add(1, Ordering::Relaxed);
                 }
-                return WaitOutcome::Ready(Err(DbError::Aborted(
-                    AbortReason::TimestampConflict,
-                )));
+                return WaitOutcome::Ready(Err(DbError::Aborted(AbortReason::TimestampConflict)));
             }
             c.install_pending(PendingVersion::stamped(TxnId(ts), ts, value.clone()));
             WaitOutcome::Ready(Ok(()))
@@ -249,28 +250,25 @@ impl Engine for ReedMvto {
         for op in ops {
             let step: Result<(), DbError> = match op {
                 OpSpec::Read(k) => self.read(*k, ts, false, &mut trace).map(|_| ()),
-                OpSpec::Write(k, v) => {
-                    self.write(*k, ts, v.clone()).map(|()| {
-                        if !written.contains(k) {
-                            written.push(*k);
-                        }
-                        trace.write(*k);
-                    })
-                }
-                OpSpec::Increment(k, d) => {
-                    match self.read(*k, ts, false, &mut trace) {
-                        Ok((_, v)) => {
-                            let cur = v.as_u64().unwrap_or(0);
-                            self.write(*k, ts, Value::from_u64(cur.wrapping_add(*d))).map(|()| {
+                OpSpec::Write(k, v) => self.write(*k, ts, v.clone()).map(|()| {
+                    if !written.contains(k) {
+                        written.push(*k);
+                    }
+                    trace.write(*k);
+                }),
+                OpSpec::Increment(k, d) => match self.read(*k, ts, false, &mut trace) {
+                    Ok((_, v)) => {
+                        let cur = v.as_u64().unwrap_or(0);
+                        self.write(*k, ts, Value::from_u64(cur.wrapping_add(*d)))
+                            .map(|()| {
                                 if !written.contains(k) {
                                     written.push(*k);
                                 }
                                 trace.write(*k);
                             })
-                        }
-                        Err(e) => Err(e),
                     }
-                }
+                    Err(e) => Err(e),
+                },
             };
             if let Err(e) = step {
                 return fail(e, &written, &trace);
@@ -278,11 +276,13 @@ impl Engine for ReedMvto {
         }
         // Commit: promote every pending version.
         for &obj in &written {
-            let r = self
-                .store
-                .with(obj, |c| c.promote_pending(TxnId(ts), None));
+            let r = self.store.with(obj, |c| c.promote_pending(TxnId(ts), None));
             if let Err(e) = r {
-                return fail(DbError::Internal(format!("mvto promote: {e}")), &written, &trace);
+                return fail(
+                    DbError::Internal(format!("mvto promote: {e}")),
+                    &written,
+                    &trace,
+                );
             }
             self.store.notify(obj);
         }
@@ -389,7 +389,7 @@ mod tests {
         let e = ReedMvto::new();
         let t1 = e.clock.tick(); // 1
         e.run_read_write(&[w(0, 20)]).unwrap(); // ts 2 commits version 2
-        // T1 writes x "into the past" — nobody read version 0 with ts > 1.
+                                                // T1 writes x "into the past" — nobody read version 0 with ts > 1.
         e.write(obj(0), t1, Value::from_u64(10)).unwrap();
         e.store
             .with(obj(0), |c| c.promote_pending(TxnId(t1), None))

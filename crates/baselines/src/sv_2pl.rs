@@ -7,7 +7,10 @@
 
 use mvcc_cc::{LockError, LockManager, LockMode};
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome, Tracer};
+use mvcc_core::{
+    AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome,
+    Tracer,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{StoreStats, Value};
 use parking_lot::Mutex;
@@ -61,13 +64,7 @@ impl SingleVersion2pl {
         self.tracer.as_ref().map(|t| t.history())
     }
 
-    fn lock(
-        &self,
-        token: u64,
-        obj: ObjectId,
-        mode: LockMode,
-        is_ro: bool,
-    ) -> Result<(), DbError> {
+    fn lock(&self, token: u64, obj: ObjectId, mode: LockMode, is_ro: bool) -> Result<(), DbError> {
         let m = &self.metrics;
         if is_ro {
             m.ro_sync_actions.fetch_add(1, Ordering::Relaxed);
@@ -165,7 +162,11 @@ impl Engine for SingleVersion2pl {
         for op in ops {
             let step: Result<(), DbError> = (|| {
                 let buffered = |k: &ObjectId, writes: &[(ObjectId, Value)]| {
-                    writes.iter().rev().find(|(o, _)| o == k).map(|(_, v)| v.clone())
+                    writes
+                        .iter()
+                        .rev()
+                        .find(|(o, _)| o == k)
+                        .map(|(_, v)| v.clone())
                 };
                 match op {
                     OpSpec::Read(k) => {
@@ -299,7 +300,13 @@ mod tests {
         // hold an S lock via a raw token to control timing
         let token = e.next_token.fetch_add(1, Ordering::Relaxed);
         e.locks
-            .acquire(token, obj(0), LockMode::Shared, Duration::from_secs(1), true)
+            .acquire(
+                token,
+                obj(0),
+                LockMode::Shared,
+                Duration::from_secs(1),
+                true,
+            )
             .unwrap();
         let e2 = Arc::clone(&e);
         let h = thread::spawn(move || e2.run_read_write(&[w(0, 2)]));

@@ -30,7 +30,10 @@
 use crate::clock::LogicalClock;
 use mvcc_cc::{LockError, LockManager, LockMode};
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome, Tracer};
+use mvcc_core::{
+    AbortReason, DbError, Engine, Metrics, MetricsSnapshot, OpSpec, RoOutcome, RoRead, RwOutcome,
+    Tracer,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::store::WaitOutcome;
 use mvcc_storage::{MvStore, PendingVersion, StoreStats, Value};
@@ -72,6 +75,14 @@ impl WeihlTi {
     /// Fresh engine with oracle tracing.
     pub fn traced() -> Self {
         Self::build(true)
+    }
+
+    /// Set the lock/reader-writer wait timeout (builder). The default
+    /// (10 s) is effectively "wait forever" for benchmarks; fault
+    /// experiments shrink it so stalled writers cannot wedge readers.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
     }
 
     fn build(trace: bool) -> Self {
@@ -206,15 +217,16 @@ impl Engine for WeihlTi {
                 v.value.clone()
             })
         };
-        let write_here = |k: ObjectId, v: Value, written: &mut Vec<ObjectId>, trace: &mut TxnTrace| {
-            self.store.with(k, |c| {
-                c.install_pending(PendingVersion::phi(TxnId(token), v));
-            });
-            if !written.contains(&k) {
-                written.push(k);
-            }
-            trace.write(k);
-        };
+        let write_here =
+            |k: ObjectId, v: Value, written: &mut Vec<ObjectId>, trace: &mut TxnTrace| {
+                self.store.with(k, |c| {
+                    c.install_pending(PendingVersion::phi(TxnId(token), v));
+                });
+                if !written.contains(&k) {
+                    written.push(k);
+                }
+                trace.write(k);
+            };
 
         for op in ops {
             let step: Result<(), DbError> = (|| {
@@ -239,7 +251,12 @@ impl Engine for WeihlTi {
                             locked.push(*k);
                         }
                         let cur = read_here(*k, &mut trace).as_u64().unwrap_or(0);
-                        write_here(*k, Value::from_u64(cur.wrapping_add(*d)), &mut written, &mut trace);
+                        write_here(
+                            *k,
+                            Value::from_u64(cur.wrapping_add(*d)),
+                            &mut written,
+                            &mut trace,
+                        );
                     }
                 }
                 Ok(())

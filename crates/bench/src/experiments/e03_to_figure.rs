@@ -35,8 +35,7 @@ pub(crate) fn run(_fast: bool) -> String {
     t.write(ObjectId(1), Value::from_u64(x * 2)).unwrap();
     table.row([
         "write(y)".to_string(),
-        "r-ts/w-ts checks passed; create y_2 with version tn(T); w-ts(y) <- tn(T)"
-            .to_string(),
+        "r-ts/w-ts checks passed; create y_2 with version tn(T); w-ts(y) <- tn(T)".to_string(),
     ]);
     let tn = t.commit().unwrap();
     table.row([

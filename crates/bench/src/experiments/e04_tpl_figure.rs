@@ -18,8 +18,7 @@ pub(crate) fn run(_fast: bool) -> String {
     let mut t = db.begin_read_write().unwrap();
     table.row([
         "begin(T)".to_string(),
-        "sn(T) = ∞  /* for uniformity: reads follow locks, not a snapshot */"
-            .to_string(),
+        "sn(T) = ∞  /* for uniformity: reads follow locks, not a snapshot */".to_string(),
     ]);
     assert_eq!(
         db.vc().tnc(),
@@ -37,8 +36,7 @@ pub(crate) fn run(_fast: bool) -> String {
     assert_eq!(latest_y, 0, "version φ must be invisible before commit");
     table.row([
         "write(y)".to_string(),
-        "w-lock(y); create y_φ with version φ (no transaction number yet)"
-            .to_string(),
+        "w-lock(y); create y_φ with version φ (no transaction number yet)".to_string(),
     ]);
     let tn = t.commit().unwrap();
     table.row([

@@ -28,8 +28,7 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 4,
         duration: scaled_ms(fast, 400),
         max_retries: 1000,
-        txn_budget: None,
-        gc_every: None,
+        ..Default::default()
     };
 
     let mut table = Table::new([

@@ -27,8 +27,7 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 6,
         duration: scaled_ms(fast, 400),
         max_retries: 5000,
-        txn_budget: None,
-        gc_every: None,
+        ..Default::default()
     };
 
     let mut table = Table::new([
@@ -41,17 +40,9 @@ pub(crate) fn run(fast: bool) -> String {
     ]);
     for engine in engines::lineup() {
         driver::seed_zeroes(engine.as_ref(), base.n_objects);
-        let alone = driver::run(
-            engine.as_ref(),
-            &base.clone().with_ro_fraction(0.0),
-            &cfg,
-        );
+        let alone = driver::run(engine.as_ref(), &base.clone().with_ro_fraction(0.0), &cfg);
         engine.reset_metrics();
-        let with_ro = driver::run(
-            engine.as_ref(),
-            &base.clone().with_ro_fraction(0.8),
-            &cfg,
-        );
+        let with_ro = driver::run(engine.as_ref(), &base.clone().with_ro_fraction(0.8), &cfg);
         let blocks_per = |r: &mvcc_workload::RunReport| {
             if r.rw_committed == 0 {
                 0.0

@@ -26,8 +26,8 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 6,
         duration: scaled_ms(fast, 300),
         max_retries: 5000,
-        txn_budget: None,
         gc_every: Some(scaled_ms(fast, 50)),
+        ..Default::default()
     };
 
     // --- sweep 1: read-only fraction -------------------------------------
@@ -62,11 +62,7 @@ pub(crate) fn run(fast: bool) -> String {
                 threads: t,
                 ..cfg.clone()
             };
-            let r = driver::run(
-                engine.as_ref(),
-                &spec.clone().with_ro_fraction(0.5),
-                &cfg_t,
-            );
+            let r = driver::run(engine.as_ref(), &spec.clone().with_ro_fraction(0.5), &cfg_t);
             row.push(fmt_rate(r.throughput()));
         }
         table.row(row);

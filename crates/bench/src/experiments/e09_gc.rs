@@ -29,8 +29,7 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 4,
         duration: scaled_ms(fast, 250),
         max_retries: 5000,
-        txn_budget: None,
-        gc_every: None,
+        ..Default::default()
     };
     let cfg_gc = DriverConfig {
         gc_every: Some(scaled_ms(fast, 20)),
@@ -91,7 +90,11 @@ pub(crate) fn run(fast: bool) -> String {
         format!("{:.1}", stats.versions_per_object()),
         format!("{snap:?} — intact"),
     ]);
-    assert_eq!(snap, Ok(Some(999_999_999)), "safe GC must preserve the snapshot");
+    assert_eq!(
+        snap,
+        Ok(Some(999_999_999)),
+        "safe GC must preserve the snapshot"
+    );
     straggler.finish();
     db.collect_garbage();
     let collapsed = db.store_stats();

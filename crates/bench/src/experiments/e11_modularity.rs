@@ -12,8 +12,8 @@
 //!   predicts (2PL blocks, TO aborts on late writes, OCC aborts at
 //!   validation).
 
-use crate::scaled_ms;
 use crate::engines::vc_lineup;
+use crate::scaled_ms;
 use mvcc_cc::presets;
 use mvcc_core::{DbConfig, Engine};
 use mvcc_model::mvsg;
@@ -33,8 +33,7 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 4,
         duration: scaled_ms(fast, 250),
         max_retries: 10_000,
-        txn_budget: None,
-        gc_every: None,
+        ..Default::default()
     };
 
     let mut table = Table::new([
@@ -80,7 +79,7 @@ pub(crate) fn run(fast: bool) -> String {
         // Bound the trace: MVSG checking is superlinear in versions per
         // object, so the oracle gets a fixed-size concurrent trace.
         txn_budget: Some(crate::scaled(fast, 3000)),
-        gc_every: None,
+        ..Default::default()
     };
     let mut oracle = Table::new(["protocol", "trace ops", "MVSG acyclic"]);
     macro_rules! oracle_run {

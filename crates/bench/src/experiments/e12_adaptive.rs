@@ -41,8 +41,7 @@ pub(crate) fn run(fast: bool) -> String {
         threads: 6,
         duration: scaled_ms(fast, 300),
         max_retries: 10_000,
-        txn_budget: None,
-        gc_every: None,
+        ..Default::default()
     };
 
     let mut table = Table::new([
@@ -147,7 +146,10 @@ pub(crate) fn run(fast: bool) -> String {
         total,
         expected,
     ));
-    assert_eq!(total, expected, "restored state must be transaction-consistent");
+    assert_eq!(
+        total, expected,
+        "restored state must be transaction-consistent"
+    );
 
     // restored engine continues where the checkpoint left off
     let (tn, ()) = restored

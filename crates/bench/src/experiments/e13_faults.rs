@@ -1,0 +1,408 @@
+//! E13 — robustness: fault injection, stall reaping, retry/backoff and
+//! distributed in-doubt recovery.
+//!
+//! The paper's liveness story is implicit: `vtnc` advances because every
+//! registered transaction eventually calls `VCcomplete` or `VCdiscard`.
+//! A stalled client breaks that assumption. This experiment injects
+//! faults (deterministically, from a fixed seed) and measures what the
+//! hardening layers buy:
+//!
+//! 1. **Stall sweep** — clients stall right after `begin` at increasing
+//!    rates, under all three protocols. Under timestamp ordering the
+//!    stalled client is already registered, so only the stall reaper
+//!    (registration TTL) keeps visibility moving; under 2PL/OCC
+//!    registration happens at commit, so a stalled client cannot pin
+//!    `vtnc` at all — a modularity consequence the table makes visible.
+//! 2. **Liveness contrast** — the same stall workload with the reaper
+//!    disabled: `vtnc` freezes permanently (the classic Figure 1
+//!    behavior); with a TTL it recovers to zero lag.
+//! 3. **Retry/backoff** — contended increments through the policy-driven
+//!    runner, with the per-reason abort/retry breakdown.
+//! 4. **Distributed faults** — phase-2 commit messages dropped and
+//!    duplicated at increasing rates: participants go in doubt,
+//!    visibility pins, and the resolver finishes transactions from the
+//!    coordinator's decision log. Site crash/recovery rebuilds the
+//!    visibility watermark from durable state.
+//!
+//! Every traced run is checked with the MVSG oracle.
+
+use crate::scaled;
+use mvcc_cc::presets;
+use mvcc_core::{DbConfig, Engine, FaultConfig, FaultPoint, RetryPolicy};
+use mvcc_dist::{Cluster, ClusterConfig, RoMode, SiteId};
+use mvcc_model::{mvsg, ObjectId};
+use mvcc_storage::Value;
+use mvcc_workload::report::{abort_breakdown, Table};
+use mvcc_workload::{driver, WorkloadSpec};
+use std::time::Duration;
+
+const TTL: Duration = Duration::from_millis(4);
+
+fn fault_db_config(stall: f64) -> DbConfig {
+    DbConfig::traced()
+        .with_register_ttl(TTL)
+        .with_lock_wait_timeout(Duration::from_millis(50))
+        .with_read_wait_timeout(Duration::from_millis(50))
+        .with_fault(FaultConfig {
+            seed: 0xE13,
+            stall_after_register: stall,
+            ..Default::default()
+        })
+}
+
+fn stall_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        n_objects: 32,
+        ro_fraction: 0.4,
+        use_increments: true,
+        seed: 13,
+        ..Default::default()
+    }
+}
+
+/// Drive `txns` transactions in chunks, running `maintenance()` (reap +
+/// GC) after each chunk — the tick-driven reaper discipline. Returns
+/// `(committed, gave_up)`.
+fn run_chunked(engine: &dyn Engine, spec: &WorkloadSpec, txns: u64, chunks: u64) -> (u64, u64) {
+    let per_chunk = (txns / chunks).max(1);
+    let (mut committed, mut gave_up) = (0, 0);
+    for _ in 0..chunks {
+        let r = driver::run_fixed_count(engine, spec, per_chunk, 8);
+        committed += r.ro_committed + r.rw_committed;
+        gave_up += r.gave_up;
+        // Let outstanding registrations expire, then reap.
+        std::thread::sleep(TTL + Duration::from_millis(1));
+        engine.maintenance();
+    }
+    (committed, gave_up)
+}
+
+fn part_stall_sweep(fast: bool) -> String {
+    let spec = stall_spec();
+    let txns = scaled(fast, 600);
+    let chunks = if fast { 3 } else { 6 };
+    let mut table = Table::new([
+        "protocol",
+        "stall rate",
+        "committed",
+        "stalled clients",
+        "reaper discards",
+        "final vtnc lag",
+        "MVSG 1SR",
+    ]);
+    for rate in [0.0, 0.02, 0.05] {
+        macro_rules! cell {
+            ($db:expr) => {{
+                let db = $db;
+                driver::seed_zeroes(&db, spec.n_objects);
+                let (committed, gave_up) = run_chunked(&db, &spec, txns, chunks);
+                let m = db.metrics();
+                let lag = db.vc().lag();
+                let h = db.trace_history().expect("traced");
+                let rep = mvsg::check_tn_order(&h);
+                assert!(rep.acyclic, "{} not 1SR under stalls", db.name());
+                assert_eq!(lag, 0, "{}: reaper must drain all stalls", db.name());
+                let stalls = db.faults().injected(FaultPoint::StallAfterRegister);
+                // A stalled client is a gave-up transaction, and under TO
+                // each one must have been force-discarded by the reaper.
+                assert_eq!(gave_up, stalls, "{}: every stall gives up once", db.name());
+                if db.name() == "vc+to" {
+                    assert_eq!(
+                        m.reaper_force_discards, stalls,
+                        "TO registers at begin: every stall needs the reaper"
+                    );
+                } else {
+                    assert_eq!(
+                        m.reaper_force_discards,
+                        0,
+                        "{}: registration at commit — stalls never reach the VC",
+                        db.name()
+                    );
+                }
+                table.row([
+                    db.name(),
+                    format!("{rate:.2}"),
+                    committed.to_string(),
+                    stalls.to_string(),
+                    m.reaper_force_discards.to_string(),
+                    lag.to_string(),
+                    rep.acyclic.to_string(),
+                ]);
+            }};
+        }
+        cell!(presets::vc_to(fault_db_config(rate)));
+        cell!(presets::vc_2pl(fault_db_config(rate)));
+        cell!(presets::vc_occ(fault_db_config(rate)));
+    }
+    let mut out = String::from("stall-after-begin sweep (registration TTL = 4ms, reaper on):\n\n");
+    out.push_str(&table.render());
+    out.push_str(
+        "\nshape: only timestamp ordering registers at begin, so only its stalled \
+         clients ever pin vtnc — and the reaper discards exactly that many. Under \
+         2PL/OCC the stall is invisible to version control (registration happens \
+         at commit): a modularity consequence, not a tuning artifact.\n",
+    );
+    out
+}
+
+fn part_liveness_contrast(fast: bool) -> String {
+    let spec = stall_spec();
+    let txns = scaled(fast, 400);
+    let mut table = Table::new([
+        "reaper",
+        "stalled clients",
+        "vtnc lag after run",
+        "vtnc advanced",
+    ]);
+
+    // Reaper disabled: the classic Figure 1 behavior — frozen forever.
+    let cfg = DbConfig::traced().with_fault(FaultConfig {
+        seed: 0xE13,
+        stall_after_register: 0.1,
+        ..Default::default()
+    });
+    assert!(cfg.register_ttl.is_none());
+    let db = presets::vc_to(cfg);
+    driver::seed_zeroes(&db, spec.n_objects);
+    let _ = driver::run_fixed_count(&db, &spec, txns, 8);
+    std::thread::sleep(TTL + Duration::from_millis(1));
+    db.maintenance(); // reap_stalled is a no-op without a TTL
+    let stalls = db.faults().injected(FaultPoint::StallAfterRegister);
+    let frozen_lag = db.vc().lag();
+    assert!(stalls > 0, "stall fault must fire at 10%");
+    assert!(frozen_lag > 0, "without a TTL the first stall freezes vtnc");
+    table.row([
+        "off".to_string(),
+        stalls.to_string(),
+        format!("{frozen_lag} (frozen)"),
+        "no".to_string(),
+    ]);
+
+    // Reaper on: same seed, same workload — lag drains to zero.
+    let db = presets::vc_to(fault_db_config(0.1));
+    driver::seed_zeroes(&db, spec.n_objects);
+    let _ = driver::run_fixed_count(&db, &spec, txns, 8);
+    std::thread::sleep(TTL + Duration::from_millis(1));
+    db.maintenance();
+    let stalls = db.faults().injected(FaultPoint::StallAfterRegister);
+    assert_eq!(db.vc().lag(), 0, "the reaper must restore liveness");
+    assert_eq!(db.metrics().reaper_force_discards, stalls);
+    table.row([
+        "4ms TTL".to_string(),
+        stalls.to_string(),
+        "0".to_string(),
+        "yes".to_string(),
+    ]);
+
+    let mut out = String::from("\nliveness contrast (vc+to, 10% stall rate, same fault seed):\n\n");
+    out.push_str(&table.render());
+    out
+}
+
+fn part_retry_backoff() -> String {
+    // Contended increments through the policy-driven runner: retries are
+    // recorded per abort reason, and backoff spreads the conflict window.
+    let db = std::sync::Arc::new(presets::vc_to(DbConfig::default()));
+    db.seed(ObjectId(0), Value::from_u64(0));
+    let policy = RetryPolicy {
+        max_attempts: 64,
+        base_backoff: Duration::from_micros(20),
+        max_backoff: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let threads = 4;
+    let per_thread = 50;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let db = std::sync::Arc::clone(&db);
+            let policy = policy.clone();
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    db.run_rw_with(&policy, |t| {
+                        let v = t.read_u64(ObjectId(0))?.unwrap();
+                        // Hold the read open briefly so concurrent
+                        // increments actually collide.
+                        std::thread::sleep(Duration::from_micros(30));
+                        t.write(ObjectId(0), Value::from_u64(v + 1))
+                    })
+                    .expect("64 backoff attempts must suffice");
+                }
+            });
+        }
+    });
+    assert_eq!(
+        db.peek_latest(ObjectId(0)).as_u64(),
+        Some(threads * per_thread)
+    );
+    let m = db.metrics();
+    assert_eq!(m.rw_retries, m.retries_ts_conflict + m.retries_timeout);
+    assert!(m.rw_retries > 0, "contended increments must retry");
+    let mut out = String::from(
+        "\nretry/backoff runner (vc+to, 4 threads x 50 contended increments, \
+         exponential backoff 20µs..1ms):\n\n",
+    );
+    out.push_str(&abort_breakdown(&m).render());
+    out.push_str(&format!(
+        "\n(total {} retries for {} commits; every increment eventually won. \
+         Unlike the fault sections, this count races real threads and varies \
+         run to run.)\n",
+        m.rw_retries, m.rw_committed
+    ));
+    out
+}
+
+/// Deterministic distributed script: `rounds` two-site atomic writes on a
+/// 3-site cluster, with periodic resolver ticks and read-only audits.
+fn dist_faulted_run(rounds: u64, drop: f64, dup: f64) -> (Cluster, u64, u64) {
+    let cfg = ClusterConfig::default()
+        .with_trace()
+        .with_fault(FaultConfig {
+            seed: 0xD157,
+            msg_drop: drop,
+            msg_duplicate: dup,
+            ..Default::default()
+        });
+    let c = Cluster::with_config(3, cfg);
+    let (mut resolved_commit, mut resolved_abort) = (0, 0);
+    for round in 0..rounds {
+        // Rotate over 8 objects: an in-doubt participant keeps its write
+        // lock until resolved, and the resolver tick (every 5 rounds)
+        // always clears an entry before its object comes around again.
+        // Each object is pinned to one site pair so the two replicas'
+        // version histories are identical and the audit below can demand
+        // value equality at any GlobalMin snapshot.
+        let obj = ObjectId(round % 8);
+        let a = SiteId((obj.0 % 3) as u16 + 1);
+        let b = SiteId(((obj.0 + 1) % 3) as u16 + 1);
+        let mut t = c.begin_rw();
+        t.write(a, obj, Value::from_u64(round + 1)).unwrap();
+        t.write(b, obj, Value::from_u64(round + 1)).unwrap();
+        t.commit().unwrap();
+        if round % 5 == 4 {
+            let stats = c.resolve_in_doubt(Duration::ZERO);
+            resolved_commit += stats.resolved_commit;
+            resolved_abort += stats.resolved_abort;
+            // Audit: a GlobalMin snapshot never tears an atomic pair.
+            let mut r = c.begin_ro(RoMode::GlobalMin);
+            let va = r.read_u64(a, obj).unwrap();
+            let vb = r.read_u64(b, obj).unwrap();
+            assert_eq!(va, vb, "snapshot tore a 2PC write apart");
+            r.finish();
+        }
+    }
+    // Drain every remaining in-doubt entry from the decision log.
+    let stats = c.resolve_in_doubt(Duration::ZERO);
+    resolved_commit += stats.resolved_commit;
+    resolved_abort += stats.resolved_abort;
+    for site in c.site_ids() {
+        assert_eq!(c.site(site).in_doubt_len(), 0, "resolver must drain");
+        c.site(site).vc().validate().unwrap();
+    }
+    (c, resolved_commit, resolved_abort)
+}
+
+fn part_distributed(fast: bool) -> String {
+    let rounds = scaled(fast, 300);
+    let mut table = Table::new([
+        "msg drop / dup",
+        "messages",
+        "drops",
+        "dups",
+        "resolved commit",
+        "resolved abort",
+        "MVSG 1SR",
+    ]);
+    for (drop, dup) in [(0.0, 0.0), (0.1, 0.05), (0.3, 0.1)] {
+        let (c, rc, ra) = dist_faulted_run(rounds, drop, dup);
+        let h = c.trace_history().expect("traced");
+        let rep = mvsg::check_tn_order(&h);
+        assert!(rep.acyclic, "faulted cluster trace not 1SR");
+        if drop == 0.0 {
+            assert_eq!(rc, 0, "nothing goes in doubt without drops");
+        }
+        table.row([
+            format!("{drop:.2} / {dup:.2}"),
+            c.messages().to_string(),
+            c.faults().injected(FaultPoint::MsgDrop).to_string(),
+            c.faults().injected(FaultPoint::MsgDuplicate).to_string(),
+            rc.to_string(),
+            ra.to_string(),
+            rep.acyclic.to_string(),
+        ]);
+    }
+    let mut out = String::from(
+        "\ndistributed faults (3 sites, two-site atomic writes, resolver tick \
+         every 5 rounds):\n\n",
+    );
+    out.push_str(&table.render());
+
+    // Crash/recovery: at a 2PC-quiescent point, a site loses all volatile
+    // state; the watermark rebuilt from durable versions restores
+    // visibility exactly.
+    let c = Cluster::traced(2);
+    let mut t = c.begin_rw();
+    t.write(SiteId(1), ObjectId(0), Value::from_u64(1)).unwrap();
+    t.write(SiteId(2), ObjectId(0), Value::from_u64(2)).unwrap();
+    let fin = t.commit().unwrap();
+    c.crash_site(SiteId(2));
+    let watermark = c.recover_site(SiteId(2));
+    assert_eq!(watermark, fin);
+    assert_eq!(c.site(SiteId(2)).vc().vtnc(), fin);
+    let mut t = c.begin_rw();
+    t.write(SiteId(2), ObjectId(0), Value::from_u64(3)).unwrap();
+    let f2 = t.commit().unwrap();
+    assert!(f2 > fin);
+    out.push_str(&format!(
+        "\ncrash/recovery: site 2 crashed after gtn {fin}; recovery watermark \
+         {watermark} restored vtnc from durable versions, and the next commit \
+         ({f2}) dominates it.\n",
+    ));
+
+    // HomeSite fallback: a permanently lagging site forces the fallback
+    // to a GlobalMin snapshot (counted), preserving serializability.
+    let cfg = ClusterConfig::default()
+        .with_trace()
+        .with_timeout(Duration::from_millis(5));
+    let c = Cluster::with_config(2, cfg);
+    let mut t = c.begin_rw();
+    t.write(SiteId(1), ObjectId(5), Value::from_u64(1)).unwrap();
+    t.commit().unwrap();
+    let mut r = c.begin_ro(RoMode::HomeSite);
+    let _ = r.read(SiteId(1), ObjectId(0)).unwrap();
+    let _ = r.read(SiteId(2), ObjectId(0)).unwrap(); // times out, falls back
+    r.finish();
+    assert_eq!(c.ro_fallbacks(), 1);
+    let h = c.trace_history().unwrap();
+    assert!(mvsg::check_tn_order(&h).acyclic);
+    out.push_str(&format!(
+        "HomeSite fallback: {} read-only transaction(s) dropped to a GlobalMin \
+         snapshot after a 5ms catch-up timeout (reads revalidated; trace stays 1SR).\n",
+        c.ro_fallbacks()
+    ));
+    out
+}
+
+pub(crate) fn run(fast: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&part_stall_sweep(fast));
+    out.push_str(&part_liveness_contrast(fast));
+    out.push_str(&part_retry_backoff());
+    out.push_str(&part_distributed(fast));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fault_experiment_invariants_hold() {
+        // All correctness assertions live inside run(); this exercises
+        // them in fast mode and spot-checks the report's shape.
+        let report = super::run(true);
+        assert!(report.contains("stall-after-begin sweep"), "{report}");
+        assert!(report.contains("(frozen)"));
+        assert!(report.contains("retry/backoff runner"));
+        assert!(report.contains("crash/recovery"));
+        assert!(report.contains("HomeSite fallback"));
+        assert!(!report.contains("false"), "an oracle column went false");
+    }
+}

@@ -12,6 +12,7 @@ pub mod e09_gc;
 pub mod e10_distributed;
 pub mod e11_modularity;
 pub mod e12_adaptive;
+pub mod e13_faults;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -85,6 +86,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e12",
             title: "Extensions — adaptive concurrency control and version-based recovery",
             run: e12_adaptive::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "Robustness — fault injection, stall reaping, in-doubt recovery",
+            run: e13_faults::run,
         },
     ]
 }

@@ -141,12 +141,8 @@ impl Adaptive {
         let target = {
             let gate = self.gate.lock();
             match gate.mode {
-                Mode::Optimistic if rate > self.config.to_locking_above => {
-                    Some(Mode::Locking)
-                }
-                Mode::Locking if rate < self.config.to_optimistic_below => {
-                    Some(Mode::Optimistic)
-                }
+                Mode::Optimistic if rate > self.config.to_locking_above => Some(Mode::Locking),
+                Mode::Locking if rate < self.config.to_optimistic_below => Some(Mode::Optimistic),
                 _ => None,
             }
         };

@@ -260,6 +260,17 @@ impl LockManager {
         self.waits_for.lock().clear(token);
     }
 
+    /// Drop every lock and waits-for edge (a site crash: volatile lock
+    /// state vanishes). Waiters are woken so they can time out or
+    /// re-acquire against the empty table.
+    pub fn clear_all(&self) {
+        for shard in self.shards.iter() {
+            shard.table.lock().clear();
+            shard.cv.notify_all();
+        }
+        self.waits_for.lock().edges.clear();
+    }
+
     /// The mode `token` currently holds on `obj`, if any (for tests).
     pub fn held_mode(&self, token: u64, obj: ObjectId) -> Option<LockMode> {
         let shard = self.shard(obj);
@@ -288,8 +299,16 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let lm = LockManager::new();
-        assert!(!lm.acquire(1, obj(1), LockMode::Shared, T, true).unwrap().waited);
-        assert!(!lm.acquire(2, obj(1), LockMode::Shared, T, true).unwrap().waited);
+        assert!(
+            !lm.acquire(1, obj(1), LockMode::Shared, T, true)
+                .unwrap()
+                .waited
+        );
+        assert!(
+            !lm.acquire(2, obj(1), LockMode::Shared, T, true)
+                .unwrap()
+                .waited
+        );
         assert_eq!(lm.held_mode(1, obj(1)), Some(LockMode::Shared));
         assert_eq!(lm.held_mode(2, obj(1)), Some(LockMode::Shared));
     }
@@ -324,8 +343,7 @@ mod tests {
         lm.acquire(1, obj(1), LockMode::Shared, T, true).unwrap();
         lm.acquire(2, obj(1), LockMode::Shared, T, true).unwrap();
         let lm2 = Arc::clone(&lm);
-        let h =
-            thread::spawn(move || lm2.acquire(1, obj(1), LockMode::Exclusive, T, true));
+        let h = thread::spawn(move || lm2.acquire(1, obj(1), LockMode::Exclusive, T, true));
         thread::sleep(Duration::from_millis(30));
         lm.release(2, obj(1));
         assert!(h.join().unwrap().unwrap().waited);
@@ -337,7 +355,13 @@ mod tests {
         let lm = LockManager::new();
         lm.acquire(1, obj(1), LockMode::Exclusive, T, true).unwrap();
         let err = lm
-            .acquire(2, obj(1), LockMode::Exclusive, Duration::from_millis(30), true)
+            .acquire(
+                2,
+                obj(1),
+                LockMode::Exclusive,
+                Duration::from_millis(30),
+                true,
+            )
             .unwrap_err();
         assert_eq!(err, LockError::Timeout);
     }
@@ -368,10 +392,7 @@ mod tests {
             r1.is_err() || r2.is_err(),
             "one of the two must be the deadlock victim"
         );
-        assert!(
-            r1.is_ok() || r2.is_ok(),
-            "only one should be victimized"
-        );
+        assert!(r1.is_ok() || r2.is_ok(), "only one should be victimized");
         let e = r1.err().or(r2.err()).unwrap();
         assert_eq!(e, LockError::Deadlock);
     }
@@ -409,10 +430,11 @@ mod tests {
         assert_eq!(lm.held_mode(1, obj(1)), None);
         assert_eq!(lm.held_mode(1, obj(2)), None);
         // now immediately grantable to another txn
-        assert!(!lm
-            .acquire(2, obj(2), LockMode::Exclusive, T, true)
-            .unwrap()
-            .waited);
+        assert!(
+            !lm.acquire(2, obj(2), LockMode::Exclusive, T, true)
+                .unwrap()
+                .waited
+        );
     }
 
     #[test]
@@ -444,10 +466,11 @@ mod tests {
         assert!(*counter.lock() > 0);
         // all locks released
         for i in 0..5 {
-            assert!(!lm
-                .acquire(99, obj(i), LockMode::Exclusive, T, true)
-                .unwrap()
-                .waited);
+            assert!(
+                !lm.acquire(99, obj(i), LockMode::Exclusive, T, true)
+                    .unwrap()
+                    .waited
+            );
         }
     }
 }

@@ -109,6 +109,12 @@ impl ConcurrencyControl for Optimistic {
         // Serial order fixed here: register inside the critical section.
         let tn = ctx.vc.register();
         m.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        // Claim before writing (reaper discipline). The claim cannot
+        // realistically fail — register and claim run back-to-back under
+        // the validation lock — but the contract is uniform.
+        if !ctx.vc.start_complete(tn) {
+            return Err(DbError::Aborted(AbortReason::Reaped));
+        }
 
         // Write phase.
         for (obj, value) in &txn.write_buf {
@@ -167,8 +173,9 @@ mod tests {
         let db = db();
         let mut t1 = db.begin_read_write().unwrap();
         let _ = t1.read(obj(0)).unwrap(); // sees version 0
-        // concurrent commit bumps the object
-        db.run_rw(1, |t| t.write(obj(0), Value::from_u64(1))).unwrap();
+                                          // concurrent commit bumps the object
+        db.run_rw(1, |t| t.write(obj(0), Value::from_u64(1)))
+            .unwrap();
         t1.write(obj(1), Value::from_u64(9)).unwrap();
         let err = t1.commit().unwrap_err();
         assert_eq!(err, DbError::Aborted(AbortReason::ValidationFailed));
@@ -251,7 +258,11 @@ mod tests {
         assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(240));
         let h = db.trace_history().unwrap();
         let report = mvcc_model::mvsg::check_tn_order(&h);
-        assert!(report.acyclic, "OCC trace not 1SR (cycle {:?})", report.cycle);
+        assert!(
+            report.acyclic,
+            "OCC trace not 1SR (cycle {:?})",
+            report.cycle
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl ConcurrencyControl for TimestampOrdering {
     fn begin(&self, ctx: &CcContext) -> Result<ToTxn, DbError> {
         // Serial order known a priori: register now.
         let tn = ctx.vc.register();
-        ctx.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics
+            .vc_register_calls
+            .fetch_add(1, Ordering::Relaxed);
         Ok(ToTxn {
             tn,
             written: Vec::new(),
@@ -130,11 +132,7 @@ impl ConcurrencyControl for TimestampOrdering {
             .wait_until(obj, ctx.config.read_wait_timeout, |c| {
                 // Rewrite of our own pending version: always fine.
                 if c.pending_by(TxnId(tn)).is_some() {
-                    c.install_pending(PendingVersion::stamped(
-                        TxnId(tn),
-                        tn,
-                        value.clone(),
-                    ));
+                    c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
                     return WaitOutcome::Ready(Ok(()));
                 }
                 // Blocked behind an older pending write.
@@ -151,11 +149,7 @@ impl ConcurrencyControl for TimestampOrdering {
                         AbortReason::TimestampConflict,
                     )));
                 }
-                c.install_pending(PendingVersion::stamped(
-                    TxnId(tn),
-                    tn,
-                    value.clone(),
-                ));
+                c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
                 WaitOutcome::Ready(Ok(()))
             });
         let outcome = match decision {
@@ -173,8 +167,22 @@ impl ConcurrencyControl for TimestampOrdering {
         }
     }
 
-    fn commit(&self, ctx: &CcContext, txn: ToTxn) -> Result<u64, DbError> {
+    fn commit(&self, ctx: &CcContext, mut txn: ToTxn) -> Result<u64, DbError> {
         debug_assert!(!txn.doomed);
+        // Claim the VC entry (Active → Committing) before touching the
+        // store: if the stall reaper already force-discarded us while we
+        // sat between begin and commit, we must abort — our registration
+        // is gone and our writes must never become visible.
+        if !ctx.vc.start_complete(txn.tn) {
+            for &obj in &txn.written {
+                ctx.store.with(obj, |c| {
+                    c.discard_pending(TxnId(txn.tn));
+                });
+                ctx.store.notify(obj);
+            }
+            txn.doomed = true; // VC entry already gone; no VCdiscard
+            return Err(DbError::Aborted(AbortReason::Reaped));
+        }
         // perform database updates; clear pending read actions
         for &obj in &txn.written {
             let res = ctx
@@ -187,7 +195,9 @@ impl ConcurrencyControl for TimestampOrdering {
         }
         // VCcomplete(T)
         ctx.vc.complete(txn.tn);
-        ctx.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics
+            .vc_complete_calls
+            .fetch_add(1, Ordering::Relaxed);
         Ok(txn.tn)
     }
 
@@ -258,7 +268,7 @@ mod tests {
         let db2 = Arc::clone(&db);
         let h = thread::spawn(move || {
             let mut t2 = db2.begin_read_write().unwrap(); // tn 2
-            // must block until T1 resolves, then read T1's version
+                                                          // must block until T1 resolves, then read T1's version
             t2.read_u64(obj(0)).inspect(|_| {
                 t2.commit().unwrap();
             })
@@ -292,7 +302,7 @@ mod tests {
         let mut t1 = db.begin_read_write().unwrap(); // tn 1
         let mut t2 = db.begin_read_write().unwrap(); // tn 2
         t2.write(obj(0), Value::from_u64(2)).unwrap(); // pending, reserved 2
-        // w-ts(x) = 2 > 1 → T1's write is too late even though T2 is pending
+                                                       // w-ts(x) = 2 > 1 → T1's write is too late even though T2 is pending
         let err = t1.write(obj(0), Value::from_u64(1)).unwrap_err();
         assert_eq!(err, DbError::Aborted(AbortReason::TimestampConflict));
         t2.commit().unwrap();
@@ -359,7 +369,11 @@ mod tests {
         assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(240));
         let h = db.trace_history().unwrap();
         let report = mvcc_model::mvsg::check_tn_order(&h);
-        assert!(report.acyclic, "TO trace not 1SR (cycle {:?})", report.cycle);
+        assert!(
+            report.acyclic,
+            "TO trace not 1SR (cycle {:?})",
+            report.cycle
+        );
     }
 
     #[test]
@@ -368,7 +382,7 @@ mod tests {
         db.seed(obj(0), Value::from_u64(7));
         let mut t = db.begin_read_write().unwrap();
         t.write(obj(0), Value::from_u64(8)).unwrap(); // pending
-        // RO does not block on the pending write (unlike Reed's MVTO!)
+                                                      // RO does not block on the pending write (unlike Reed's MVTO!)
         let mut r = db.begin_read_only();
         assert_eq!(r.read_u64(obj(0)).unwrap(), Some(7));
         r.finish();

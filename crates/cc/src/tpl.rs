@@ -20,8 +20,8 @@
 //! registered transaction can never be waiting.
 
 use crate::lock::{LockError, LockManager, LockMode};
-use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
 use mvcc_core::config::DeadlockPolicy;
+use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{PendingVersion, Value};
 use std::collections::HashSet;
@@ -174,13 +174,23 @@ impl ConcurrencyControl for TwoPhaseLocking {
     fn commit(&self, ctx: &CcContext, txn: TplTxn) -> Result<u64, DbError> {
         // end(T): the lock point — every lock is held. Serial order fixed.
         let tn = ctx.vc.register();
-        ctx.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics
+            .vc_register_calls
+            .fetch_add(1, Ordering::Relaxed);
+        // Claim the entry before applying updates (reaper discipline).
+        // Registration and commit are back-to-back here, so losing the
+        // claim needs the reaper to fire within that window — possible
+        // only under a pathological TTL, but handled all the same.
+        if !ctx.vc.start_complete(tn) {
+            self.cleanup(ctx, &txn);
+            return Err(DbError::Aborted(AbortReason::Reaped));
+        }
 
         // perform database updates with version number tn(T)
         for &obj in &txn.written {
-            let res = ctx.store.with(obj, |c| {
-                c.promote_pending(TxnId(txn.token), Some(tn))
-            });
+            let res = ctx
+                .store
+                .with(obj, |c| c.promote_pending(TxnId(txn.token), Some(tn)));
             if let Err(e) = res {
                 // Invariant violation: nobody else can touch a pending
                 // version under an exclusive lock.
@@ -197,7 +207,9 @@ impl ConcurrencyControl for TwoPhaseLocking {
 
         // VCcomplete(T)
         ctx.vc.complete(tn);
-        ctx.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics
+            .vc_complete_calls
+            .fetch_add(1, Ordering::Relaxed);
         Ok(tn)
     }
 
@@ -305,12 +317,7 @@ mod tests {
         let oks = results.iter().filter(|r| r.is_ok()).count();
         let deadlocks = results
             .iter()
-            .filter(|r| {
-                matches!(
-                    r,
-                    Err(DbError::Aborted(AbortReason::Deadlock))
-                )
-            })
+            .filter(|r| matches!(r, Err(DbError::Aborted(AbortReason::Deadlock))))
             .count();
         assert_eq!(oks, 1, "results: {results:?}");
         assert_eq!(deadlocks, 1, "results: {results:?}");
@@ -343,7 +350,11 @@ mod tests {
         assert_eq!(db.peek_latest(obj(0)).as_u64(), Some(400));
         let h = db.trace_history().unwrap();
         let report = mvcc_model::mvsg::check_tn_order(&h);
-        assert!(report.acyclic, "2PL trace not 1SR (cycle {:?})", report.cycle);
+        assert!(
+            report.acyclic,
+            "2PL trace not 1SR (cycle {:?})",
+            report.cycle
+        );
     }
 
     #[test]

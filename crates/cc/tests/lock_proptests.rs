@@ -31,9 +31,7 @@ impl Model {
                 LockMode::Exclusive => holders.len() == 1,
             },
             None => match mode {
-                LockMode::Shared => {
-                    !holders.values().any(|&m| m == LockMode::Exclusive)
-                }
+                LockMode::Shared => !holders.values().any(|&m| m == LockMode::Exclusive),
                 LockMode::Exclusive => holders.is_empty(),
             },
         }
@@ -136,7 +134,13 @@ fn exclusive_lock_provides_mutual_exclusion() {
         hs.push(std::thread::spawn(move || {
             for _ in 0..200 {
                 loop {
-                    match lm.acquire(t, ObjectId(0), LockMode::Exclusive, Duration::from_secs(5), true) {
+                    match lm.acquire(
+                        t,
+                        ObjectId(0),
+                        LockMode::Exclusive,
+                        Duration::from_secs(5),
+                        true,
+                    ) {
                         Ok(_) => break,
                         Err(LockError::Deadlock) => continue,
                         Err(e) => panic!("{e}"),

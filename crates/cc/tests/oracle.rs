@@ -94,8 +94,7 @@ impl ConcurrentInvariants for mvcc_model::History {
         use mvcc_model::{Op, TxnStatus};
         for op in self.ops() {
             if let Op::Read { version, .. } = *op {
-                if !version.is_initial() && self.status(version) != TxnStatus::Committed
-                {
+                if !version.is_initial() && self.status(version) != TxnStatus::Committed {
                     return Err(format!("read of uncommitted version {version}"));
                 }
             }

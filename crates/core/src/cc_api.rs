@@ -21,6 +21,7 @@
 
 use crate::config::DbConfig;
 use crate::error::DbError;
+use crate::fault::FaultInjector;
 use crate::metrics::Metrics;
 use crate::vc::VersionControl;
 use mvcc_model::ObjectId;
@@ -39,6 +40,8 @@ pub struct CcContext {
     pub config: Arc<DbConfig>,
     /// Shared counters.
     pub metrics: Arc<Metrics>,
+    /// Fault injection (disabled unless configured).
+    pub faults: Arc<FaultInjector>,
 }
 
 impl CcContext {
@@ -53,16 +56,15 @@ impl CcContext {
 
     /// Build a context around existing storage and version control
     /// (checkpoint restore).
-    pub fn with_parts(
-        config: DbConfig,
-        store: Arc<MvStore>,
-        vc: Arc<VersionControl>,
-    ) -> Self {
+    pub fn with_parts(config: DbConfig, store: Arc<MvStore>, vc: Arc<VersionControl>) -> Self {
+        vc.set_register_ttl(config.register_ttl);
+        let faults = Arc::new(FaultInjector::new(config.fault.clone()));
         CcContext {
             store,
             vc,
             config: Arc::new(config),
             metrics: Arc::new(Metrics::new()),
+            faults,
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::fault::FaultConfig;
 use std::time::Duration;
 
 /// How two-phase locking resolves deadlocks.
@@ -30,6 +31,13 @@ pub struct DbConfig {
     /// (1 = minimal; larger keeps bounded history for time-travel
     /// reads below the watermark — a Section 6 GC-policy variant).
     pub gc_keep_versions: usize,
+    /// How long a registered transaction may stay `Active` before the
+    /// stall reaper may force-discard it. `None` disables the reaper
+    /// (the classic Figure 1 behavior: a stalled client pins `vtnc`
+    /// forever).
+    pub register_ttl: Option<Duration>,
+    /// Fault-injection probabilities (all zero by default).
+    pub fault: FaultConfig,
 }
 
 impl Default for DbConfig {
@@ -41,6 +49,8 @@ impl Default for DbConfig {
             deadlock: DeadlockPolicy::Detect,
             trace: false,
             gc_keep_versions: 1,
+            register_ttl: None,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -54,6 +64,30 @@ impl DbConfig {
             read_wait_timeout: Duration::from_secs(5),
             ..Default::default()
         }
+    }
+
+    /// Set the upper bound on any single lock wait (2PL).
+    pub fn with_lock_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_wait_timeout = timeout;
+        self
+    }
+
+    /// Set the upper bound on a read's wait for a pending write (TO).
+    pub fn with_read_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.read_wait_timeout = timeout;
+        self
+    }
+
+    /// Set the registration TTL enforced by the stall reaper.
+    pub fn with_register_ttl(mut self, ttl: Duration) -> Self {
+        self.register_ttl = Some(ttl);
+        self
+    }
+
+    /// Set the fault-injection configuration.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
     }
 }
 

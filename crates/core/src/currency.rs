@@ -168,11 +168,7 @@ mod tests {
             txn.writes.push((obj, value));
             Ok(())
         }
-        fn commit(
-            &self,
-            ctx: &crate::cc_api::CcContext,
-            txn: MiniTxn,
-        ) -> Result<u64, DbError> {
+        fn commit(&self, ctx: &crate::cc_api::CcContext, txn: MiniTxn) -> Result<u64, DbError> {
             for (obj, v) in &txn.writes {
                 ctx.store
                     .with(*obj, |c| c.insert_committed(txn.tn, v.clone()))

@@ -4,14 +4,16 @@
 use crate::cc_api::{CcContext, ConcurrencyControl};
 use crate::config::DbConfig;
 use crate::currency::{CurrencyMode, LatestTxn};
-use crate::error::DbError;
-use crate::metrics::MetricsSnapshot;
+use crate::error::{AbortReason, DbError};
+use crate::fault::FaultInjector;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::retry::RetryPolicy;
 use crate::trace::Tracer;
 use crate::txn::{RoTxn, RwTxn, ANON_TRACE_BASE};
 use crate::vc::VersionControl;
 use mvcc_model::{History, ObjectId};
 use mvcc_storage::{GcStats, MvStore, RoScanRegistry, StoreStats, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -132,8 +134,7 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 Ok(RoTxn::begin(&self.core, sn))
             }
             CurrencyMode::Latest => Err(DbError::Internal(
-                "CurrencyMode::Latest requires begin_latest_read (pseudo read-write)"
-                    .into(),
+                "CurrencyMode::Latest requires begin_latest_read (pseudo read-write)".into(),
             )),
         }
     }
@@ -152,14 +153,36 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     }
 
     /// Run a read-write transaction body with automatic commit and
-    /// bounded retry on retryable aborts. Returns `(tn, result)`.
+    /// bounded retry on retryable aborts (no backoff). Returns
+    /// `(tn, result)`.
     pub fn run_rw<R>(
         &self,
         max_attempts: u32,
+        body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
+    ) -> Result<(u64, R), DbError> {
+        self.run_rw_with(&RetryPolicy::no_backoff(max_attempts), body)
+    }
+
+    /// Run a read-write transaction body under an explicit
+    /// [`RetryPolicy`]: bounded attempts, exponential backoff with
+    /// deterministic jitter between them, and per-[`AbortReason`] retry
+    /// counters. Returns `(tn, result)`.
+    pub fn run_rw_with<R>(
+        &self,
+        policy: &RetryPolicy,
         mut body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
     ) -> Result<(u64, R), DbError> {
+        let mut jitter = policy.jitter_stream();
         let mut last_err = DbError::Internal("run_rw: zero attempts".into());
-        for _ in 0..max_attempts.max(1) {
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                record_retry(&self.core.ctx.metrics, &last_err);
+                let sleep = policy.backoff_for(attempt - 1, &mut jitter);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
+            }
             let mut txn = self.begin_read_write()?;
             match body(&mut txn) {
                 Ok(r) => match txn.commit() {
@@ -202,6 +225,39 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             .collect_garbage_keep(watermark, self.core.ctx.config.gc_keep_versions)
     }
 
+    /// Run one stall-reaper pass: force-`VCdiscard` every registration
+    /// whose TTL (see [`DbConfig::register_ttl`]) expired while still
+    /// `Active`. Safe to call from any thread at any time — see
+    /// [`VersionControl::reap`] for the safety argument. Returns the
+    /// reaped transaction numbers.
+    pub fn reap_stalled(&self) -> Vec<u64> {
+        let reaped = self.core.ctx.vc.reap();
+        if !reaped.is_empty() {
+            let m = &self.core.ctx.metrics;
+            let n = reaped.len() as u64;
+            m.reaper_force_discards.fetch_add(n, Ordering::Relaxed);
+            m.vc_discard_calls.fetch_add(n, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    /// Spawn a background thread that runs [`reap_stalled`](Self::reap_stalled)
+    /// every `interval` until the returned [`ReaperHandle`] is stopped or
+    /// dropped. For deterministic tests and experiments, call
+    /// `reap_stalled` explicitly instead.
+    pub fn spawn_reaper(&self, interval: Duration) -> ReaperHandle {
+        ReaperHandle::spawn(
+            Arc::clone(&self.core.ctx.vc),
+            Arc::clone(&self.core.ctx.metrics),
+            interval,
+        )
+    }
+
+    /// The fault injector (for experiments and tests).
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.core.ctx.faults
+    }
+
     /// The version-control module (for experiments and tests).
     pub fn vc(&self) -> &VersionControl {
         &self.core.ctx.vc
@@ -235,6 +291,70 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// The recorded execution history, if tracing is enabled.
     pub fn trace_history(&self) -> Option<History> {
         self.core.tracer.as_ref().map(|t| t.history())
+    }
+}
+
+/// Bump the retry counters for one retry triggered by `err`.
+fn record_retry(metrics: &Metrics, err: &DbError) {
+    metrics.rw_retries.fetch_add(1, Ordering::Relaxed);
+    let counter = match err.abort_reason() {
+        Some(AbortReason::TimestampConflict) => &metrics.retries_ts_conflict,
+        Some(AbortReason::Deadlock) => &metrics.retries_deadlock,
+        Some(AbortReason::ValidationFailed) => &metrics.retries_validation,
+        Some(AbortReason::WaitTimeout) => &metrics.retries_timeout,
+        Some(AbortReason::BaselineConflict) => &metrics.retries_baseline,
+        Some(AbortReason::Reaped) => &metrics.retries_reaped,
+        _ => return,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Handle to a background stall-reaper thread (see
+/// [`MvDatabase::spawn_reaper`]). Stops and joins the thread on drop.
+pub struct ReaperHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReaperHandle {
+    fn spawn(vc: Arc<VersionControl>, metrics: Arc<Metrics>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let reaped = vc.reap();
+                if !reaped.is_empty() {
+                    let n = reaped.len() as u64;
+                    metrics
+                        .reaper_force_discards
+                        .fetch_add(n, Ordering::Relaxed);
+                    metrics.vc_discard_calls.fetch_add(n, Ordering::Relaxed);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        ReaperHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the reaper and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReaperHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -306,9 +426,8 @@ mod tests {
         fn commit(&self, ctx: &CcContext, txn: SerialTxn) -> Result<u64, DbError> {
             for (obj, value) in &txn.writes {
                 ctx.store.with(*obj, |c| {
-                    c.insert_committed(txn.tn, value.clone()).map_err(|e| {
-                        DbError::Internal(format!("serial commit: {e}"))
-                    })
+                    c.insert_committed(txn.tn, value.clone())
+                        .map_err(|e| DbError::Internal(format!("serial commit: {e}")))
                 })?;
             }
             ctx.vc.complete(txn.tn);

@@ -8,6 +8,7 @@
 use crate::cc_api::ConcurrencyControl;
 use crate::db::MvDatabase;
 use crate::error::DbError;
+use crate::fault::FaultPoint;
 use crate::metrics::MetricsSnapshot;
 use mvcc_model::ObjectId;
 use mvcc_storage::{StoreStats, Value};
@@ -38,7 +39,11 @@ pub struct RoRead {
 impl RoRead {
     /// Construct (convenience for engines and tests).
     pub fn new(obj: ObjectId, version: u64, value: Value) -> Self {
-        RoRead { obj, version, value }
+        RoRead {
+            obj,
+            version,
+            value,
+        }
     }
 }
 
@@ -118,7 +123,17 @@ impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
     }
 
     fn run_read_write(&self, ops: &[OpSpec]) -> Result<RwOutcome, DbError> {
+        let faults = self.faults();
         let mut txn = self.begin_read_write()?;
+        // Fault: the client hangs right after begin and never returns.
+        // Under timestamp ordering the transaction has already registered,
+        // so its Active entry pins vtnc until the stall reaper fires.
+        if faults.fire(FaultPoint::StallAfterRegister) {
+            txn.stall();
+            return Err(DbError::Internal(
+                "fault: client stalled after begin".into(),
+            ));
+        }
         for op in ops {
             match op {
                 OpSpec::Read(k) => {
@@ -130,6 +145,15 @@ impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
                     txn.write(*k, Value::from_u64(cur.wrapping_add(*delta)))?;
                 }
             }
+        }
+        // Fault: the client dies at commit entry. Its pendings and locks
+        // leak until the wait timeouts reclaim them; under 2PL/OCC it has
+        // not yet registered, so the VC queue is untouched (modularity:
+        // client crashes cost availability only where the protocol's
+        // registration point exposes them).
+        if faults.fire(FaultPoint::CrashBeforeComplete) {
+            txn.stall();
+            return Err(DbError::Internal("fault: client crashed at commit".into()));
         }
         let tn = txn.commit()?;
         Ok(RwOutcome { tn })
@@ -152,6 +176,7 @@ impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
     }
 
     fn maintenance(&self) {
+        self.reap_stalled();
         self.collect_garbage();
     }
 }

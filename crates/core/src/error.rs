@@ -20,6 +20,10 @@ pub enum AbortReason {
     BaselineConflict,
     /// The application requested the abort.
     UserRequested,
+    /// The stall reaper force-discarded the registration after its TTL
+    /// expired; the commit's `start_complete` claim failed. Retryable —
+    /// a fresh attempt gets a fresh registration.
+    Reaped,
 }
 
 impl fmt::Display for AbortReason {
@@ -31,6 +35,7 @@ impl fmt::Display for AbortReason {
             AbortReason::WaitTimeout => "wait timeout",
             AbortReason::BaselineConflict => "baseline protocol conflict",
             AbortReason::UserRequested => "user requested",
+            AbortReason::Reaped => "reaped after registration stall",
         };
         f.write_str(s)
     }
@@ -68,6 +73,7 @@ impl DbError {
                     | AbortReason::ValidationFailed
                     | AbortReason::WaitTimeout
                     | AbortReason::BaselineConflict
+                    | AbortReason::Reaped
             )
         )
     }
@@ -86,7 +92,10 @@ impl fmt::Display for DbError {
         match self {
             DbError::Aborted(r) => write!(f, "transaction aborted: {r}"),
             DbError::VersionPruned { obj, sn } => {
-                write!(f, "version of {obj} visible at sn {sn} was garbage-collected")
+                write!(
+                    f,
+                    "version of {obj} visible at sn {sn} was garbage-collected"
+                )
             }
             DbError::TxnFinished => write!(f, "transaction already finished"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -105,6 +114,7 @@ mod tests {
         assert!(DbError::Aborted(AbortReason::Deadlock).is_retryable());
         assert!(DbError::Aborted(AbortReason::TimestampConflict).is_retryable());
         assert!(DbError::Aborted(AbortReason::ValidationFailed).is_retryable());
+        assert!(DbError::Aborted(AbortReason::Reaped).is_retryable());
         assert!(!DbError::Aborted(AbortReason::UserRequested).is_retryable());
         assert!(!DbError::TxnFinished.is_retryable());
         assert!(!DbError::VersionPruned {

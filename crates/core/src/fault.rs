@@ -1,0 +1,260 @@
+//! Deterministic fault injection.
+//!
+//! The robustness experiments (E13) and the liveness tests need to make
+//! transactions stall, clients crash, and messages vanish — *on demand and
+//! reproducibly*. [`FaultInjector`] is a seeded coin shared by the engine
+//! ([`crate::MvDatabase`]) and the distributed simulation (`mvcc-dist`):
+//! every injection point draws from the same deterministic stream, so a
+//! run is fully described by its [`FaultConfig`].
+//!
+//! Injection points (see DESIGN.md "Fault model & liveness"):
+//!
+//! * [`FaultPoint::StallAfterRegister`] — a read-write client hangs right
+//!   after `begin`, never to return. Under timestamp ordering the
+//!   transaction is already registered with version control, so its
+//!   `Active` queue entry pins `vtnc` until the stall reaper
+//!   ([`crate::VersionControl::reap`]) force-discards it.
+//! * [`FaultPoint::CrashBeforeComplete`] — the client dies at commit
+//!   entry, after its reads/writes but before the protocol can run
+//!   `VCcomplete`. Pendings and locks leak until timeouts reclaim them.
+//! * [`FaultPoint::MsgDrop`] / [`FaultPoint::MsgDuplicate`] /
+//!   [`FaultPoint::MsgDelay`] — per-message faults in the `mvcc-dist`
+//!   cluster: phase-2 commit messages can be lost (leaving a participant
+//!   in doubt) or delivered twice (exercising idempotence), and any
+//!   message can incur extra latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Read-write client stalls forever right after `begin` (after
+    /// registration under timestamp ordering).
+    StallAfterRegister,
+    /// Read-write client crashes at commit entry, before `VCcomplete`.
+    CrashBeforeComplete,
+    /// A cluster message is lost in transit.
+    MsgDrop,
+    /// A cluster message is delivered twice.
+    MsgDuplicate,
+    /// A cluster message incurs extra delay.
+    MsgDelay,
+}
+
+const N_POINTS: usize = 5;
+
+impl FaultPoint {
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::StallAfterRegister => 0,
+            FaultPoint::CrashBeforeComplete => 1,
+            FaultPoint::MsgDrop => 2,
+            FaultPoint::MsgDuplicate => 3,
+            FaultPoint::MsgDelay => 4,
+        }
+    }
+}
+
+/// Per-point fault probabilities plus the RNG seed. All probabilities
+/// default to zero (no faults); the default config is free at runtime.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability a read-write client stalls after `begin`.
+    pub stall_after_register: f64,
+    /// Probability a read-write client crashes at commit entry.
+    pub crash_before_complete: f64,
+    /// Probability a cluster message is dropped.
+    pub msg_drop: f64,
+    /// Probability a cluster message is duplicated.
+    pub msg_duplicate: f64,
+    /// Probability a cluster message is delayed by
+    /// [`msg_extra_delay`](Self::msg_extra_delay).
+    pub msg_delay: f64,
+    /// The extra delay applied when [`msg_delay`](Self::msg_delay) fires.
+    pub msg_extra_delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA017,
+            stall_after_register: 0.0,
+            crash_before_complete: 0.0,
+            msg_drop: 0.0,
+            msg_duplicate: 0.0,
+            msg_delay: 0.0,
+            msg_extra_delay: Duration::from_micros(500),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any fault can ever fire under this config.
+    pub fn is_active(&self) -> bool {
+        self.stall_after_register > 0.0
+            || self.crash_before_complete > 0.0
+            || self.msg_drop > 0.0
+            || self.msg_duplicate > 0.0
+            || self.msg_delay > 0.0
+    }
+}
+
+/// The shared, thread-safe fault coin.
+///
+/// Draws use a SplitMix64 stream advanced with a single `fetch_add`, so
+/// firing a fault point is one atomic RMW plus a few multiplies — cheap
+/// enough to leave in production paths, and exactly zero-cost (an early
+/// return) when the point's probability is zero.
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    state: AtomicU64,
+    injected: [AtomicU64; N_POINTS],
+}
+
+impl FaultInjector {
+    /// Injector from a config.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector {
+            state: AtomicU64::new(cfg.seed),
+            cfg,
+            injected: Default::default(),
+        }
+    }
+
+    /// Injector that never fires (the engine default).
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::default())
+    }
+
+    /// The configuration this injector draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.cfg.is_active()
+    }
+
+    fn probability(&self, point: FaultPoint) -> f64 {
+        match point {
+            FaultPoint::StallAfterRegister => self.cfg.stall_after_register,
+            FaultPoint::CrashBeforeComplete => self.cfg.crash_before_complete,
+            FaultPoint::MsgDrop => self.cfg.msg_drop,
+            FaultPoint::MsgDuplicate => self.cfg.msg_duplicate,
+            FaultPoint::MsgDelay => self.cfg.msg_delay,
+        }
+    }
+
+    /// Draw the next value of the SplitMix64 stream in `[0, 1)`.
+    fn draw(&self) -> f64 {
+        let mut z = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Should the fault at `point` fire now? Counts injections.
+    pub fn fire(&self, point: FaultPoint) -> bool {
+        let p = self.probability(point);
+        if p <= 0.0 {
+            return false;
+        }
+        if self.draw() < p {
+            self.injected[point.index()].fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// How many times `point` has fired.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.injected[point.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across every point.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The configured extra per-message delay (for `MsgDelay` firings).
+    pub fn extra_delay(&self) -> Duration {
+        self.cfg.msg_extra_delay
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("cfg", &self.cfg)
+            .field("total_injected", &self.total_injected())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_active());
+        for _ in 0..1000 {
+            assert!(!inj.fire(FaultPoint::MsgDrop));
+        }
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let inj = FaultInjector::new(FaultConfig {
+            msg_drop: 0.3,
+            ..Default::default()
+        });
+        let n = 10_000;
+        let fired = (0..n).filter(|_| inj.fire(FaultPoint::MsgDrop)).count();
+        let rate = fired as f64 / n as f64;
+        assert!((0.25..0.35).contains(&rate), "rate {rate} far from 0.3");
+        assert_eq!(inj.injected(FaultPoint::MsgDrop), fired as u64);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mk = || {
+            FaultInjector::new(FaultConfig {
+                seed: 42,
+                stall_after_register: 0.5,
+                ..Default::default()
+            })
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..256 {
+            assert_eq!(
+                a.fire(FaultPoint::StallAfterRegister),
+                b.fire(FaultPoint::StallAfterRegister)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let inj = FaultInjector::new(FaultConfig {
+            crash_before_complete: 1.0,
+            ..Default::default()
+        });
+        assert!(inj.fire(FaultPoint::CrashBeforeComplete));
+        assert!(!inj.fire(FaultPoint::StallAfterRegister));
+    }
+}

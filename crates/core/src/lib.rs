@@ -45,7 +45,9 @@ pub mod currency;
 pub mod db;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod metrics;
+pub mod retry;
 pub mod trace;
 pub mod txn;
 pub mod vc;
@@ -54,10 +56,12 @@ pub mod vcqueue;
 pub use cc_api::{CcContext, ConcurrencyControl};
 pub use config::DbConfig;
 pub use currency::{CurrencyMode, Session};
-pub use db::MvDatabase;
+pub use db::{MvDatabase, ReaperHandle};
 pub use engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
 pub use error::{AbortReason, DbError};
+pub use fault::{FaultConfig, FaultInjector, FaultPoint};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use retry::RetryPolicy;
 pub use trace::Tracer;
 pub use txn::{RoTxn, RwTxn};
 pub use vc::VersionControl;

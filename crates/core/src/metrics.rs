@@ -99,6 +99,28 @@ metrics! { ;
     vc_complete_calls,
     /// `VCdiscard` invocations.
     vc_discard_calls,
+    /// Aborts caused by a baseline protocol conflict.
+    aborts_baseline,
+    /// Aborts requested by the application.
+    aborts_user,
+    /// Aborts forced by the stall reaper (`start_complete` claim failed).
+    aborts_reaped,
+    /// Read-write transaction retries performed by the retry runner.
+    rw_retries,
+    /// Retries whose triggering abort was a timestamp conflict.
+    retries_ts_conflict,
+    /// Retries whose triggering abort was a deadlock.
+    retries_deadlock,
+    /// Retries whose triggering abort was a failed validation.
+    retries_validation,
+    /// Retries whose triggering abort was a wait timeout.
+    retries_timeout,
+    /// Retries whose triggering abort was a baseline conflict.
+    retries_baseline,
+    /// Retries whose triggering abort was a reaper force-discard.
+    retries_reaped,
+    /// Registrations force-discarded by the stall reaper.
+    reaper_force_discards,
 }
 
 #[cfg(test)]

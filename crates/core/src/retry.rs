@@ -1,0 +1,151 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Every caller used to roll its own retry loop (`run_rw(max_attempts)`
+//! in the engine, `0..=max_retries` in the workload driver). Under fault
+//! injection those loops hammer the same conflict window back-to-back;
+//! [`RetryPolicy`] centralizes the discipline: a bounded number of
+//! attempts, exponentially growing sleeps, and multiplicative jitter from
+//! a seeded SplitMix64 stream so two runs with the same seed back off
+//! identically.
+
+use std::time::Duration;
+
+/// How a transaction runner retries retryable aborts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1 is always made.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each further retry.
+    /// `Duration::ZERO` disables sleeping entirely.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a factor
+    /// drawn uniformly from `[1 − jitter, 1]`. Zero means fixed sleeps.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            jitter: 0.5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retry immediately (no sleeping) up to `max_attempts` — the
+    /// behavior of the old ad-hoc loops, kept for compatibility.
+    pub fn no_backoff(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Fresh jitter stream for one transaction's retries.
+    pub fn jitter_stream(&self) -> JitterStream {
+        JitterStream { state: self.seed }
+    }
+
+    /// The sleep before retry number `attempt` (0-based: the sleep after
+    /// the first failed attempt is `backoff_for(0, …)`).
+    pub fn backoff_for(&self, attempt: u32, jitter: &mut JitterStream) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let scale = 1.0 - self.jitter * jitter.next_unit();
+        exp.mul_f64(scale.clamp(0.0, 1.0))
+    }
+}
+
+/// Deterministic SplitMix64 stream for backoff jitter.
+#[derive(Debug, Clone)]
+pub struct JitterStream {
+    state: u64,
+}
+
+impl JitterStream {
+    /// Next uniform draw in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_backoff_never_sleeps() {
+        let p = RetryPolicy::no_backoff(5);
+        let mut j = p.jitter_stream();
+        for a in 0..5 {
+            assert_eq!(p.backoff_for(a, &mut j), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut j = p.jitter_stream();
+        let b0 = p.backoff_for(0, &mut j);
+        let b3 = p.backoff_for(3, &mut j);
+        let b20 = p.backoff_for(20, &mut j);
+        assert_eq!(b0, Duration::from_micros(50));
+        assert_eq!(b3, Duration::from_micros(400));
+        assert_eq!(b20, p.max_backoff);
+    }
+
+    #[test]
+    fn jitter_shrinks_but_never_exceeds() {
+        let p = RetryPolicy::default();
+        let mut j = p.jitter_stream();
+        for a in 0..8 {
+            let exp = RetryPolicy {
+                jitter: 0.0,
+                ..p.clone()
+            }
+            .backoff_for(a, &mut p.jitter_stream());
+            let b = p.backoff_for(a, &mut j);
+            assert!(b <= exp, "jittered sleep exceeds base");
+            assert!(b >= exp.mul_f64(1.0 - p.jitter - 1e-9));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sleeps() {
+        let p = RetryPolicy::default();
+        let (mut a, mut b) = (p.jitter_stream(), p.jitter_stream());
+        for attempt in 0..6 {
+            assert_eq!(
+                p.backoff_for(attempt, &mut a),
+                p.backoff_for(attempt, &mut b)
+            );
+        }
+    }
+}

@@ -156,10 +156,7 @@ mod tests {
         t.write(ObjectId(0));
         tracer.flush(TxnId(1), &t, false);
         let h = tracer.history();
-        assert_eq!(
-            h.status(TxnId(1)),
-            mvcc_model::TxnStatus::Aborted
-        );
+        assert_eq!(h.status(TxnId(1)), mvcc_model::TxnStatus::Aborted);
     }
 
     #[test]

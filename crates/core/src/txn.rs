@@ -132,10 +132,7 @@ pub struct RwTxn<'db, C: ConcurrencyControl> {
 impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     pub(crate) fn begin(core: &'db DbCore, cc: &'db C) -> Result<Self, DbError> {
         let state = cc.begin(&core.ctx)?;
-        core.ctx
-            .metrics
-            .rw_begun
-            .fetch_add(1, Ordering::Relaxed);
+        core.ctx.metrics.rw_begun.fetch_add(1, Ordering::Relaxed);
         Ok(RwTxn {
             core,
             cc,
@@ -234,6 +231,20 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
         }
     }
 
+    /// Simulate the client vanishing (fault injection): drop the protocol
+    /// state **without** running the protocol's abort path, exactly as if
+    /// the thread had died. Whatever the transaction registered, locked,
+    /// or left pending stays behind, to be reclaimed by the stall reaper
+    /// and the wait timeouts. The trace is flushed as uncommitted.
+    pub fn stall(mut self) {
+        if self.state.take().is_some() {
+            if let Some(tracer) = &self.core.tracer {
+                let id = self.core.next_anon_trace_id();
+                tracer.flush(TxnId(id), &self.trace, false);
+            }
+        }
+    }
+
     /// The protocol aborted the transaction inside read/write: it has
     /// already cleaned up its own resources; drop our state and record.
     fn on_protocol_abort(&mut self, e: &DbError) {
@@ -261,7 +272,16 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
             Some(AbortReason::WaitTimeout) => {
                 m.aborts_timeout.fetch_add(1, Ordering::Relaxed);
             }
-            _ => {}
+            Some(AbortReason::BaselineConflict) => {
+                m.aborts_baseline.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::UserRequested) => {
+                m.aborts_user.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::Reaped) => {
+                m.aborts_reaped.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
         }
         if let Some(tracer) = &self.core.tracer {
             let id = self.core.next_anon_trace_id();

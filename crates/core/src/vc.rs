@@ -32,13 +32,17 @@
 use crate::vcqueue::VcQueue;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct VcInner {
     /// Next transaction number to assign. Paper's `tnc` with
     /// post-increment semantics (`tn(T) ← tnc++`).
     tnc: u64,
     queue: VcQueue,
+    /// Registration time-to-live: how long a registered transaction may
+    /// stay `Active` before the stall reaper may force-discard it.
+    /// `None` (the default) disables reaping entirely.
+    register_ttl: Option<Duration>,
 }
 
 /// Thread-safe implementation of paper Figure 1.
@@ -87,11 +91,23 @@ impl VersionControl {
             inner: Mutex::new(VcInner {
                 tnc: vtnc + 1,
                 queue: VcQueue::new(),
+                register_ttl: None,
             }),
             vtnc: AtomicU64::new(vtnc),
             visible_cv: Condvar::new(),
             visible_mu: Mutex::new(()),
         }
+    }
+
+    /// Set (or clear) the registration TTL used for future
+    /// [`register`](Self::register) calls. `None` disables the reaper.
+    pub fn set_register_ttl(&self, ttl: Option<Duration>) {
+        self.inner.lock().register_ttl = ttl;
+    }
+
+    /// The current registration TTL.
+    pub fn register_ttl(&self) -> Option<Duration> {
+        self.inner.lock().register_ttl
     }
 
     /// `VCstart()`: the start number for a read-only transaction — the
@@ -110,8 +126,23 @@ impl VersionControl {
         let mut inner = self.inner.lock();
         let tn = inner.tnc;
         inner.tnc += 1;
-        inner.queue.insert(tn);
+        let deadline = inner.register_ttl.map(|ttl| Instant::now() + ttl);
+        inner.queue.insert(tn, deadline);
         tn
+    }
+
+    /// Claim `tn` for commit: transition its queue entry from `Active` to
+    /// `Committing`, shielding it from the stall reaper. A protocol MUST
+    /// claim successfully **before** applying any database updates
+    /// (promoting pendings to committed versions); on `false` it must
+    /// abort instead — the entry was already force-discarded by
+    /// [`reap`](Self::reap) (or discarded/completed through another
+    /// path), so its writes must never become visible.
+    ///
+    /// This claim is what makes the reaper safe: the reaper only discards
+    /// `Active` entries, so reaped ⇒ never claimed ⇒ no updates applied.
+    pub fn start_complete(&self, tn: u64) -> bool {
+        self.inner.lock().queue.start_committing(tn)
     }
 
     /// `VCdiscard(T)`: remove an aborted transaction. Also drains the
@@ -124,6 +155,36 @@ impl VersionControl {
             self.drain(&mut inner);
         }
         removed
+    }
+
+    /// The stall reaper: force-`VCdiscard` every `Active` entry whose
+    /// registration deadline has passed. Returns the reaped transaction
+    /// numbers (oldest first) and drains visibility, so a single stalled
+    /// client can pin `vtnc` for at most one TTL.
+    ///
+    /// # Safety argument
+    ///
+    /// Reaping `tn` is an abort forced by version control. It is safe —
+    /// `tn`'s updates can never become visible — because every protocol
+    /// must claim the entry via [`start_complete`](Self::start_complete)
+    /// (which fails after a reap) *before* applying database updates.
+    /// Conversely the reaper never touches `Committing` or `Complete`
+    /// entries, so it can never discard a transaction whose updates may
+    /// already be in the store. The losing side of the race always finds
+    /// out: either the commit claims first (reaper skips it) or the reaper
+    /// discards first (claim returns `false` and the commit aborts).
+    ///
+    /// Note this only removes the *version-control* entry. The caller
+    /// (e.g. [`crate::MvDatabase::reap_stalled`]) is responsible for
+    /// accounting; the stalled transaction's pending versions and locks,
+    /// if any, are reclaimed separately by read/lock wait timeouts.
+    pub fn reap(&self) -> Vec<u64> {
+        let mut inner = self.inner.lock();
+        let reaped = inner.queue.reap_expired(Instant::now());
+        if !reaped.is_empty() {
+            self.drain(&mut inner);
+        }
+        reaped
     }
 
     /// `VCcomplete(T)`: mark `tn` complete and advance `vtnc` over every
@@ -186,11 +247,7 @@ impl VersionControl {
             if v >= tn {
                 return Some(v);
             }
-            if self
-                .visible_cv
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
+            if self.visible_cv.wait_until(&mut guard, deadline).timed_out() {
                 let v = self.vtnc.load(Ordering::Acquire);
                 return (v >= tn).then_some(v);
             }
@@ -312,8 +369,7 @@ mod tests {
 
         let t2 = vc.register();
         let vc2 = Arc::clone(&vc);
-        let waiter =
-            thread::spawn(move || vc2.wait_visible(t2, Duration::from_secs(5)));
+        let waiter = thread::spawn(move || vc2.wait_visible(t2, Duration::from_secs(5)));
         thread::sleep(Duration::from_millis(20));
         vc.complete(t2);
         assert_eq!(waiter.join().unwrap(), Some(2));
@@ -351,6 +407,53 @@ mod tests {
         assert_eq!(vc.queue_len(), 0);
         assert_eq!(vc.lag(), 0);
         assert_eq!(vc.vtnc(), vc.tnc() - 1);
+    }
+
+    #[test]
+    fn reap_is_a_noop_without_ttl() {
+        let vc = VersionControl::new();
+        vc.register();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(vc.reap().is_empty());
+        assert_eq!(vc.queue_len(), 1);
+    }
+
+    #[test]
+    fn reaper_unpins_vtnc_after_ttl() {
+        let vc = VersionControl::new();
+        vc.set_register_ttl(Some(Duration::from_millis(5)));
+        let t1 = vc.register(); // will stall
+        let t2 = vc.register();
+        vc.complete(t2);
+        assert_eq!(vc.vtnc(), 0); // pinned by stalled t1
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(vc.reap(), vec![t1]);
+        assert_eq!(vc.vtnc(), 2); // t2 becomes visible
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn claimed_transactions_survive_the_reaper() {
+        let vc = VersionControl::new();
+        vc.set_register_ttl(Some(Duration::from_millis(1)));
+        let t1 = vc.register();
+        assert!(vc.start_complete(t1)); // commit path claims in time
+        thread::sleep(Duration::from_millis(5));
+        assert!(vc.reap().is_empty());
+        assert_eq!(vc.complete(t1), 1);
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn claim_after_reap_fails() {
+        let vc = VersionControl::new();
+        vc.set_register_ttl(Some(Duration::from_millis(1)));
+        let t1 = vc.register();
+        thread::sleep(Duration::from_millis(5));
+        assert_eq!(vc.reap(), vec![t1]);
+        // The stalled client wakes up and tries to commit: it must lose.
+        assert!(!vc.start_complete(t1));
+        vc.validate().unwrap();
     }
 
     #[test]

@@ -8,12 +8,20 @@
 //! new `vtnc`.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
-/// Lifecycle state of a queue entry (paper: `E(T).type`).
+/// Lifecycle state of a queue entry (paper: `E(T).type`, plus the
+/// `Committing` refinement that makes the stall reaper safe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntryState {
     /// Registered, still executing (paper: `"active"`).
     Active,
+    /// Claimed by its transaction's commit path: database updates are
+    /// being applied and `VCcomplete` will follow. Not in the paper's
+    /// pseudocode — it exists so the reaper can distinguish "stalled,
+    /// safe to discard" (`Active`) from "mid-commit, must not be
+    /// discarded" (`Committing`). See [`VcQueue::reap_expired`].
+    Committing,
     /// Finished its database updates, waiting for older transactions
     /// before becoming visible (paper: `"complete"`).
     Complete,
@@ -23,6 +31,9 @@ pub enum EntryState {
 struct Entry {
     tn: u64,
     state: EntryState,
+    /// Registration deadline: an `Active` entry older than this may be
+    /// force-discarded by the reaper. `None` = never reaped.
+    deadline: Option<Instant>,
 }
 
 /// The version-control queue of Figure 1.
@@ -43,7 +54,7 @@ impl VcQueue {
     /// # Panics
     /// In debug builds, if `tn` is out of order — that would mean the
     /// version-control lock discipline was violated.
-    pub fn insert(&mut self, tn: u64) {
+    pub fn insert(&mut self, tn: u64, deadline: Option<Instant>) {
         debug_assert!(
             self.entries.back().is_none_or(|e| e.tn < tn),
             "VCQueue insert out of order: {tn}"
@@ -51,7 +62,39 @@ impl VcQueue {
         self.entries.push_back(Entry {
             tn,
             state: EntryState::Active,
+            deadline,
         });
+    }
+
+    /// Claim `tn` for commit: transition its entry from `Active` to
+    /// `Committing`, shielding it from the reaper. Returns `false` if the
+    /// entry is absent (discarded/reaped) or not `Active` — the caller
+    /// must then abort instead of applying database updates.
+    pub fn start_committing(&mut self, tn: u64) -> bool {
+        match self.position(tn) {
+            Some(i) if self.entries[i].state == EntryState::Active => {
+                self.entries[i].state = EntryState::Committing;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Force-discard every `Active` entry whose deadline has passed
+    /// (`deadline ≤ now`). `Committing` and `Complete` entries are never
+    /// touched: a claimed transaction is mid-commit and its updates may
+    /// already be in the store. Returns the discarded transaction
+    /// numbers, oldest first.
+    pub fn reap_expired(&mut self, now: Instant) -> Vec<u64> {
+        let mut reaped = Vec::new();
+        self.entries.retain(|e| {
+            let expired = e.state == EntryState::Active && e.deadline.is_some_and(|d| d <= now);
+            if expired {
+                reaped.push(e.tn);
+            }
+            !expired
+        });
+        reaped
     }
 
     /// Remove an aborted transaction's entry (paper `VCdiscard`). Returns
@@ -116,9 +159,7 @@ impl VcQueue {
 
     fn position(&self, tn: u64) -> Option<usize> {
         // Entries are sorted by tn; binary search.
-        self.entries
-            .binary_search_by_key(&tn, |e| e.tn)
-            .ok()
+        self.entries.binary_search_by_key(&tn, |e| e.tn).ok()
     }
 }
 
@@ -129,9 +170,9 @@ mod tests {
     #[test]
     fn insert_and_query() {
         let mut q = VcQueue::new();
-        q.insert(1);
-        q.insert(2);
-        q.insert(5);
+        q.insert(1, None);
+        q.insert(2, None);
+        q.insert(5, None);
         assert_eq!(q.len(), 3);
         assert_eq!(q.head_tn(), Some(1));
         assert_eq!(q.state_of(2), Some(EntryState::Active));
@@ -141,8 +182,8 @@ mod tests {
     #[test]
     fn in_order_completion_drains_each_time() {
         let mut q = VcQueue::new();
-        q.insert(1);
-        q.insert(2);
+        q.insert(1, None);
+        q.insert(2, None);
         assert!(q.mark_complete(1));
         assert_eq!(q.drain_completed(), Some(1));
         assert!(q.mark_complete(2));
@@ -154,8 +195,8 @@ mod tests {
     fn out_of_order_completion_delays_visibility() {
         // The scenario the paper's vtnc exists for: T2 completes before T1.
         let mut q = VcQueue::new();
-        q.insert(1);
-        q.insert(2);
+        q.insert(1, None);
+        q.insert(2, None);
         assert!(q.mark_complete(2));
         assert_eq!(q.drain_completed(), None); // head (1) still active
         assert!(q.mark_complete(1));
@@ -166,9 +207,9 @@ mod tests {
     #[test]
     fn discard_unblocks_the_queue() {
         let mut q = VcQueue::new();
-        q.insert(1);
-        q.insert(2);
-        q.insert(3);
+        q.insert(1, None);
+        q.insert(2, None);
+        q.insert(3, None);
         q.mark_complete(2);
         q.mark_complete(3);
         assert_eq!(q.drain_completed(), None);
@@ -179,7 +220,7 @@ mod tests {
     #[test]
     fn discard_missing_is_false() {
         let mut q = VcQueue::new();
-        q.insert(1);
+        q.insert(1, None);
         assert!(!q.discard(9));
         assert!(!q.mark_complete(9));
     }
@@ -188,7 +229,7 @@ mod tests {
     fn discard_middle_keeps_order() {
         let mut q = VcQueue::new();
         for tn in [1, 2, 3, 4] {
-            q.insert(tn);
+            q.insert(tn, None);
         }
         assert!(q.discard(2));
         assert_eq!(q.len(), 3);
@@ -208,7 +249,67 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn out_of_order_insert_panics_in_debug() {
         let mut q = VcQueue::new();
-        q.insert(5);
-        q.insert(3);
+        q.insert(5, None);
+        q.insert(3, None);
+    }
+
+    #[test]
+    fn start_committing_claims_only_active_entries() {
+        let mut q = VcQueue::new();
+        q.insert(1, None);
+        q.insert(2, None);
+        assert!(q.start_committing(1));
+        assert_eq!(q.state_of(1), Some(EntryState::Committing));
+        // Already claimed, absent, or complete: claim fails.
+        assert!(!q.start_committing(1));
+        assert!(!q.start_committing(9));
+        q.mark_complete(2);
+        assert!(!q.start_committing(2));
+    }
+
+    #[test]
+    fn committing_head_blocks_drain() {
+        let mut q = VcQueue::new();
+        q.insert(1, None);
+        q.insert(2, None);
+        q.start_committing(1);
+        q.mark_complete(2);
+        // Head is mid-commit: nothing becomes visible yet.
+        assert_eq!(q.drain_completed(), None);
+        q.mark_complete(1);
+        assert_eq!(q.drain_completed(), Some(2));
+    }
+
+    #[test]
+    fn reap_removes_only_expired_active_entries() {
+        let now = Instant::now();
+        let past = now - std::time::Duration::from_millis(10);
+        let future = now + std::time::Duration::from_secs(60);
+        let mut q = VcQueue::new();
+        q.insert(1, Some(past)); // expired, Active → reaped
+        q.insert(2, Some(past)); // expired but claimed → survives
+        q.insert(3, Some(future)); // not yet expired → survives
+        q.insert(4, None); // no deadline → survives
+        q.insert(5, Some(past)); // expired, Complete → survives
+        q.start_committing(2);
+        q.mark_complete(5);
+        assert_eq!(q.reap_expired(now), vec![1]);
+        assert_eq!(q.state_of(1), None);
+        assert_eq!(q.state_of(2), Some(EntryState::Committing));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn reap_returns_oldest_first_and_unblocks_drain() {
+        let now = Instant::now();
+        let past = now - std::time::Duration::from_millis(1);
+        let mut q = VcQueue::new();
+        q.insert(1, Some(past));
+        q.insert(2, Some(past));
+        q.insert(3, None);
+        q.mark_complete(3);
+        assert_eq!(q.drain_completed(), None); // pinned by stalled 1, 2
+        assert_eq!(q.reap_expired(now), vec![1, 2]);
+        assert_eq!(q.drain_completed(), Some(3)); // vtnc advances again
     }
 }

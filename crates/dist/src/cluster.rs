@@ -1,16 +1,40 @@
 //! The distributed database surface: multiple sites, two-phase commit,
 //! and globally serializable read-only transactions.
+//!
+//! ## Message model
+//!
+//! Two channel kinds, both counted in [`Cluster::messages`]:
+//!
+//! * **Reliable request/reply** ([`Cluster::msg_reliable`]) — reads,
+//!   writes, phase-1 prepares and rollbacks. A drop fault triggers a
+//!   transparent retransmission (each one counted), so these always
+//!   arrive; faults only cost messages and latency.
+//! * **One-way, lossy** ([`Cluster::msg_one_way`]) — phase-2 decision
+//!   messages only. A drop fault loses the decision (the participant
+//!   stays *in doubt*); a duplication fault delivers it twice
+//!   (exercising the participant's idempotence filter).
+//!
+//! The coordinator records its decision in the cluster-wide
+//! [decision log](Cluster::resolve_in_doubt) **before** sending any
+//! phase-2 message. That ordering is what makes *presumed abort* safe:
+//! a transaction absent from the log cannot have committed anywhere.
 
 use crate::gtn::Gtn;
 use crate::site::{Site, SiteId};
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{DbError, Tracer};
+use mvcc_core::{AbortReason, DbError, FaultConfig, FaultInjector, FaultPoint, Tracer};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::Value;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Retransmission cap for the reliable channel: past this many drops the
+/// delivery is forced through (the channel is reliable by assumption; the
+/// cap only bounds the simulated retransmission cost at extreme rates).
+const MAX_RETRANSMIT: u32 = 16;
 
 /// How a distributed read-only transaction picks its snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +45,10 @@ pub enum RoMode {
     /// One global start number = the first-contacted site's `vtnc`;
     /// other sites are contacted lazily and briefly wait until their
     /// visibility covers it. No a-priori site list needed (the paper's
-    /// criticism of \[8\]'s requirement).
+    /// criticism of \[8\]'s requirement). If a lagging site fails to
+    /// catch up within the cluster timeout, the transaction falls back
+    /// to a [`GlobalMin`](RoMode::GlobalMin) snapshot — valid only if
+    /// every read taken so far is unchanged at the lower bound.
     HomeSite,
     /// **Deliberately broken** reproduction of the anomaly in the
     /// distributed MV2PL of \[8\]: an independent snapshot per site. Each
@@ -29,6 +56,85 @@ pub enum RoMode {
     /// is not globally serializable; experiment E10 shows the oracle
     /// catching the resulting MVSG cycle.
     PerSiteSnapshots,
+}
+
+/// Cluster-wide knobs (timeouts, network behavior, fault injection).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Base per-message delay (models network latency; widens the
+    /// in-doubt windows the protocol must tolerate).
+    pub delay: Option<Duration>,
+    /// Read-only catch-up timeout (HomeSite mode).
+    pub timeout: Duration,
+    /// Per-site lock-wait timeout (breaks distributed deadlocks).
+    pub lock_timeout: Duration,
+    /// Fault-injection configuration shared by every channel.
+    pub fault: FaultConfig,
+    /// Keep a global execution trace for the MVSG oracle.
+    pub trace: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            delay: None,
+            timeout: Duration::from_secs(5),
+            lock_timeout: Duration::from_secs(2),
+            fault: FaultConfig::default(),
+            trace: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Set the base per-message delay.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Set the read-only catch-up timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Set the per-site lock-wait timeout.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    /// Set the fault-injection configuration.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Enable the global execution trace.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// The coordinator's logged commit/abort decision for one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Commit(Gtn),
+    Abort,
+}
+
+/// Outcome counts of one [`Cluster::resolve_in_doubt`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InDoubtStats {
+    /// Transactions finished as committed (decision log said commit).
+    pub resolved_commit: u64,
+    /// Transactions finished as aborted (logged abort, or presumed).
+    pub resolved_abort: u64,
+    /// Transactions left in doubt (undecided and younger than the
+    /// presumed-abort threshold).
+    pub still_in_doubt: u64,
 }
 
 /// A simulated multi-site database.
@@ -40,35 +146,48 @@ pub struct Cluster {
     delay: Option<Duration>,
     tracer: Option<Tracer>,
     timeout: Duration,
+    faults: FaultInjector,
+    /// Coordinator decision log, written *before* any phase-2 message.
+    /// Stands in for the coordinator's stable commit record; in-doubt
+    /// participants query it via [`Cluster::resolve_in_doubt`].
+    decisions: Mutex<BTreeMap<u64, Decision>>,
+    /// HomeSite read-only transactions that fell back to GlobalMin.
+    ro_fallbacks: AtomicU64,
 }
 
 impl Cluster {
     /// `n` fresh sites (ids `1..=n`; 0 is reserved for `T_0`).
     pub fn new(n: u16) -> Self {
-        Self::build(n, false, None)
+        Self::with_config(n, ClusterConfig::default())
     }
 
     /// Cluster with a global execution trace for the oracle.
     pub fn traced(n: u16) -> Self {
-        Self::build(n, true, None)
+        Self::with_config(n, ClusterConfig::default().with_trace())
     }
 
     /// Cluster with an injected per-message delay (models network
     /// latency; widens the in-doubt windows the protocol must tolerate).
     pub fn with_delay(n: u16, delay: Duration) -> Self {
-        Self::build(n, true, Some(delay))
+        Self::with_config(n, ClusterConfig::default().with_trace().with_delay(delay))
     }
 
-    fn build(n: u16, trace: bool, delay: Option<Duration>) -> Self {
+    /// Cluster from an explicit configuration.
+    pub fn with_config(n: u16, cfg: ClusterConfig) -> Self {
         assert!(n >= 1);
         Cluster {
-            sites: (1..=n).map(|i| Arc::new(Site::new(SiteId(i)))).collect(),
+            sites: (1..=n)
+                .map(|i| Arc::new(Site::with_lock_timeout(SiteId(i), cfg.lock_timeout)))
+                .collect(),
             next_token: AtomicU64::new(1),
             next_anon: AtomicU64::new(1),
             messages: AtomicU64::new(0),
-            delay,
-            tracer: trace.then(Tracer::new),
-            timeout: Duration::from_secs(5),
+            delay: cfg.delay,
+            tracer: cfg.trace.then(Tracer::new),
+            timeout: cfg.timeout,
+            faults: FaultInjector::new(cfg.fault),
+            decisions: Mutex::new(BTreeMap::new()),
+            ro_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -84,19 +203,67 @@ impl Cluster {
 
     /// Access one site.
     pub fn site(&self, id: SiteId) -> &Site {
+        assert!(
+            id.0 >= 1 && (id.0 as usize) <= self.sites.len(),
+            "site id {} out of range 1..={}",
+            id.0,
+            self.sites.len()
+        );
         &self.sites[(id.0 - 1) as usize]
     }
 
-    /// Total simulated messages so far.
+    /// Total simulated messages so far (including retransmissions and
+    /// duplicate deliveries).
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
 
-    fn msg(&self) {
-        self.messages.fetch_add(1, Ordering::Relaxed);
+    /// The cluster's fault injector (for experiment reporting).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// How many HomeSite read-only transactions fell back to GlobalMin.
+    pub fn ro_fallbacks(&self) -> u64 {
+        self.ro_fallbacks.load(Ordering::Relaxed)
+    }
+
+    fn net_delay(&self) {
         if let Some(d) = self.delay {
             std::thread::sleep(d);
         }
+        if self.faults.fire(FaultPoint::MsgDelay) {
+            std::thread::sleep(self.faults.extra_delay());
+        }
+    }
+
+    /// One delivery on the reliable request/reply channel. A drop fault
+    /// costs a (counted) retransmission; the call returns once delivered.
+    fn msg_reliable(&self) {
+        for attempt in 0.. {
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            self.net_delay();
+            if attempt >= MAX_RETRANSMIT || !self.faults.fire(FaultPoint::MsgDrop) {
+                break;
+            }
+        }
+    }
+
+    /// One send on the one-way lossy channel (phase-2 decisions).
+    /// Returns how many times the message is delivered: 0 (lost),
+    /// 1 (normal) or 2 (duplicated).
+    fn msg_one_way(&self) -> u32 {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.net_delay();
+        if self.faults.fire(FaultPoint::MsgDrop) {
+            return 0;
+        }
+        if self.faults.fire(FaultPoint::MsgDuplicate) {
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            self.net_delay();
+            return 2;
+        }
+        1
     }
 
     /// The global execution history, if tracing is enabled.
@@ -128,16 +295,7 @@ impl Cluster {
     /// Begin a distributed read-only transaction.
     pub fn begin_ro(&self, mode: RoMode) -> DistRoTxn<'_> {
         let sn = match mode {
-            RoMode::GlobalMin => {
-                // One VCstart message per site; take the minimum.
-                let mut sn = None;
-                for s in &self.sites {
-                    self.msg();
-                    let v = s.ro_start();
-                    sn = Some(sn.map_or(v, |cur: Gtn| cur.min(v)));
-                }
-                Some(sn.expect("at least one site"))
-            }
+            RoMode::GlobalMin => Some(self.global_min()),
             RoMode::HomeSite | RoMode::PerSiteSnapshots => None,
         };
         DistRoTxn {
@@ -145,8 +303,80 @@ impl Cluster {
             mode,
             sn,
             per_site_sn: BTreeMap::new(),
+            reads: Vec::new(),
             trace: TxnTrace::new(),
         }
+    }
+
+    /// One `VCstart` message per site; the minimum is a consistent
+    /// global snapshot that never waits.
+    fn global_min(&self) -> Gtn {
+        let mut sn = None;
+        for s in &self.sites {
+            self.msg_reliable();
+            let v = s.ro_start();
+            sn = Some(sn.map_or(v, |cur: Gtn| cur.min(v)));
+        }
+        sn.expect("at least one site")
+    }
+
+    /// Resolver sweep: finish every in-doubt transaction whose decision
+    /// is known (one reliable query message per in-doubt entry), and
+    /// presume abort for undecided entries older than
+    /// `presume_abort_after`. Presumed abort is safe because the
+    /// coordinator logs its decision before any phase-2 send: an
+    /// undecided transaction cannot have committed at any site.
+    pub fn resolve_in_doubt(&self, presume_abort_after: Duration) -> InDoubtStats {
+        let mut stats = InDoubtStats::default();
+        for s in &self.sites {
+            for (token, age) in s.in_doubt_tokens() {
+                let decision = self.decisions.lock().get(&token).copied();
+                match decision {
+                    Some(Decision::Commit(fin)) => {
+                        self.msg_reliable();
+                        match s.resolve_commit(token, fin) {
+                            Ok(true) => stats.resolved_commit += 1,
+                            Ok(false) => {}
+                            Err(_) => stats.still_in_doubt += 1,
+                        }
+                    }
+                    Some(Decision::Abort) => {
+                        self.msg_reliable();
+                        if s.resolve_abort(token) {
+                            stats.resolved_abort += 1;
+                        }
+                    }
+                    None if age >= presume_abort_after => {
+                        if s.resolve_abort(token) {
+                            stats.resolved_abort += 1;
+                        }
+                    }
+                    None => stats.still_in_doubt += 1,
+                }
+            }
+        }
+        stats
+    }
+
+    /// Crash a site: its volatile state (locks, pendings, in-doubt 2PC
+    /// records, version-control queue) vanishes.
+    pub fn crash_site(&self, id: SiteId) {
+        self.site(id).crash();
+    }
+
+    /// Recover a crashed site: rebuild its visibility watermark from
+    /// durable storage, then gossip with every peer (one message each)
+    /// so its Lamport clock dominates everything the cluster has seen.
+    /// Returns the recovered watermark.
+    pub fn recover_site(&self, id: SiteId) -> Gtn {
+        let watermark = self.site(id).recover();
+        for s in &self.sites {
+            if s.id() != id {
+                self.msg_reliable();
+                self.site(id).vc().observe(s.vc().vtnc());
+            }
+        }
+        watermark
     }
 }
 
@@ -169,7 +399,7 @@ pub struct DistRwTxn<'c> {
 impl DistRwTxn<'_> {
     /// Read `obj` at `site`.
     pub fn read(&mut self, site: SiteId, obj: ObjectId) -> Result<Value, DbError> {
-        self.cluster.msg();
+        self.cluster.msg_reliable();
         let s = self.cluster.site(site);
         match s.rw_read(self.token, obj) {
             Ok((version, value)) => {
@@ -191,7 +421,7 @@ impl DistRwTxn<'_> {
 
     /// Write `obj` at `site`.
     pub fn write(&mut self, site: SiteId, obj: ObjectId, value: Value) -> Result<(), DbError> {
-        self.cluster.msg();
+        self.cluster.msg_reliable();
         let s = self.cluster.site(site);
         match s.rw_write(self.token, obj, value) {
             Ok(()) => {
@@ -213,41 +443,60 @@ impl DistRwTxn<'_> {
     }
 
     /// Two-phase commit. Returns the single global transaction number.
+    ///
+    /// `Ok` means the decision is durable (logged), not that every
+    /// participant has heard it: a dropped phase-2 message leaves that
+    /// participant in doubt until [`Cluster::resolve_in_doubt`] finishes
+    /// the transaction from the decision log.
     pub fn commit(mut self) -> Result<Gtn, DbError> {
-        // Phase 1: every participant is past its lock point; gather
-        // proposals. (Participants cannot vote no here — all their
-        // conflicts were resolved by locks — so this prepare always
-        // succeeds; the in-doubt window is still real for visibility.)
+        // Phase 1 (reliable): every participant is past its lock point;
+        // gather proposals. (Participants cannot vote no here — all
+        // their conflicts were resolved by locks — so this prepare
+        // always succeeds; the in-doubt window is still real for
+        // visibility.)
         let mut proposals: BTreeMap<SiteId, Gtn> = BTreeMap::new();
-        for &site in self.parts.keys() {
-            self.cluster.msg();
-            proposals.insert(site, self.cluster.site(site).prepare(self.token));
+        for (&site, part) in &self.parts {
+            self.cluster.msg_reliable();
+            proposals.insert(
+                site,
+                self.cluster
+                    .site(site)
+                    .prepare(self.token, &part.locked, &part.written),
+            );
         }
         // The single global number dominates every proposal (it *is* the
         // largest proposal, hence unique).
-        let fin = proposals
-            .values()
-            .copied()
-            .max()
-            .unwrap_or_else(|| {
-                // Empty transaction: synthesize a number from site 1.
-                self.cluster.msg();
-                self.cluster.site(SiteId(1)).prepare(self.token)
-            });
+        let fin = proposals.values().copied().max().unwrap_or_else(|| {
+            // Empty transaction: synthesize a number from site 1.
+            self.cluster.msg_reliable();
+            self.cluster.site(SiteId(1)).prepare(self.token, &[], &[])
+        });
+        // Decision point: the commit record must be durable BEFORE any
+        // phase-2 message leaves, or presumed abort would be unsound.
+        self.cluster
+            .decisions
+            .lock()
+            .insert(self.token, Decision::Commit(fin));
         if self.parts.is_empty() {
-            self.cluster.msg();
-            self.cluster.site(SiteId(1)).commit(self.token, fin, fin, &[], &[])?;
+            for _ in 0..self.cluster.msg_one_way() {
+                self.cluster
+                    .site(SiteId(1))
+                    .commit(self.token, fin, fin, &[], &[])?;
+            }
             self.done = true;
             self.flush(fin, true);
             return Ok(fin);
         }
-        // Phase 2: commit everywhere with the final number.
+        // Phase 2 (one-way, lossy): commit everywhere with the final
+        // number. A lost delivery leaves the participant in doubt; a
+        // duplicate is absorbed by its idempotence filter.
         for (&site, part) in &self.parts {
-            self.cluster.msg();
             let p = proposals[&site];
-            self.cluster
-                .site(site)
-                .commit(self.token, p, fin, &part.locked, &part.written)?;
+            for _ in 0..self.cluster.msg_one_way() {
+                self.cluster
+                    .site(site)
+                    .commit(self.token, p, fin, &part.locked, &part.written)?;
+            }
         }
         self.done = true;
         self.flush(fin, true);
@@ -264,8 +513,14 @@ impl DistRwTxn<'_> {
         if self.done {
             return;
         }
+        // Aborts ride the reliable channel: there is no decision to
+        // lose, and the log entry lets a racing resolver agree.
+        self.cluster
+            .decisions
+            .lock()
+            .insert(self.token, Decision::Abort);
         for (&site, part) in &self.parts {
-            self.cluster.msg();
+            self.cluster.msg_reliable();
             self.cluster
                 .site(site)
                 .rollback(self.token, None, &part.locked, &part.written);
@@ -295,10 +550,13 @@ pub struct DistRoTxn<'c> {
     cluster: &'c Cluster,
     mode: RoMode,
     /// The single global start number (GlobalMin: fixed at begin;
-    /// HomeSite: fixed at first contact).
+    /// HomeSite: fixed at first contact, possibly lowered by fallback).
     sn: Option<Gtn>,
     /// PerSiteSnapshots only: the (broken) per-site start numbers.
     per_site_sn: BTreeMap<SiteId, Gtn>,
+    /// Every `(site, object, version)` this transaction has read —
+    /// the evidence checked by the HomeSite → GlobalMin fallback.
+    reads: Vec<(SiteId, ObjectId, u64)>,
     trace: TxnTrace,
 }
 
@@ -310,15 +568,21 @@ impl DistRoTxn<'_> {
 
     /// Read `obj` at `site` under the transaction's snapshot discipline.
     pub fn read(&mut self, site: SiteId, obj: ObjectId) -> Result<Value, DbError> {
-        self.cluster.msg();
+        self.cluster.msg_reliable();
         let s = self.cluster.site(site);
         let sn = match self.mode {
             RoMode::GlobalMin => self.sn.expect("fixed at begin"),
             RoMode::HomeSite => match self.sn {
                 Some(sn) => {
-                    // Lazily contacted site: wait until it is caught up.
-                    s.ro_catch_up(sn, self.cluster.timeout)?;
-                    sn
+                    // Lazily contacted site: wait until it is caught up;
+                    // if it never does, drop to a GlobalMin snapshot.
+                    match s.ro_catch_up(sn, self.cluster.timeout) {
+                        Ok(_) => sn,
+                        Err(DbError::Aborted(AbortReason::WaitTimeout)) => {
+                            self.fall_back_to_global_min()?
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
                 None => {
                     let sn = s.ro_start();
@@ -326,14 +590,34 @@ impl DistRoTxn<'_> {
                     sn
                 }
             },
-            RoMode::PerSiteSnapshots => *self
-                .per_site_sn
-                .entry(site)
-                .or_insert_with(|| s.ro_start()),
+            RoMode::PerSiteSnapshots => {
+                *self.per_site_sn.entry(site).or_insert_with(|| s.ro_start())
+            }
         };
         let (version, value) = s.ro_read(obj, sn)?;
+        self.reads.push((site, obj, version));
         self.trace.read(Cluster::global_obj(site, obj), version);
         Ok(value)
+    }
+
+    /// A lagging site timed out catching up to the home start number.
+    /// Liveness escape hatch: adopt the (lower) GlobalMin snapshot `g`,
+    /// but only if every read taken so far returns the *same version*
+    /// at `g` — then the whole history is a consistent read at `g` and
+    /// serializability is preserved. Any mismatch aborts the
+    /// transaction instead.
+    fn fall_back_to_global_min(&mut self) -> Result<Gtn, DbError> {
+        let g = self.cluster.global_min();
+        for &(site, obj, version) in &self.reads {
+            self.cluster.msg_reliable();
+            let (v, _) = self.cluster.site(site).ro_read(obj, g)?;
+            if v != version {
+                return Err(DbError::Aborted(AbortReason::WaitTimeout));
+            }
+        }
+        self.cluster.ro_fallbacks.fetch_add(1, Ordering::Relaxed);
+        self.sn = Some(g);
+        Ok(g)
     }
 
     /// Read and decode as `u64`.
@@ -344,9 +628,8 @@ impl DistRoTxn<'_> {
     /// Finish (flush the trace).
     pub fn finish(self) {
         if let Some(t) = &self.cluster.tracer {
-            let anon = (1 << 63)
-                | (1 << 62)
-                | self.cluster.next_anon.fetch_add(1, Ordering::Relaxed);
+            let anon =
+                (1 << 63) | (1 << 62) | self.cluster.next_anon.fetch_add(1, Ordering::Relaxed);
             t.flush(TxnId(anon), &self.trace, true);
         }
     }
@@ -470,7 +753,11 @@ mod tests {
         crossing_script(&c, RoMode::GlobalMin);
         let h = c.trace_history().unwrap();
         let rep = mvsg::check_tn_order(&h);
-        assert!(rep.acyclic, "GlobalMin must stay serializable: {:?}", rep.cycle);
+        assert!(
+            rep.acyclic,
+            "GlobalMin must stay serializable: {:?}",
+            rep.cycle
+        );
     }
 
     #[test]
@@ -488,5 +775,156 @@ mod tests {
         r.finish();
         // 2 VCstart (one per site) + 1 read
         assert_eq!(c.messages() - before, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "site id 0 out of range")]
+    fn site_zero_is_rejected() {
+        let c = Cluster::new(2);
+        let _ = c.site(SiteId(0));
+    }
+
+    #[test]
+    fn lost_commit_message_resolved_from_decision_log() {
+        // Every phase-2 decision message is lost: both participants stay
+        // in doubt (visibility pinned), yet the commit is durable in the
+        // decision log. The resolver finishes the transaction.
+        let cfg = ClusterConfig::default()
+            .with_trace()
+            .with_fault(FaultConfig {
+                msg_drop: 1.0,
+                ..Default::default()
+            });
+        let c = Cluster::with_config(2, cfg);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(7)).unwrap();
+        t.write(SiteId(2), obj(0), Value::from_u64(8)).unwrap();
+        let fin = t.commit().unwrap();
+        assert_eq!(c.site(SiteId(1)).in_doubt_len(), 1);
+        assert_eq!(c.site(SiteId(2)).in_doubt_len(), 1);
+        // In doubt pins visibility at both sites.
+        assert_eq!(c.site(SiteId(1)).vc().vtnc(), Gtn::ZERO);
+        let stats = c.resolve_in_doubt(Duration::ZERO);
+        assert_eq!(stats.resolved_commit, 2);
+        assert_eq!(stats.resolved_abort, 0);
+        for site in c.site_ids() {
+            let s = c.site(site);
+            assert_eq!(s.in_doubt_len(), 0);
+            assert_eq!(s.vc().vtnc(), fin);
+            s.vc().validate().unwrap();
+        }
+        let mut r = c.begin_ro(RoMode::GlobalMin);
+        assert_eq!(r.read_u64(SiteId(1), obj(0)).unwrap(), Some(7));
+        assert_eq!(r.read_u64(SiteId(2), obj(0)).unwrap(), Some(8));
+        r.finish();
+        let h = c.trace_history().unwrap();
+        assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    #[test]
+    fn duplicate_commit_deliveries_are_idempotent() {
+        let cfg = ClusterConfig::default()
+            .with_trace()
+            .with_fault(FaultConfig {
+                msg_duplicate: 1.0,
+                ..Default::default()
+            });
+        let c = Cluster::with_config(2, cfg);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t.write(SiteId(2), obj(0), Value::from_u64(2)).unwrap();
+        let fin = t.commit().unwrap();
+        for site in c.site_ids() {
+            let s = c.site(site);
+            assert_eq!(s.vc().vtnc(), fin);
+            // one completion per site despite two deliveries
+            assert_eq!(s.metrics().snapshot().vc_complete_calls, 1);
+            s.vc().validate().unwrap();
+        }
+        assert!(c.faults().injected(FaultPoint::MsgDuplicate) >= 2);
+    }
+
+    #[test]
+    fn undecided_prepare_presumed_abort() {
+        // A coordinator that died between phase 1 and logging its
+        // decision: the participant's entry is undecided. Young entries
+        // are left alone; past the threshold the resolver presumes abort.
+        let c = Cluster::new(1);
+        let s = c.site(SiteId(1));
+        s.rw_write(999, obj(0), Value::from_u64(9)).unwrap();
+        let _p = s.prepare(999, &[obj(0)], &[obj(0)]);
+        let stats = c.resolve_in_doubt(Duration::from_secs(60));
+        assert_eq!(stats.still_in_doubt, 1);
+        let stats = c.resolve_in_doubt(Duration::ZERO);
+        assert_eq!(stats.resolved_abort, 1);
+        assert_eq!(s.in_doubt_len(), 0);
+        // the presumed-aborted write never became visible
+        let mut r = c.begin_ro(RoMode::GlobalMin);
+        assert_eq!(r.read(SiteId(1), obj(0)).unwrap(), Value::empty());
+        r.finish();
+    }
+
+    #[test]
+    fn crash_and_recovery_restores_visibility() {
+        let c = Cluster::traced(2);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t.write(SiteId(2), obj(0), Value::from_u64(2)).unwrap();
+        let fin = t.commit().unwrap();
+        c.crash_site(SiteId(2));
+        let watermark = c.recover_site(SiteId(2));
+        assert_eq!(watermark, fin, "watermark = largest committed version");
+        assert_eq!(c.site(SiteId(2)).vc().vtnc(), fin);
+        c.site(SiteId(2)).vc().validate().unwrap();
+        // committed state survived; the cluster keeps working
+        let mut r = c.begin_ro(RoMode::GlobalMin);
+        assert_eq!(r.read_u64(SiteId(2), obj(0)).unwrap(), Some(2));
+        r.finish();
+        let mut t2 = c.begin_rw();
+        t2.write(SiteId(2), obj(0), Value::from_u64(3)).unwrap();
+        let f2 = t2.commit().unwrap();
+        assert!(f2 > fin, "post-recovery numbers dominate the watermark");
+        let h = c.trace_history().unwrap();
+        assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    #[test]
+    fn home_site_falls_back_to_global_min() {
+        // Site 1 is ahead on an object the reader never touches; site 2
+        // lags forever. The catch-up times out, the fallback adopts the
+        // GlobalMin snapshot, and the prior read (version 0) revalidates.
+        let cfg = ClusterConfig::default()
+            .with_trace()
+            .with_timeout(Duration::from_millis(10));
+        let c = Cluster::with_config(2, cfg);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(5), Value::from_u64(1)).unwrap();
+        t.commit().unwrap();
+        let mut r = c.begin_ro(RoMode::HomeSite);
+        assert_eq!(r.read(SiteId(1), obj(0)).unwrap(), Value::empty());
+        let sn = r.sn().unwrap();
+        assert!(sn > Gtn::ZERO, "home snapshot is ahead of site 2");
+        assert_eq!(r.read(SiteId(2), obj(0)).unwrap(), Value::empty());
+        assert_eq!(r.sn().unwrap(), Gtn::ZERO, "fallback adopted GlobalMin");
+        assert_eq!(c.ro_fallbacks(), 1);
+        r.finish();
+        let h = c.trace_history().unwrap();
+        assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    #[test]
+    fn home_site_fallback_aborts_on_changed_read() {
+        // Same shape, but the reader already observed a version above
+        // GlobalMin: the fallback cannot revalidate and must abort.
+        let cfg = ClusterConfig::default().with_timeout(Duration::from_millis(10));
+        let c = Cluster::with_config(2, cfg);
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        t.commit().unwrap();
+        let mut r = c.begin_ro(RoMode::HomeSite);
+        assert_eq!(r.read_u64(SiteId(1), obj(0)).unwrap(), Some(1));
+        let err = r.read(SiteId(2), obj(0)).unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::WaitTimeout));
+        assert_eq!(c.ro_fallbacks(), 0);
     }
 }

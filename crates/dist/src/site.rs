@@ -9,12 +9,25 @@ use mvcc_cc::{LockError, LockManager, LockMode};
 use mvcc_core::{AbortReason, DbError, Metrics};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{MvStore, PendingVersion, StoreStats, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Site identifier (also the low bits of every [`Gtn`] it proposes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u16);
+
+/// A participant's record of a prepared (in-doubt) transaction: enough
+/// state to finish phase 2 locally if the coordinator's decision message
+/// never arrives and the transaction must be resolved by peer query or
+/// presumed abort.
+struct Prepared {
+    proposal: Gtn,
+    locked: Vec<ObjectId>,
+    written: Vec<ObjectId>,
+    since: Instant,
+}
 
 /// One database site.
 pub struct Site {
@@ -24,18 +37,28 @@ pub struct Site {
     vc: DistVc,
     metrics: Metrics,
     lock_timeout: Duration,
+    /// Prepared-but-undecided transactions, keyed by coordinator token.
+    /// Doubles as the phase-2 idempotence filter: the first commit or
+    /// rollback delivery removes the entry; duplicates are no-ops.
+    in_doubt: Mutex<HashMap<u64, Prepared>>,
 }
 
 impl Site {
-    /// Fresh site.
+    /// Fresh site with default timeouts.
     pub fn new(id: SiteId) -> Self {
+        Self::with_lock_timeout(id, Duration::from_secs(2))
+    }
+
+    /// Fresh site with an explicit lock-wait timeout.
+    pub fn with_lock_timeout(id: SiteId, lock_timeout: Duration) -> Self {
         Site {
             id,
             store: MvStore::new(),
             locks: LockManager::new(),
             vc: DistVc::new(id.0),
             metrics: Metrics::new(),
-            lock_timeout: Duration::from_secs(2),
+            lock_timeout,
+            in_doubt: Mutex::new(HashMap::new()),
         }
     }
 
@@ -93,14 +116,31 @@ impl Site {
     }
 
     /// Two-phase commit, phase 1: this participant is past its lock
-    /// point; register a proposal with distributed version control.
-    pub fn prepare(&self, _token: u64) -> Gtn {
-        self.metrics.vc_register_calls.fetch_add(1, Ordering::Relaxed);
-        self.vc.propose()
+    /// point; register a proposal with distributed version control and
+    /// record the in-doubt state needed to resolve the transaction if
+    /// the decision message never arrives.
+    pub fn prepare(&self, token: u64, locked: &[ObjectId], written: &[ObjectId]) -> Gtn {
+        self.metrics
+            .vc_register_calls
+            .fetch_add(1, Ordering::Relaxed);
+        let p = self.vc.propose();
+        self.in_doubt.lock().insert(
+            token,
+            Prepared {
+                proposal: p,
+                locked: locked.to_vec(),
+                written: written.to_vec(),
+                since: Instant::now(),
+            },
+        );
+        p
     }
 
     /// Two-phase commit, phase 2: stamp pendings with the final global
-    /// number, release locks, complete version control.
+    /// number, release locks, complete version control. **Idempotent**:
+    /// only the delivery that removes the in-doubt record applies; a
+    /// duplicated decision message (or one arriving after peer-query
+    /// resolution) is a no-op.
     pub fn commit(
         &self,
         token: u64,
@@ -109,10 +149,24 @@ impl Site {
         locked: &[ObjectId],
         written: &[ObjectId],
     ) -> Result<(), DbError> {
+        if self.in_doubt.lock().remove(&token).is_none() {
+            return Ok(());
+        }
+        self.apply_commit(token, proposal, fin, locked, written)
+    }
+
+    fn apply_commit(
+        &self,
+        token: u64,
+        proposal: Gtn,
+        fin: Gtn,
+        locked: &[ObjectId],
+        written: &[ObjectId],
+    ) -> Result<(), DbError> {
         for &obj in written {
-            let r = self
-                .store
-                .with(obj, |c| c.promote_pending(TxnId(token), Some(fin.encoded())));
+            let r = self.store.with(obj, |c| {
+                c.promote_pending(TxnId(token), Some(fin.encoded()))
+            });
             if let Err(e) = r {
                 return Err(DbError::Internal(format!("site {} commit: {e}", self.id.0)));
             }
@@ -120,12 +174,32 @@ impl Site {
         }
         self.locks.release_all(token, locked.iter());
         self.vc.complete(proposal, fin);
-        self.metrics.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .vc_complete_calls
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Abort/rollback at this participant.
+    /// Abort/rollback at this participant. If the transaction was
+    /// prepared here, its in-doubt record supplies the proposal to
+    /// discard (and the record's removal makes duplicates no-ops).
     pub fn rollback(
+        &self,
+        token: u64,
+        proposal: Option<Gtn>,
+        locked: &[ObjectId],
+        written: &[ObjectId],
+    ) {
+        let p = self
+            .in_doubt
+            .lock()
+            .remove(&token)
+            .map(|e| e.proposal)
+            .or(proposal);
+        self.apply_abort(token, p, locked, written);
+    }
+
+    fn apply_abort(
         &self,
         token: u64,
         proposal: Option<Gtn>,
@@ -141,8 +215,90 @@ impl Site {
         self.locks.release_all(token, locked.iter());
         if let Some(p) = proposal {
             self.vc.discard(p);
-            self.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .vc_discard_calls
+                .fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    // ---- in-doubt resolution and crash recovery ---------------------------
+
+    /// Tokens of prepared transactions still awaiting a decision, with
+    /// how long each has been in doubt.
+    pub fn in_doubt_tokens(&self) -> Vec<(u64, Duration)> {
+        self.in_doubt
+            .lock()
+            .iter()
+            .map(|(&t, e)| (t, e.since.elapsed()))
+            .collect()
+    }
+
+    /// Number of in-doubt transactions.
+    pub fn in_doubt_len(&self) -> usize {
+        self.in_doubt.lock().len()
+    }
+
+    /// Resolve an in-doubt transaction as committed with final number
+    /// `fin` (learned by querying the coordinator's decision log).
+    /// Returns `false` if the token is no longer in doubt.
+    pub fn resolve_commit(&self, token: u64, fin: Gtn) -> Result<bool, DbError> {
+        let Some(e) = self.in_doubt.lock().remove(&token) else {
+            return Ok(false);
+        };
+        self.apply_commit(token, e.proposal, fin, &e.locked, &e.written)?;
+        Ok(true)
+    }
+
+    /// Resolve an in-doubt transaction as aborted (decision log says
+    /// abort, or presumed abort after a timeout — safe because the
+    /// coordinator logs its decision *before* sending any phase-2
+    /// message, so an undecided transaction can never have committed
+    /// anywhere). Returns `false` if the token is no longer in doubt.
+    pub fn resolve_abort(&self, token: u64) -> bool {
+        let Some(e) = self.in_doubt.lock().remove(&token) else {
+            return false;
+        };
+        self.apply_abort(token, Some(e.proposal), &e.locked, &e.written);
+        true
+    }
+
+    /// Simulate a site crash: every piece of volatile state vanishes —
+    /// locks, in-doubt 2PC records, pending versions, and the
+    /// version-control queue. Committed versions are durable and survive.
+    ///
+    /// **Limitation (documented in DESIGN.md):** prepared state is
+    /// volatile in this simulation (no write-ahead log), so a crash is
+    /// only faithful at points where no 2PC involving this site is in
+    /// flight; a coordinator's later commit for a crashed participant is
+    /// silently ignored by the idempotence filter.
+    pub fn crash(&self) {
+        self.in_doubt.lock().clear();
+        self.locks.clear_all();
+        for obj in self.store.objects() {
+            self.store.with(obj, |c| {
+                let writers: Vec<TxnId> = c.pending().iter().map(|p| p.writer).collect();
+                for w in writers {
+                    c.discard_pending(w);
+                }
+            });
+            self.store.notify(obj);
+        }
+    }
+
+    /// Recover after a [`crash`](Self::crash): rebuild the distributed
+    /// version-control watermark from durable state — the largest
+    /// committed version number in the store. Returns the watermark.
+    pub fn recover(&self) -> Gtn {
+        let watermark = self
+            .store
+            .objects()
+            .into_iter()
+            .map(|o| self.store.with(o, |c| c.latest().number))
+            .max()
+            .unwrap_or(0);
+        let watermark = Gtn(watermark);
+        self.vc.resume(watermark);
+        watermark
     }
 
     // ---- read-only transaction handlers ----------------------------------
@@ -179,7 +335,10 @@ impl Site {
 
     fn lock(&self, token: u64, obj: ObjectId, mode: LockMode) -> Result<(), DbError> {
         self.metrics.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
-        match self.locks.acquire(token, obj, mode, self.lock_timeout, true) {
+        match self
+            .locks
+            .acquire(token, obj, mode, self.lock_timeout, true)
+        {
             Ok(a) => {
                 if a.waited {
                     self.metrics.rw_blocks.fetch_add(1, Ordering::Relaxed);
@@ -206,9 +365,10 @@ mod tests {
     fn single_site_rw_lifecycle() {
         let s = Site::new(SiteId(1));
         s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
-        let p = s.prepare(7);
+        let p = s.prepare(7, &[obj(0)], &[obj(0)]);
         s.commit(7, p, p, &[obj(0)], &[obj(0)]).unwrap();
         assert_eq!(s.vc().vtnc(), p);
+        assert_eq!(s.in_doubt_len(), 0);
         let (n, v) = s.ro_read(obj(0), s.ro_start()).unwrap();
         assert_eq!(n, p.encoded());
         assert_eq!(v.as_u64(), Some(5));
@@ -218,7 +378,7 @@ mod tests {
     fn rollback_leaves_clean_state() {
         let s = Site::new(SiteId(1));
         s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
-        let p = s.prepare(7);
+        let p = s.prepare(7, &[obj(0)], &[obj(0)]);
         s.rollback(7, Some(p), &[obj(0)], &[obj(0)]);
         assert_eq!(s.ro_read(obj(0), s.ro_start()).unwrap().0, 0);
         // locks free again
@@ -232,9 +392,9 @@ mod tests {
         // site's vtnc has not advanced past an older in-doubt proposal:
         // the RO snapshot (taken at vtnc) must not include it.
         let s = Site::new(SiteId(1));
-        let _blocker = s.prepare(98); // older in-doubt proposal
+        let _blocker = s.prepare(98, &[], &[]); // older in-doubt proposal
         s.rw_write(99, obj(0), Value::from_u64(9)).unwrap();
-        let p = s.prepare(99);
+        let p = s.prepare(99, &[obj(0)], &[obj(0)]);
         s.commit(99, p, p, &[obj(0)], &[obj(0)]).unwrap();
         let sn = s.ro_start();
         assert_eq!(sn, Gtn::ZERO, "in-doubt blocker must pin visibility");
@@ -244,8 +404,73 @@ mod tests {
     #[test]
     fn catch_up_immediate_when_visible() {
         let s = Site::new(SiteId(1));
-        let p = s.prepare(1);
+        let p = s.prepare(1, &[], &[]);
         s.commit(1, p, p, &[], &[]).unwrap();
         assert_eq!(s.ro_catch_up(p, Duration::from_millis(5)).unwrap(), p);
+    }
+
+    #[test]
+    fn duplicate_commit_delivery_is_a_no_op() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
+        let p = s.prepare(7, &[obj(0)], &[obj(0)]);
+        s.commit(7, p, p, &[obj(0)], &[obj(0)]).unwrap();
+        // the duplicate must not re-promote or double-complete
+        s.commit(7, p, p, &[obj(0)], &[obj(0)]).unwrap();
+        assert_eq!(s.vc().vtnc(), p);
+        assert_eq!(s.metrics().vc_complete_calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn resolve_commit_finishes_in_doubt_txn() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
+        let p = s.prepare(7, &[obj(0)], &[obj(0)]);
+        // decision message lost; resolver learns Commit(fin) from the log
+        assert!(s.resolve_commit(7, p).unwrap());
+        assert_eq!(s.vc().vtnc(), p);
+        assert_eq!(s.ro_read(obj(0), s.ro_start()).unwrap().1.as_u64(), Some(5));
+        // a straggling duplicate decision is ignored
+        assert!(!s.resolve_commit(7, p).unwrap());
+    }
+
+    #[test]
+    fn resolve_abort_presumes_abort_for_undecided() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(7, obj(0), Value::from_u64(5)).unwrap();
+        let _p = s.prepare(7, &[obj(0)], &[obj(0)]);
+        assert_eq!(s.in_doubt_len(), 1);
+        assert!(s.resolve_abort(7));
+        assert_eq!(s.in_doubt_len(), 0);
+        // pending discarded, visibility unpinned, locks released
+        assert_eq!(s.ro_read(obj(0), s.ro_start()).unwrap().0, 0);
+        s.rw_write(8, obj(0), Value::from_u64(6)).unwrap();
+        s.rollback(8, None, &[obj(0)], &[obj(0)]);
+    }
+
+    #[test]
+    fn crash_recover_rebuilds_watermark_from_store() {
+        let s = Site::new(SiteId(1));
+        s.rw_write(1, obj(0), Value::from_u64(5)).unwrap();
+        let p1 = s.prepare(1, &[obj(0)], &[obj(0)]);
+        s.commit(1, p1, p1, &[obj(0)], &[obj(0)]).unwrap();
+        // a second txn crashes the site while prepared
+        s.rw_write(2, obj(1), Value::from_u64(9)).unwrap();
+        let _p2 = s.prepare(2, &[obj(1)], &[obj(1)]);
+        s.crash();
+        assert_eq!(s.in_doubt_len(), 0);
+        let watermark = s.recover();
+        assert_eq!(watermark, p1, "watermark = largest committed version");
+        assert_eq!(s.vc().vtnc(), p1);
+        s.vc().validate().unwrap();
+        // the crashed txn's pending write is gone; its lock is free
+        assert_eq!(s.ro_read(obj(1), s.ro_start()).unwrap().0, 0);
+        s.rw_write(3, obj(1), Value::from_u64(7)).unwrap();
+        let p3 = s.prepare(3, &[obj(1)], &[obj(1)]);
+        s.commit(3, p3, p3, &[obj(1)], &[obj(1)]).unwrap();
+        assert!(
+            s.vc().vtnc() > watermark,
+            "visibility advances past recovery"
+        );
     }
 }

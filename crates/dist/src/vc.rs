@@ -147,6 +147,26 @@ impl DistVc {
         }
     }
 
+    /// Rebuild the module after a site crash. The queue, holdover set and
+    /// Lamport clock are volatile and already lost; `watermark` is the
+    /// recovery point derived from durable state (the largest committed
+    /// version number in the site's store). Visibility never moves
+    /// backwards: pre-crash snapshots taken at the old `vtnc` stay valid
+    /// because committed versions survive the crash.
+    pub fn resume(&self, watermark: Gtn) {
+        let mut inner = self.inner.lock();
+        inner.queue.clear();
+        inner.holdover.clear();
+        // The clock must dominate every number this site ever exposed.
+        inner.time = inner.time.max(watermark.time());
+        let cur = self.vtnc.load(Ordering::Acquire);
+        if watermark.encoded() > cur {
+            self.vtnc.store(watermark.encoded(), Ordering::Release);
+            let _waiters = self.visible_mu.lock();
+            self.visible_cv.notify_all();
+        }
+    }
+
     /// Current visible bound.
     pub fn vtnc(&self) -> Gtn {
         Gtn(self.vtnc.load(Ordering::Acquire))
@@ -162,11 +182,7 @@ impl DistVc {
             if v >= g {
                 return Some(v);
             }
-            if self
-                .visible_cv
-                .wait_until(&mut guard, deadline)
-                .timed_out()
-            {
+            if self.visible_cv.wait_until(&mut guard, deadline).timed_out() {
                 let v = self.vtnc();
                 return (v >= g).then_some(v);
             }
@@ -194,7 +210,11 @@ impl DistVc {
             }
         }
         if vtnc.time() > inner.time {
-            return Err(format!("vtnc time {} beyond clock {}", vtnc.time(), inner.time));
+            return Err(format!(
+                "vtnc time {} beyond clock {}",
+                vtnc.time(),
+                inner.time
+            ));
         }
         Ok(())
     }

@@ -50,7 +50,11 @@ fn serializable_with_message_latency() {
     });
     let h = c.trace_history().unwrap();
     let rep = mvsg::check_tn_order(&h);
-    assert!(rep.acyclic, "latency exposed a visibility hole: {:?}", rep.cycle);
+    assert!(
+        rep.acyclic,
+        "latency exposed a visibility hole: {:?}",
+        rep.cycle
+    );
     for site in c.site_ids() {
         c.site(site).vc().validate().unwrap();
     }
@@ -67,7 +71,7 @@ fn in_doubt_window_blocks_visibility_not_correctness() {
 
     // Old transaction prepares (in doubt) ...
     s.rw_write(100, ObjectId(0), Value::from_u64(1)).unwrap();
-    let p_old = s.prepare(100);
+    let p_old = s.prepare(100, &[ObjectId(0)], &[ObjectId(0)]);
 
     // ... younger transaction fully commits through the normal path.
     let mut t = c.begin_rw();

@@ -65,7 +65,9 @@ pub fn find_equivalent_serial_order(
         perms = perms.saturating_mul(i);
     }
     if perms > max_perms {
-        return Err(TooLarge { combinations: perms });
+        return Err(TooLarge {
+            combinations: perms,
+        });
     }
 
     let mut reads: BTreeMap<TxnId, Vec<ObjectId>> = BTreeMap::new();
@@ -145,8 +147,7 @@ mod tests {
 
     #[test]
     fn inconsistent_snapshot_has_no_witness() {
-        let h =
-            parse_history("w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3").unwrap();
+        let h = parse_history("w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3").unwrap();
         assert!(find_equivalent_serial_order(&h, 1_000_000)
             .unwrap()
             .is_none());
@@ -154,10 +155,8 @@ mod tests {
 
     #[test]
     fn cap_enforced() {
-        let h = parse_history(
-            "w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6 w7[x] c7",
-        )
-        .unwrap();
+        let h = parse_history("w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6 w7[x] c7")
+            .unwrap();
         assert!(find_equivalent_serial_order(&h, 10).is_err());
     }
 

@@ -134,12 +134,19 @@ pub fn build_mvsg(h: &History, order: &VersionOrder) -> DiGraph {
     //   * `T_k → T_i` for writers `i ∉ {j, k}` with `x_j ≪ x_i`.
     let mut readers: BTreeMap<(ObjectId, TxnId), BTreeSet<TxnId>> = BTreeMap::new();
     for op in ops {
-        if let Op::Read { txn: k, obj, version: j } = *op {
+        if let Op::Read {
+            txn: k,
+            obj,
+            version: j,
+        } = *op
+        {
             readers.entry((obj, j)).or_default().insert(k);
         }
     }
     for (&(obj, j), ks) in &readers {
-        let Some(ws) = writers.get(&obj) else { continue };
+        let Some(ws) = writers.get(&obj) else {
+            continue;
+        };
         let pj = order.pos(obj, j, rank);
         for &i in ws {
             if i == j {
@@ -250,19 +257,15 @@ pub fn check_exhaustive(
         writers.insert(obj, alive);
     }
 
-    let combos: u128 = writers
-        .values()
-        .map(|ws| factorial(ws.len()))
-        .product();
+    let combos: u128 = writers.values().map(|ws| factorial(ws.len())).product();
     if combos > max_combinations {
-        return Err(TooLarge { combinations: combos });
+        return Err(TooLarge {
+            combinations: combos,
+        });
     }
 
     let objs: Vec<ObjectId> = writers.keys().copied().collect();
-    let perms: Vec<Vec<Vec<TxnId>>> = objs
-        .iter()
-        .map(|o| permutations(&writers[o]))
-        .collect();
+    let perms: Vec<Vec<Vec<TxnId>>> = objs.iter().map(|o| permutations(&writers[o])).collect();
 
     // Odometer over the cartesian product of per-object permutations.
     let mut idx = vec![0usize; objs.len()];
@@ -323,8 +326,7 @@ mod tests {
     fn inconsistent_snapshot_detected() {
         // T3 reads x_1 (old) but y_2 (new) while T2 wrote both x and y:
         // edges T3→T2 (version order via x) and T2→T3 (reads-from y) — cycle.
-        let h =
-            parse_history("w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3").unwrap();
+        let h = parse_history("w1[x] w1[y] c1 w2[x] w2[y] c2 r3[x:1] r3[y:2] c3").unwrap();
         let rep = check_tn_order(&h);
         assert!(!rep.acyclic);
         let cyc = rep.cycle.unwrap();
@@ -374,8 +376,7 @@ mod tests {
     #[test]
     fn exhaustive_cap_enforced() {
         // 6 writers of one object = 720 permutations > cap of 10.
-        let h = parse_history("w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6")
-            .unwrap();
+        let h = parse_history("w1[x] c1 w2[x] c2 w3[x] c3 w4[x] c4 w5[x] c5 w6[x] c6").unwrap();
         let err = check_exhaustive(&h, 10).unwrap_err();
         assert!(err.combinations > 10);
     }

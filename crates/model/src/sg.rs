@@ -79,10 +79,7 @@ mod tests {
         let h = parse_history("r1[x:0] w1[x] c1 r2[x:1] w2[y] c2").unwrap();
         assert!(is_serial(&h));
         assert!(is_conflict_serializable(&h));
-        assert_eq!(
-            serial_order_witness(&h).unwrap(),
-            vec![TxnId(1), TxnId(2)]
-        );
+        assert_eq!(serial_order_witness(&h).unwrap(), vec![TxnId(1), TxnId(2)]);
     }
 
     #[test]
@@ -128,10 +125,7 @@ mod tests {
     fn three_way_cycle() {
         // T1 reads x then T2 writes x (T1→T2); T2 reads y then T3 writes y
         // (T2→T3); T3 reads z then T1 writes z (T3→T1): cycle.
-        let h = parse_history(
-            "r1[x:0] r2[y:0] r3[z:0] w2[x] w3[y] w1[z] c1 c2 c3",
-        )
-        .unwrap();
+        let h = parse_history("r1[x:0] r2[y:0] r3[z:0] w2[x] w3[y] w1[z] c1 c2 c3").unwrap();
         assert!(!is_conflict_serializable(&h));
     }
 }

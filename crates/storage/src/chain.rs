@@ -150,10 +150,7 @@ impl VersionChain {
     /// Raise the `r-ts` of the version numbered `number` (Reed-style
     /// per-version read timestamps). No-op if the version is gone.
     pub fn update_read_ts_of(&mut self, number: VersionNo, tn: VersionNo) {
-        if let Ok(i) = self
-            .committed
-            .binary_search_by_key(&number, |v| v.number)
-        {
+        if let Ok(i) = self.committed.binary_search_by_key(&number, |v| v.number) {
             self.committed[i].read_ts = self.committed[i].read_ts.max(tn);
         }
     }
@@ -221,11 +218,7 @@ impl VersionChain {
     /// Directly insert a committed version (used by OCC's write phase and
     /// by the distributed apply path, where no pending version was staged
     /// in this chain).
-    pub fn insert_committed(
-        &mut self,
-        number: VersionNo,
-        value: Value,
-    ) -> Result<(), ChainError> {
+    pub fn insert_committed(&mut self, number: VersionNo, value: Value) -> Result<(), ChainError> {
         if self.exact(number).is_some() {
             return Err(ChainError::DuplicateVersion(number));
         }

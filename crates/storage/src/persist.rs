@@ -149,10 +149,16 @@ mod tests {
     fn round_trip_preserves_snapshot() {
         let store = MvStore::new();
         store.seed(obj(1), Value::from_u64(10));
-        store.with(obj(1), |c| c.insert_committed(3, Value::from_u64(30)).unwrap());
-        store.with(obj(2), |c| c.insert_committed(5, Value::from_u64(50)).unwrap());
+        store.with(obj(1), |c| {
+            c.insert_committed(3, Value::from_u64(30)).unwrap()
+        });
+        store.with(obj(2), |c| {
+            c.insert_committed(5, Value::from_u64(50)).unwrap()
+        });
         // version above the watermark — must NOT be checkpointed
-        store.with(obj(1), |c| c.insert_committed(9, Value::from_u64(90)).unwrap());
+        store.with(obj(1), |c| {
+            c.insert_committed(9, Value::from_u64(90)).unwrap()
+        });
 
         let mut buf = Vec::new();
         let stats = store.checkpoint(&mut buf, 5).unwrap();
@@ -162,9 +168,15 @@ mod tests {
 
         let (restored, watermark) = MvStore::restore(&mut buf.as_slice()).unwrap();
         assert_eq!(watermark, 5);
-        assert_eq!(restored.read_at(obj(1), 5).unwrap(), (3, Value::from_u64(30)));
+        assert_eq!(
+            restored.read_at(obj(1), 5).unwrap(),
+            (3, Value::from_u64(30))
+        );
         assert_eq!(restored.read_at(obj(1), 2).unwrap().0, 0);
-        assert_eq!(restored.read_at(obj(2), 5).unwrap(), (5, Value::from_u64(50)));
+        assert_eq!(
+            restored.read_at(obj(2), 5).unwrap(),
+            (5, Value::from_u64(50))
+        );
         // the post-watermark version is gone
         assert_eq!(restored.read_latest(obj(1)).0, 3);
     }

@@ -255,7 +255,9 @@ mod tests {
     #[test]
     fn with_mutates_chain() {
         let s = MvStore::new();
-        s.with(obj(2), |c| c.insert_committed(5, Value::from_u64(50)).unwrap());
+        s.with(obj(2), |c| {
+            c.insert_committed(5, Value::from_u64(50)).unwrap()
+        });
         assert_eq!(s.read_at(obj(2), 5).unwrap().0, 5);
         assert_eq!(s.read_at(obj(2), 4).unwrap().0, 0);
     }
@@ -271,7 +273,9 @@ mod tests {
     #[test]
     fn stats_aggregate() {
         let s = MvStore::new();
-        s.with(obj(1), |c| c.insert_committed(1, Value::from_u64(1)).unwrap());
+        s.with(obj(1), |c| {
+            c.insert_committed(1, Value::from_u64(1)).unwrap()
+        });
         s.with(obj(2), |c| {
             c.install_pending(PendingVersion::phi(TxnId(9), Value::from_str("abc")))
         });
@@ -316,7 +320,9 @@ mod tests {
             })
         });
         thread::sleep(Duration::from_millis(20));
-        s.with(obj(7), |c| c.insert_committed(3, Value::from_u64(33)).unwrap());
+        s.with(obj(7), |c| {
+            c.insert_committed(3, Value::from_u64(33)).unwrap()
+        });
         s.notify(obj(7));
         let got = waiter.join().unwrap().unwrap();
         assert_eq!(got, Some(33));

@@ -41,20 +41,12 @@ impl Value {
 
     /// Decode as `u64` if the payload is exactly 8 bytes.
     pub fn as_u64(&self) -> Option<u64> {
-        self.0
-            .as_ref()
-            .try_into()
-            .ok()
-            .map(u64::from_be_bytes)
+        self.0.as_ref().try_into().ok().map(u64::from_be_bytes)
     }
 
     /// Decode as `i64` if the payload is exactly 8 bytes.
     pub fn as_i64(&self) -> Option<i64> {
-        self.0
-            .as_ref()
-            .try_into()
-            .ok()
-            .map(i64::from_be_bytes)
+        self.0.as_ref().try_into().ok().map(i64::from_be_bytes)
     }
 
     /// Decode as UTF-8 if valid.

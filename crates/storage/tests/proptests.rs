@@ -2,10 +2,10 @@
 //! reads match a naive reference, and pruning never changes the result of
 //! any read at or above the watermark.
 
+use mvcc_model::TxnId;
 use mvcc_storage::chain::VersionChain;
 use mvcc_storage::version::PendingVersion;
 use mvcc_storage::Value;
-use mvcc_model::TxnId;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

@@ -10,7 +10,7 @@
 use crate::histogram::Histogram;
 use crate::keydist::KeySampler;
 use crate::spec::WorkloadSpec;
-use mvcc_core::{Engine, MetricsSnapshot, OpSpec};
+use mvcc_core::{Engine, MetricsSnapshot, OpSpec, RetryPolicy};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
 use rand::rngs::SmallRng;
@@ -27,6 +27,11 @@ pub struct DriverConfig {
     pub duration: Duration,
     /// Retry bound per transaction before giving up.
     pub max_retries: u32,
+    /// Backoff discipline between retries. The attempt bound stays
+    /// [`max_retries`](Self::max_retries); only the policy's sleep
+    /// parameters apply here. The default never sleeps (the historical
+    /// behavior); fault experiments switch to an exponential policy.
+    pub backoff: RetryPolicy,
     /// Run `Engine::maintenance()` (GC) from the driver roughly this
     /// often, if set.
     pub gc_every: Option<Duration>,
@@ -41,6 +46,7 @@ impl Default for DriverConfig {
             threads: 4,
             duration: Duration::from_millis(200),
             max_retries: 64,
+            backoff: RetryPolicy::no_backoff(0),
             gc_every: None,
             txn_budget: None,
         }
@@ -132,8 +138,10 @@ fn run_one(
     sampler: &KeySampler,
     rng: &mut SmallRng,
     max_retries: u32,
+    backoff: &RetryPolicy,
     out: &mut ThreadOutcome,
 ) {
+    let mut jitter = backoff.jitter_stream();
     let is_ro = rng.random_bool(spec.ro_fraction.clamp(0.0, 1.0));
     if is_ro {
         let keys: Vec<ObjectId> = (0..spec.ro_ops)
@@ -151,6 +159,10 @@ fn run_one(
                 }
                 Err(e) if e.is_retryable() && attempt < max_retries => {
                     out.ro_retries += 1;
+                    let sleep = backoff.backoff_for(attempt, &mut jitter);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
                 }
                 Err(_) => {
                     out.gave_up += 1;
@@ -181,6 +193,10 @@ fn run_one(
                 }
                 Err(e) if e.is_retryable() && attempt < max_retries => {
                     out.rw_retries += 1;
+                    let sleep = backoff.backoff_for(attempt, &mut jitter);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
                 }
                 Err(_) => {
                     out.gave_up += 1;
@@ -228,7 +244,15 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
                     {
                         break;
                     }
-                    run_one(engine, spec_ref, &sampler, &mut rng, cfg.max_retries, &mut out);
+                    run_one(
+                        engine,
+                        spec_ref,
+                        &sampler,
+                        &mut rng,
+                        cfg.max_retries,
+                        &cfg.backoff,
+                        &mut out,
+                    );
                 }
                 out
             }));
@@ -246,7 +270,10 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
             }
         }
         stop.store(true, Ordering::Relaxed);
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let elapsed = started.elapsed();
@@ -309,8 +336,17 @@ pub fn run_fixed_count(
         lag_sum: 0,
         lag_samples: 0,
     };
+    let backoff = RetryPolicy::no_backoff(0);
     for _ in 0..txns {
-        run_one(engine, spec, &sampler, &mut rng, max_retries, &mut out);
+        run_one(
+            engine,
+            spec,
+            &sampler,
+            &mut rng,
+            max_retries,
+            &backoff,
+            &mut out,
+        );
     }
     RunReport {
         engine: engine.name(),
@@ -341,8 +377,7 @@ mod tests {
             threads: 4,
             duration: Duration::from_millis(80),
             max_retries: 200,
-            txn_budget: None,
-        gc_every: None,
+            ..Default::default()
         }
     }
 
@@ -443,8 +478,8 @@ mod tests {
             threads: 2,
             duration: Duration::from_millis(120),
             max_retries: 100,
-            txn_budget: None,
-        gc_every: Some(Duration::from_millis(10)),
+            gc_every: Some(Duration::from_millis(10)),
+            ..Default::default()
         };
         let report = run(&db, &spec, &cfg);
         // Periodic GC kept the store well below one version per committed

@@ -1,5 +1,6 @@
 //! Aligned text tables for experiment output.
 
+use mvcc_core::MetricsSnapshot;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -75,6 +76,35 @@ impl Table {
         }
         out
     }
+}
+
+/// Per-reason abort/retry breakdown of a run's engine counters, plus the
+/// stall reaper's force-discard count. One row per reason with activity;
+/// an all-zero snapshot yields an empty table.
+pub fn abort_breakdown(m: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(["abort reason", "aborts", "retries"]);
+    let rows: [(&str, u64, u64); 7] = [
+        ("ts-conflict", m.aborts_ts_conflict, m.retries_ts_conflict),
+        ("deadlock", m.aborts_deadlock, m.retries_deadlock),
+        ("validation", m.aborts_validation, m.retries_validation),
+        ("wait-timeout", m.aborts_timeout, m.retries_timeout),
+        ("baseline-conflict", m.aborts_baseline, m.retries_baseline),
+        ("reaped", m.aborts_reaped, m.retries_reaped),
+        ("user-requested", m.aborts_user, 0),
+    ];
+    for (reason, aborts, retries) in rows {
+        if aborts > 0 || retries > 0 {
+            t.row([reason.to_string(), aborts.to_string(), retries.to_string()]);
+        }
+    }
+    if m.reaper_force_discards > 0 {
+        t.row([
+            "(reaper force-discards)".to_string(),
+            m.reaper_force_discards.to_string(),
+            String::new(),
+        ]);
+    }
+    t
 }
 
 /// Format a duration compactly (`1.23µs`, `45.6ms`, `2.00s`).
@@ -155,5 +185,22 @@ mod tests {
     fn pct_formats() {
         assert_eq!(fmt_pct(0.123), "12.3%");
         assert_eq!(fmt_pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn abort_breakdown_skips_quiet_reasons() {
+        let mut m = MetricsSnapshot::default();
+        assert!(abort_breakdown(&m).is_empty());
+        m.aborts_deadlock = 3;
+        m.retries_deadlock = 2;
+        m.retries_reaped = 1;
+        m.reaper_force_discards = 4;
+        let t = abort_breakdown(&m);
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("deadlock"));
+        assert!(s.contains("reaped"));
+        assert!(s.contains("force-discards"));
+        assert!(!s.contains("validation"));
     }
 }

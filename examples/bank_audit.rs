@@ -78,10 +78,7 @@ fn main() {
                         sum += audit.read_u64(ObjectId(a)).unwrap().unwrap();
                     }
                     audit.finish();
-                    assert_eq!(
-                        sum, TOTAL,
-                        "an audit snapshot must always balance exactly"
-                    );
+                    assert_eq!(sum, TOTAL, "an audit snapshot must always balance exactly");
                     audits.fetch_add(1, Ordering::Relaxed);
                 }
             });

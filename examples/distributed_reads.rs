@@ -12,9 +12,9 @@
 //! broken per-site-snapshot discipline of the distributed MV2PL of [8]
 //! and letting the MVSG oracle catch the cycle.
 
+use mvdb::core::prelude::{ObjectId, Value};
 use mvdb::dist::{Cluster, RoMode, SiteId};
 use mvdb::model::mvsg;
-use mvdb::core::prelude::{ObjectId, Value};
 
 const ACCOUNTS_PER_SITE: u64 = 8;
 const INITIAL: u64 = 100;
@@ -56,9 +56,7 @@ fn main() {
     }
     let sn = audit.sn().unwrap();
     audit.finish();
-    println!(
-        "global audit at sn {sn}: total across 3 sites = {total} (expected {grand_total})"
-    );
+    println!("global audit at sn {sn}: total across 3 sites = {total} (expected {grand_total})");
     assert_eq!(total, grand_total);
 
     let h = c.trace_history().unwrap();
@@ -79,13 +77,15 @@ fn main() {
     let mut ro_y = broken.begin_ro(RoMode::PerSiteSnapshots);
     let _ = ro_y.read(SiteId(1), ObjectId(0)).unwrap();
     let mut t1 = broken.begin_rw();
-    t1.write(SiteId(1), ObjectId(0), Value::from_u64(1)).unwrap();
+    t1.write(SiteId(1), ObjectId(0), Value::from_u64(1))
+        .unwrap();
     t1.commit().unwrap();
     let mut ro_x = broken.begin_ro(RoMode::PerSiteSnapshots);
     let _ = ro_x.read(SiteId(1), ObjectId(0)).unwrap();
     let _ = ro_x.read(SiteId(2), ObjectId(0)).unwrap();
     let mut t2 = broken.begin_rw();
-    t2.write(SiteId(2), ObjectId(0), Value::from_u64(2)).unwrap();
+    t2.write(SiteId(2), ObjectId(0), Value::from_u64(2))
+        .unwrap();
     t2.commit().unwrap();
     let _ = ro_y.read(SiteId(2), ObjectId(0)).unwrap();
     ro_x.finish();

@@ -80,8 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Disaster: restore the backup into a fresh engine on a different
     // protocol (checkpoints are protocol-independent).
-    let restored: MvDatabase<Optimistic> =
-        MvDatabase::restore(Optimistic::new(), DbConfig::default(), &mut backup.as_slice())?;
+    let restored: MvDatabase<Optimistic> = MvDatabase::restore(
+        Optimistic::new(),
+        DbConfig::default(),
+        &mut backup.as_slice(),
+    )?;
     let mut r = restored.begin_read_only();
     println!(
         "restored (under OCC): balance {} — the post-checkpoint deposit is \

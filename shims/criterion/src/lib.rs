@@ -1,0 +1,249 @@
+//! Minimal benchmark harness with a `criterion`-compatible API (vendored
+//! offline shim).
+//!
+//! Provides `Criterion`, benchmark groups, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is deliberately simple: a short calibration pass
+//! sizes the iteration count, then one timed pass reports mean
+//! time-per-iteration. No statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifier combining a function name and a parameter, for
+/// `bench_with_input`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to `bench_function`/`bench_with_input`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration from the last `iter*` call.
+    elapsed_ns_per_iter: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run until ~10% of the measurement budget is spent,
+        // doubling, to pick an iteration count that fills the budget.
+        let calib_budget = self.measurement_time / 10;
+        let mut n: u64 = 1;
+        let calib_start = Instant::now();
+        loop {
+            for _ in 0..n {
+                black_box(routine());
+            }
+            if calib_start.elapsed() >= calib_budget || n >= 1 << 20 {
+                break;
+            }
+            n *= 2;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / (2 * n - 1) as f64;
+        let total =
+            ((self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        self.elapsed_ns_per_iter = start.elapsed().as_nanos() as f64 / total as f64;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while spent < self.measurement_time && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed_ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is meaningless for the shim's single-pass measurement;
+    /// accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl std::fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut routine);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short by default: the shim is for smoke-running benches offline,
+        // not statistically rigorous measurement.
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<R>(&mut self, id: impl std::fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = id.to_string();
+        self.run_one(&full, &mut routine);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+
+    fn run_one(&mut self, name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            elapsed_ns_per_iter: 0.0,
+            measurement_time: self.measurement_time,
+        };
+        routine(&mut b);
+        let ns = b.elapsed_ns_per_iter;
+        let pretty = if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!("{name:<60} {pretty}/iter");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,10 @@
+//! Stand-in for the `crossbeam` crate (vendored offline shim).
+//!
+//! The workspace declares crossbeam but only uses `std::thread::scope`; a
+//! thin re-export keeps the dependency satisfied offline and gives callers
+//! the scoped-spawn entry point crossbeam is usually pulled in for.
+
+pub mod thread {
+    /// Scoped threads via the std implementation (available since 1.63).
+    pub use std::thread::scope;
+}

@@ -1,0 +1,18 @@
+//! Stand-in for `serde` (vendored offline shim).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` for forward
+//! compatibility; no code serializes through serde. The shim re-exports
+//! no-op derive macros (behind the `derive` feature, matching real serde)
+//! plus empty marker traits of the same names — traits and derive macros
+//! live in different namespaces, so `use serde::{Serialize, Deserialize}`
+//! imports both, exactly as with real serde.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The no-op derive does not
+/// implement it; it exists so imports and bounds resolve.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

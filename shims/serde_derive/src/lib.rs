@@ -1,0 +1,15 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` (vendored
+//! offline shim). The workspace derives these decoratively — nothing
+//! serializes through serde at runtime — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

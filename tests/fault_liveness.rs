@@ -1,0 +1,195 @@
+//! End-to-end liveness under stalled clients.
+//!
+//! The visibility counter `vtnc` advances only because every registered
+//! transaction eventually completes or discards its registration. These
+//! tests break that assumption with a stalled client and verify that the
+//! registration TTL + stall reaper restore liveness — and that a reaped
+//! transaction's late commit is refused, so its writes never surface.
+
+use mvdb::cc::presets;
+use mvdb::core::prelude::*;
+use mvdb::core::{FaultConfig, FaultPoint};
+use std::sync::Barrier;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const TTL: Duration = Duration::from_millis(10);
+
+fn stall_all() -> FaultConfig {
+    FaultConfig {
+        seed: 7,
+        stall_after_register: 1.0,
+        ..Default::default()
+    }
+}
+
+/// A client that stalls right after registering pins `vtnc`; once its
+/// TTL expires, `reap_stalled` force-discards the registration and the
+/// lag drains to zero.
+#[test]
+fn stalled_client_pins_vtnc_until_reaped() {
+    let db = presets::vc_to(
+        DbConfig::default()
+            .with_register_ttl(TTL)
+            .with_fault(stall_all()),
+    );
+    db.seed(ObjectId(0), Value::from_u64(0));
+
+    let err = db
+        .run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))])
+        .unwrap_err();
+    assert!(
+        matches!(err, DbError::Internal(_)),
+        "stall is not retryable: {err:?}"
+    );
+    assert_eq!(db.faults().injected(FaultPoint::StallAfterRegister), 1);
+    assert_eq!(db.vc().lag(), 1, "the stalled registration pins vtnc");
+
+    // Too early: the registration has not expired yet.
+    assert!(db.reap_stalled().is_empty());
+    assert_eq!(db.vc().lag(), 1);
+
+    thread::sleep(TTL + Duration::from_millis(2));
+    let reaped = db.reap_stalled();
+    assert_eq!(reaped.len(), 1);
+    assert_eq!(db.vc().queue_len(), 0, "the stalled registration is gone");
+    assert_eq!(db.metrics().reaper_force_discards, 1);
+    assert_eq!(
+        db.peek_latest(ObjectId(0)).as_u64(),
+        Some(0),
+        "the stalled write never lands"
+    );
+
+    // Liveness restored: the next commit drains straight past the gap
+    // the discarded registration left, and new snapshots see it.
+    db.run_rw(1, |t| t.write(ObjectId(1), Value::from_u64(7)))
+        .unwrap();
+    assert_eq!(db.vc().lag(), 0, "vtnc advances again after reaping");
+    let mut r = db.begin_read_only();
+    assert_eq!(r.read_u64(ObjectId(1)).unwrap(), Some(7));
+    r.finish();
+}
+
+/// Without a TTL the paper's implicit liveness assumption really does
+/// fail: one stalled client freezes `vtnc` forever and the reaper is a
+/// deliberate no-op.
+#[test]
+fn without_a_ttl_vtnc_freezes() {
+    let db = presets::vc_to(DbConfig::default().with_fault(stall_all()));
+    let _ = db.run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))]);
+    assert_eq!(db.vc().lag(), 1);
+
+    thread::sleep(TTL + Duration::from_millis(2));
+    assert!(
+        db.reap_stalled().is_empty(),
+        "no TTL: nothing is ever stale"
+    );
+    assert_eq!(db.vc().lag(), 1, "vtnc is frozen for good");
+    assert_eq!(db.metrics().reaper_force_discards, 0);
+
+    // Even a committed transaction stays invisible behind the frozen
+    // frontier: the stalled Active entry blocks the drain forever.
+    db.run_rw(1, |t| t.write(ObjectId(1), Value::from_u64(7)))
+        .unwrap();
+    assert_eq!(db.vc().lag(), 2, "the commit queues up behind the stall");
+    let mut r = db.begin_read_only();
+    assert_eq!(
+        r.read_u64(ObjectId(1)).unwrap(),
+        None,
+        "committed but invisible"
+    );
+    r.finish();
+}
+
+/// Full scenario with the background reaper thread: a slow transaction
+/// pins `vtnc`, committed data stays invisible to new readers until the
+/// reaper fires, and the slow transaction's own late commit is refused
+/// with `AbortReason::Reaped`.
+#[test]
+fn background_reaper_restores_freshness_and_refuses_late_commit() {
+    let db = presets::vc_to(DbConfig::default().with_register_ttl(TTL));
+    db.seed(ObjectId(0), Value::from_u64(0));
+    db.seed(ObjectId(1), Value::from_u64(0));
+
+    let registered = Barrier::new(2);
+    let release = Barrier::new(2);
+
+    thread::scope(|scope| {
+        let slow = scope.spawn(|| {
+            db.run_rw(1, |t| {
+                t.write(ObjectId(0), Value::from_u64(99))?;
+                registered.wait();
+                release.wait(); // held open well past the TTL
+                Ok(())
+            })
+        });
+
+        registered.wait();
+        // The slow transaction registered first, so even a completed
+        // commit after it cannot advance vtnc: new snapshots are stale.
+        let (_, _) = db
+            .run_rw(8, |t| t.write(ObjectId(1), Value::from_u64(5)))
+            .unwrap();
+        assert!(db.vc().lag() >= 1);
+        {
+            let mut r = db.begin_read_only();
+            assert_eq!(
+                r.read_u64(ObjectId(1)).unwrap(),
+                Some(0),
+                "stale: commit is pinned"
+            );
+            r.finish();
+        }
+
+        let reaper = db.spawn_reaper(Duration::from_millis(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while db.vc().lag() != 0 {
+            assert!(Instant::now() < deadline, "reaper thread never caught up");
+            thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let mut r = db.begin_read_only();
+            assert_eq!(
+                r.read_u64(ObjectId(1)).unwrap(),
+                Some(5),
+                "fresh after reaping"
+            );
+            r.finish();
+        }
+        reaper.stop();
+
+        release.wait();
+        let err = slow.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, DbError::Aborted(AbortReason::Reaped)),
+            "late commit must be refused: {err:?}"
+        );
+    });
+
+    assert_eq!(
+        db.peek_latest(ObjectId(0)).as_u64(),
+        Some(0),
+        "reaped write never surfaces"
+    );
+    assert!(db.metrics().reaper_force_discards >= 1);
+    assert_eq!(db.metrics().aborts_reaped, 1);
+}
+
+/// Under protocols that register at commit (2PL here), a stalled client
+/// never reaches version control at all — vtnc cannot be pinned and the
+/// reaper has nothing to do. The modularity consequence, end to end.
+#[test]
+fn commit_time_registration_is_immune_to_stalls() {
+    let db = presets::vc_2pl(
+        DbConfig::default()
+            .with_register_ttl(TTL)
+            .with_fault(stall_all()),
+    );
+    db.seed(ObjectId(0), Value::from_u64(0));
+    let _ = db.run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))]);
+    assert_eq!(db.faults().injected(FaultPoint::StallAfterRegister), 1);
+    assert_eq!(db.vc().lag(), 0, "2PL registers at commit: nothing to pin");
+    thread::sleep(TTL + Duration::from_millis(2));
+    assert!(db.reap_stalled().is_empty());
+    assert_eq!(db.metrics().reaper_force_discards, 0);
+}

@@ -149,10 +149,7 @@ fn distributed_cluster_stress_is_globally_1sr() {
                             let mut ok = true;
                             for &site in sites.iter().take(rng.random_range(1..=3)) {
                                 let obj = ObjectId(rng.random_range(0..4));
-                                if txn
-                                    .write(site, obj, Value::from_u64(round))
-                                    .is_err()
-                                {
+                                if txn.write(site, obj, Value::from_u64(round)).is_err() {
                                     ok = false;
                                     break;
                                 }

@@ -30,9 +30,12 @@ fn checkpoint_restore_round_trip() {
 
     // "Crash" and restart on a different protocol — checkpoints are
     // protocol-independent, like everything version control touches.
-    let db2: MvDatabase<TimestampOrdering> =
-        MvDatabase::restore(TimestampOrdering::new(), DbConfig::default(), &mut buf.as_slice())
-            .unwrap();
+    let db2: MvDatabase<TimestampOrdering> = MvDatabase::restore(
+        TimestampOrdering::new(),
+        DbConfig::default(),
+        &mut buf.as_slice(),
+    )
+    .unwrap();
     assert_eq!(db2.vc().vtnc(), 1);
     let mut r = db2.begin_read_only();
     assert_eq!(r.read_u64(ObjectId(0)).unwrap(), Some(77));

@@ -87,8 +87,7 @@ fn run_engine(engine: &dyn Engine, steps: &[Step]) -> Vec<Vec<Option<u64>>> {
                     .expect("single-threaded RW cannot conflict");
             }
             Step::Ro(keys) => {
-                let objs: Vec<ObjectId> =
-                    keys.iter().map(|&k| ObjectId(k as u64)).collect();
+                let objs: Vec<ObjectId> = keys.iter().map(|&k| ObjectId(k as u64)).collect();
                 let out = engine
                     .run_read_only(&objs)
                     .expect("single-threaded RO cannot fail");
