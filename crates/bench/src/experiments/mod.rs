@@ -13,6 +13,7 @@ pub mod e10_distributed;
 pub mod e11_modularity;
 pub mod e12_adaptive;
 pub mod e13_faults;
+pub mod e14_durability;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -91,6 +92,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e13",
             title: "Robustness — fault injection, stall reaping, in-doubt recovery",
             run: e13_faults::run,
+        },
+        Experiment {
+            id: "e14",
+            title: "Durability — WAL overhead, crash recovery, disk faults",
+            run: e14_durability::run,
         },
     ]
 }

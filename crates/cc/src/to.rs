@@ -33,6 +33,8 @@ pub struct ToTxn {
     tn: u64,
     /// Objects with an installed pending version.
     written: Vec<ObjectId>,
+    /// Write values (last per object), buffered for the commit log.
+    writes: Vec<(ObjectId, Value)>,
     /// Whether the transaction has been aborted (VCdiscard already done).
     doomed: bool,
 }
@@ -74,6 +76,7 @@ impl ConcurrencyControl for TimestampOrdering {
         Ok(ToTxn {
             tn,
             written: Vec::new(),
+            writes: Vec::new(),
             doomed: false,
         })
     }
@@ -161,6 +164,10 @@ impl ConcurrencyControl for TimestampOrdering {
                 if !txn.written.contains(&obj) {
                     txn.written.push(obj);
                 }
+                match txn.writes.iter_mut().find(|(o, _)| *o == obj) {
+                    Some(slot) => slot.1 = value,
+                    None => txn.writes.push((obj, value)),
+                }
                 Ok(())
             }
             Err(e) => Err(e),
@@ -182,6 +189,21 @@ impl ConcurrencyControl for TimestampOrdering {
             }
             txn.doomed = true; // VC entry already gone; no VCdiscard
             return Err(DbError::Aborted(AbortReason::Reaped));
+        }
+        // Durability point: log the writeset before any update is applied
+        // (write-before-visible). On failure, unwind like an abort — the
+        // claimed entry is released with VCdiscard.
+        if let Err(e) = ctx.log_commit(txn.tn, &txn.writes) {
+            for &obj in &txn.written {
+                ctx.store.with(obj, |c| {
+                    c.discard_pending(TxnId(txn.tn));
+                });
+                ctx.store.notify(obj);
+            }
+            ctx.vc.discard(txn.tn);
+            ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+            txn.doomed = true;
+            return Err(e);
         }
         // perform database updates; clear pending read actions
         for &obj in &txn.written {
@@ -374,6 +396,63 @@ mod tests {
             "TO trace not 1SR (cycle {:?})",
             report.cycle
         );
+    }
+
+    #[test]
+    fn wal_torn_write_aborts_and_rewinds_log() {
+        use mvcc_core::FaultConfig;
+        let mem = mvcc_storage::MemWal::new();
+        let cfg = DbConfig::default().with_fault(FaultConfig {
+            wal_torn_write: 1.0,
+            ..Default::default()
+        });
+        let db =
+            MvDatabase::with_wal(TimestampOrdering::new(), cfg, Box::new(mem.clone())).unwrap();
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(1)).unwrap();
+        let err = t.commit().unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::LogFailed));
+        // The torn frame was rewound: the log is a clean (empty) prefix,
+        // and the aborted transaction left nothing pending.
+        let (records, stats) = mvcc_storage::scan(&mem.bytes()).unwrap();
+        assert!(records.is_empty());
+        assert!(stats.clean_end(), "torn frame must be truncated away");
+        assert_eq!(db.peek_latest(obj(0)), Value::empty());
+        db.store().with(obj(0), |c| assert_eq!(c.pending_len(), 0));
+        assert_eq!(db.metrics().aborts_wal, 1);
+    }
+
+    #[test]
+    fn wal_abort_does_not_wedge_vtnc() {
+        use mvcc_core::FaultConfig;
+        // A log-failed abort must release its claimed queue entry, or
+        // every later commit would wait on it forever.
+        let mem = mvcc_storage::MemWal::new();
+        let cfg = DbConfig::default().with_fault(FaultConfig {
+            seed: 7,
+            wal_disk_full: 0.5,
+            ..Default::default()
+        });
+        let db =
+            MvDatabase::with_wal(TimestampOrdering::new(), cfg, Box::new(mem.clone())).unwrap();
+        let mut committed = 0u64;
+        for i in 0..40u64 {
+            if db
+                .run_rw(1, |t| t.write(obj(i % 4), Value::from_u64(i)))
+                .is_ok()
+            {
+                committed += 1;
+            }
+        }
+        assert!(committed > 0, "seed must let some commits through");
+        assert!(committed < 40, "seed must inject some failures");
+        // Every committed transaction became visible (no wedged queue)
+        // and every one of them is in the log.
+        assert_eq!(db.metrics().rw_committed, committed);
+        let (records, _) = mvcc_storage::scan(&mem.bytes()).unwrap();
+        assert_eq!(records.len() as u64, committed);
+        let last_tn = records.iter().map(|r| r.tn).max().unwrap();
+        assert_eq!(db.vc().vtnc(), last_tn);
     }
 
     #[test]

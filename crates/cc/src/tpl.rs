@@ -41,6 +41,8 @@ pub struct TplTxn {
     locked: HashSet<ObjectId>,
     /// Objects with an installed pending (φ) version.
     written: Vec<ObjectId>,
+    /// Write values (last per object), buffered for the commit log.
+    writes: Vec<(ObjectId, Value)>,
 }
 
 impl Default for TwoPhaseLocking {
@@ -116,6 +118,7 @@ impl ConcurrencyControl for TwoPhaseLocking {
             token: self.next_token.fetch_add(1, Ordering::Relaxed),
             locked: HashSet::new(),
             written: Vec::new(),
+            writes: Vec::new(),
         })
     }
 
@@ -163,10 +166,14 @@ impl ConcurrencyControl for TwoPhaseLocking {
     ) -> Result<(), DbError> {
         self.lock(ctx, txn, obj, LockMode::Exclusive)?;
         ctx.store.with(obj, |c| {
-            c.install_pending(PendingVersion::phi(TxnId(txn.token), value));
+            c.install_pending(PendingVersion::phi(TxnId(txn.token), value.clone()));
         });
         if !txn.written.contains(&obj) {
             txn.written.push(obj);
+        }
+        match txn.writes.iter_mut().find(|(o, _)| *o == obj) {
+            Some(slot) => slot.1 = value,
+            None => txn.writes.push((obj, value)),
         }
         Ok(())
     }
@@ -184,6 +191,16 @@ impl ConcurrencyControl for TwoPhaseLocking {
         if !ctx.vc.start_complete(tn) {
             self.cleanup(ctx, &txn);
             return Err(DbError::Aborted(AbortReason::Reaped));
+        }
+
+        // Durability point: the commit record must be in the log before
+        // any update is applied (write-before-visible). On failure the
+        // transaction aborts cleanly — nothing has touched the store.
+        if let Err(e) = ctx.log_commit(tn, &txn.writes) {
+            self.cleanup(ctx, &txn);
+            ctx.vc.discard(tn);
+            ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
         }
 
         // perform database updates with version number tn(T)
@@ -355,6 +372,63 @@ mod tests {
             "2PL trace not 1SR (cycle {:?})",
             report.cycle
         );
+    }
+
+    #[test]
+    fn wal_records_commit_before_visibility() {
+        let mem = mvcc_storage::MemWal::new();
+        let db = MvDatabase::with_wal(
+            TwoPhaseLocking::new(),
+            DbConfig::default(),
+            Box::new(mem.clone()),
+        )
+        .unwrap();
+        db.run_rw(1, |t| {
+            t.write(obj(0), Value::from_u64(7))?;
+            t.write(obj(0), Value::from_u64(8))?; // last write wins
+            t.write(obj(1), Value::from_u64(9))
+        })
+        .unwrap();
+        let (records, stats) = mvcc_storage::scan(&mem.bytes()).unwrap();
+        assert!(stats.clean_end());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].tn, 1);
+        assert_eq!(
+            records[0].writes,
+            vec![(obj(0), Value::from_u64(8)), (obj(1), Value::from_u64(9)),]
+        );
+        // Always policy: the commit is durable, not just appended.
+        assert_eq!(mvcc_storage::scan(&mem.durable_bytes()).unwrap().0.len(), 1);
+        assert_eq!(db.metrics().wal_appends, 1);
+        assert!(db.metrics().wal_syncs >= 1);
+    }
+
+    #[test]
+    fn wal_disk_full_aborts_cleanly_and_releases_everything() {
+        use mvcc_core::FaultConfig;
+        let mem = mvcc_storage::MemWal::new();
+        let cfg = DbConfig::default().with_fault(FaultConfig {
+            wal_disk_full: 1.0,
+            ..Default::default()
+        });
+        let db = MvDatabase::with_wal(TwoPhaseLocking::new(), cfg, Box::new(mem.clone())).unwrap();
+        let mut t = db.begin_read_write().unwrap();
+        t.write(obj(0), Value::from_u64(1)).unwrap();
+        let err = t.commit().unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::LogFailed));
+        assert!(!err.is_retryable(), "durability faults must not spin");
+        // Nothing became visible, nothing leaked: locks are free, the
+        // pending version is gone, and version control shows no commit.
+        assert_eq!(db.peek_latest(obj(0)), Value::empty());
+        assert_eq!(db.vc().vtnc(), 0);
+        assert_eq!(db.metrics().aborts_wal, 1);
+        let mut t2 = db.begin_read_write().unwrap();
+        t2.write(obj(0), Value::from_u64(2)).unwrap(); // lock acquirable
+        assert!(t2.commit().is_err()); // disk still full, but no deadlock
+                                       // The log contains only the clean header.
+        let (records, stats) = mvcc_storage::scan(&mem.bytes()).unwrap();
+        assert!(records.is_empty());
+        assert!(stats.clean_end());
     }
 
     #[test]

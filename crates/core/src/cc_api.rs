@@ -20,7 +20,8 @@
 //! * The protocol never sees read-only transactions at all.
 
 use crate::config::DbConfig;
-use crate::error::DbError;
+use crate::durability::CommitLog;
+use crate::error::{AbortReason, DbError};
 use crate::fault::FaultInjector;
 use crate::metrics::Metrics;
 use crate::vc::VersionControl;
@@ -42,6 +43,10 @@ pub struct CcContext {
     pub metrics: Arc<Metrics>,
     /// Fault injection (disabled unless configured).
     pub faults: Arc<FaultInjector>,
+    /// The write-ahead log, if this engine is durable
+    /// (see [`crate::MvDatabase::with_wal`]). `None` costs nothing on
+    /// the commit path.
+    pub wal: Option<Arc<CommitLog>>,
 }
 
 impl CcContext {
@@ -65,7 +70,26 @@ impl CcContext {
             config: Arc::new(config),
             metrics: Arc::new(Metrics::new()),
             faults,
+            wal: None,
         }
+    }
+
+    /// Append `tn`'s writeset to the write-ahead log, if one is attached.
+    ///
+    /// Protocols call this **after** the `start_complete` claim (the
+    /// transaction number is final and the entry cannot be reaped out
+    /// from under us) and **before** applying updates to the store —
+    /// write-before-visible, the rule the whole recovery argument rests
+    /// on (see `crate::durability`). On failure the caller must unwind
+    /// exactly like a protocol abort: nothing has been applied yet, and
+    /// the claimed entry is released with `vc.discard(tn)`.
+    pub fn log_commit(&self, tn: u64, writes: &[(ObjectId, Value)]) -> Result<(), DbError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        wal.append(tn, writes)
+            .map(|_| ())
+            .map_err(|_| DbError::Aborted(AbortReason::LogFailed))
     }
 }
 

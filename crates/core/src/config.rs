@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::fault::FaultConfig;
+use mvcc_storage::wal::FsyncPolicy;
 use std::time::Duration;
 
 /// How two-phase locking resolves deadlocks.
@@ -38,6 +39,11 @@ pub struct DbConfig {
     pub register_ttl: Option<Duration>,
     /// Fault-injection probabilities (all zero by default).
     pub fault: FaultConfig,
+    /// When the write-ahead log syncs (only consulted by WAL-enabled
+    /// engines, see [`crate::MvDatabase::with_wal`]). `Always` by
+    /// default: a committed transaction is durable before its commit
+    /// call returns.
+    pub wal_fsync: FsyncPolicy,
 }
 
 impl Default for DbConfig {
@@ -51,6 +57,7 @@ impl Default for DbConfig {
             gc_keep_versions: 1,
             register_ttl: None,
             fault: FaultConfig::default(),
+            wal_fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -87,6 +94,12 @@ impl DbConfig {
     /// Set the fault-injection configuration.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Set the WAL fsync policy.
+    pub fn with_wal_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.wal_fsync = policy;
         self
     }
 }

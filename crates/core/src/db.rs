@@ -4,14 +4,16 @@
 use crate::cc_api::{CcContext, ConcurrencyControl};
 use crate::config::DbConfig;
 use crate::currency::{CurrencyMode, LatestTxn};
+use crate::durability::{CommitLog, RecoveryStats};
 use crate::error::{AbortReason, DbError};
-use crate::fault::FaultInjector;
+use crate::fault::{FaultInjector, FaultyFile};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::retry::RetryPolicy;
 use crate::trace::Tracer;
 use crate::txn::{RoTxn, RwTxn, ANON_TRACE_BASE};
 use crate::vc::VersionControl;
 use mvcc_model::{History, ObjectId};
+use mvcc_storage::wal::{self, WalSink, WalWriter};
 use mvcc_storage::{GcStats, MvStore, RoScanRegistry, StoreStats, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,6 +64,105 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         }
     }
 
+    /// Durable engine: like [`with_config`](Self::with_config), plus a
+    /// write-ahead log on `sink`. Every commit appends its writeset to
+    /// the log **before** becoming visible, under the configured
+    /// [`DbConfig::wal_fsync`] policy. If the config enables any disk
+    /// fault, the sink is transparently wrapped in a [`FaultyFile`]
+    /// drawing from the engine's injector.
+    pub fn with_wal(cc: C, config: DbConfig, sink: Box<dyn WalSink>) -> std::io::Result<Self> {
+        let mut db = Self::with_config(cc, config);
+        let (sink, arm) = Self::maybe_faulty(&db.core.ctx, sink);
+        let writer = WalWriter::create(sink, db.core.ctx.config.wal_fsync)?;
+        if let Some(arm) = arm {
+            arm.store(true, Ordering::Relaxed);
+        }
+        db.core.ctx.wal = Some(Arc::new(CommitLog::new(
+            writer,
+            Arc::clone(&db.core.ctx.metrics),
+        )));
+        Ok(db)
+    }
+
+    /// Wrap `sink` in a disarmed [`FaultyFile`] when the config enables
+    /// disk faults. The returned gate (if any) arms the faults — flipped
+    /// only after fault-free setup writes (header, recovery re-appends).
+    fn maybe_faulty(
+        ctx: &CcContext,
+        sink: Box<dyn WalSink>,
+    ) -> (Box<dyn WalSink>, Option<Arc<AtomicBool>>) {
+        if ctx.config.fault.has_disk_faults() {
+            let (faulty, arm) = FaultyFile::gated(sink, Arc::clone(&ctx.faults));
+            (Box::new(faulty), Some(arm))
+        } else {
+            (sink, None)
+        }
+    }
+
+    /// Crash recovery: rebuild an engine from the latest checkpoint (if
+    /// any) plus whatever bytes of the write-ahead log survived.
+    ///
+    /// The WAL is scanned up to the last intact CRC frame — a torn tail
+    /// is discarded, never an error — and every surviving record above
+    /// the checkpoint watermark is replayed in transaction-number order.
+    /// The version counters resume at the highest recovered number
+    /// (`tnc = last_tn + 1 > vtnc = last_tn`), so post-recovery
+    /// transactions can never collide with recovered versions.
+    ///
+    /// If `sink` is provided, the engine comes back *durable*: a fresh
+    /// log is started on it and the replayed records are re-appended, so
+    /// a second crash recovers the same state or better.
+    pub fn recover(
+        cc: C,
+        config: DbConfig,
+        checkpoint: Option<&[u8]>,
+        wal_bytes: &[u8],
+        sink: Option<Box<dyn WalSink>>,
+    ) -> std::io::Result<(Self, RecoveryStats)> {
+        let (store, watermark) = match checkpoint {
+            Some(mut bytes) => MvStore::restore(&mut bytes)?,
+            None => (MvStore::new(), 0),
+        };
+        let (records, scan_stats) = wal::scan(wal_bytes)?;
+        let (last_tn, skipped) = wal::replay_into(&store, watermark, &records)?;
+        let stats = RecoveryStats {
+            checkpoint_watermark: watermark,
+            replayed: records.len() - skipped,
+            skipped,
+            last_tn,
+            clean_end: scan_stats.clean_end(),
+            torn_bytes: scan_stats.torn_bytes,
+        };
+        let tracer = config.trace.then(|| Arc::new(Tracer::new()));
+        let mut ctx = CcContext::with_parts(
+            config,
+            Arc::new(store),
+            Arc::new(VersionControl::resumed(last_tn)),
+        );
+        if let Some(sink) = sink {
+            let (sink, arm) = Self::maybe_faulty(&ctx, sink);
+            let live: Vec<wal::CommitRecord> =
+                records.into_iter().filter(|r| r.tn > watermark).collect();
+            let writer = WalWriter::create_with(sink, ctx.config.wal_fsync, &live)?;
+            if let Some(arm) = arm {
+                arm.store(true, Ordering::Relaxed);
+            }
+            ctx.wal = Some(Arc::new(CommitLog::new(writer, Arc::clone(&ctx.metrics))));
+        }
+        Ok((
+            MvDatabase {
+                core: DbCore {
+                    ctx,
+                    ro_registry: RoScanRegistry::new(),
+                    tracer,
+                    anon_trace_seq: AtomicU64::new(0),
+                },
+                cc,
+            },
+            stats,
+        ))
+    }
+
     /// Engine restored from a checkpoint (see
     /// [`checkpoint`](Self::checkpoint)): the store holds the snapshot's
     /// versions and the version-control counters resume above its
@@ -101,6 +202,23 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         let result = self.core.ctx.store.checkpoint(w, watermark);
         self.core.ro_registry.deregister(watermark);
         result
+    }
+
+    /// [`checkpoint`](Self::checkpoint), then rotate the write-ahead log
+    /// down to the records the new checkpoint does not cover
+    /// (`tn >` watermark). The checkpoint bytes must be durable before
+    /// the returned stats are acted on — rotation has already dropped
+    /// the records the checkpoint absorbed (see DESIGN.md §9 for the
+    /// ordering caveat).
+    pub fn checkpoint_and_rotate(
+        &self,
+        w: &mut impl std::io::Write,
+    ) -> std::io::Result<mvcc_storage::CheckpointStats> {
+        let stats = self.checkpoint(w)?;
+        if let Some(log) = &self.core.ctx.wal {
+            log.rotate(stats.watermark)?;
+        }
+        Ok(stats)
     }
 
     // ---- transactions ------------------------------------------------------
@@ -256,6 +374,11 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// The fault injector (for experiments and tests).
     pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.core.ctx.faults
+    }
+
+    /// The write-ahead log handle, if this engine is durable.
+    pub fn wal(&self) -> Option<&Arc<CommitLog>> {
+        self.core.ctx.wal.as_ref()
     }
 
     /// The version-control module (for experiments and tests).

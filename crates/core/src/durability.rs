@@ -1,0 +1,159 @@
+//! Engine-side durability: the commit log and recovery bookkeeping.
+//!
+//! The storage crate owns the WAL *format* ([`mvcc_storage::wal`]); this
+//! module owns its *integration with the commit protocol*. The single
+//! load-bearing rule, enforced by where [`CcContext::log_commit`]
+//! (`crate::cc_api::CcContext::log_commit`) is called inside every
+//! protocol's commit:
+//!
+//! > A transaction's commit record is appended (and, under
+//! > `FsyncPolicy::Always`, synced) **after** its `start_complete` claim
+//! > fixes its fate and **before** its updates are applied to the store
+//! > or `VCcomplete` makes it visible.
+//!
+//! Consequences:
+//!
+//! * Nothing visible is ever lost *ahead of* something invisible: if
+//!   transaction `B` read `A`'s writes, `A`'s record precedes `B`'s in
+//!   the file (A appended before applying; B read only after A applied;
+//!   B appends after its reads). A byte-prefix of the log — which is all
+//!   a crash can leave — is therefore closed under read-from
+//!   dependencies, i.e. transaction-consistent.
+//! * A WAL append failure can still abort the transaction cleanly
+//!   (`AbortReason::LogFailed`): no update has touched the store, and
+//!   the claimed queue entry is released with `vc.discard(tn)`.
+//!
+//! [`CommitLog`] is the shared handle: one mutex serializes appenders,
+//! which also makes file order well-defined. [`RecoveryStats`] reports
+//! what `MvDatabase::recover` rebuilt.
+
+use crate::metrics::Metrics;
+use mvcc_model::ObjectId;
+use mvcc_storage::wal::{AppendInfo, FsyncPolicy, WalWriter};
+use mvcc_storage::Value;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The engine's shared write-ahead log handle. Cloned into every
+/// protocol context; appends serialize on the internal mutex (file
+/// order = append order, the property the consistency argument needs).
+pub struct CommitLog {
+    writer: Mutex<WalWriter>,
+    metrics: Arc<Metrics>,
+}
+
+impl CommitLog {
+    /// Wrap a writer; `metrics` receives the `wal_*` counters.
+    pub fn new(writer: WalWriter, metrics: Arc<Metrics>) -> Self {
+        CommitLog {
+            writer: Mutex::new(writer),
+            metrics,
+        }
+    }
+
+    /// Append one commit record under the log mutex, applying the
+    /// configured fsync policy. Counters: `wal_appends`, `wal_bytes`,
+    /// `wal_syncs`.
+    pub fn append(&self, tn: u64, writes: &[(ObjectId, Value)]) -> io::Result<AppendInfo> {
+        let info = self.writer.lock().append_commit(tn, writes)?;
+        self.metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .wal_bytes
+            .fetch_add(info.bytes as u64, Ordering::Relaxed);
+        if info.synced {
+            self.metrics.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(info)
+    }
+
+    /// Force a sync (flush a group-commit batch, orderly shutdown).
+    pub fn sync(&self) -> io::Result<()> {
+        self.writer.lock().sync()?;
+        self.metrics.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rotate the log after a checkpoint consistent at `watermark`:
+    /// every record with `tn ≤ watermark` is dropped (the checkpoint
+    /// covers it), the rest are rewritten. Returns `(dropped, kept)`.
+    pub fn rotate(&self, watermark: u64) -> io::Result<(usize, usize)> {
+        let result = self.writer.lock().rotate(watermark)?;
+        self.metrics.wal_rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.writer.lock().policy()
+    }
+
+    /// Records currently in the log (since the last rotation).
+    pub fn live_records(&self) -> usize {
+        self.writer.lock().live_records()
+    }
+
+    /// Bytes appended to the log so far (header included).
+    pub fn offset(&self) -> u64 {
+        self.writer.lock().offset()
+    }
+}
+
+/// What [`crate::MvDatabase::recover`] rebuilt, for assertions and the
+/// E14 report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Watermark of the restored checkpoint (0 if none).
+    pub checkpoint_watermark: u64,
+    /// WAL records applied to the store (`tn >` watermark).
+    pub replayed: usize,
+    /// WAL records skipped because the checkpoint already covered them.
+    pub skipped: usize,
+    /// Highest transaction number in the recovered state; the resumed
+    /// counters satisfy `tnc = last_tn + 1 > vtnc = last_tn`.
+    pub last_tn: u64,
+    /// Whether the log ended exactly at a frame boundary.
+    pub clean_end: bool,
+    /// Bytes discarded after the last intact frame (torn tail).
+    pub torn_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcc_storage::wal::{scan, MemWal};
+
+    #[test]
+    fn commit_log_counts_appends_and_syncs() {
+        let metrics = Arc::new(Metrics::new());
+        let mem = MemWal::new();
+        let writer = WalWriter::create(Box::new(mem.clone()), FsyncPolicy::EveryN(2)).unwrap();
+        let log = CommitLog::new(writer, Arc::clone(&metrics));
+        for tn in 1..=5u64 {
+            log.append(tn, &[(ObjectId(0), Value::from_u64(tn))])
+                .unwrap();
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.wal_appends, 5);
+        assert_eq!(snap.wal_syncs, 2, "every-2 policy: 5 appends, 2 syncs");
+        assert!(snap.wal_bytes > 0);
+        let (records, _) = scan(&mem.bytes()).unwrap();
+        assert_eq!(records.len(), 5);
+    }
+
+    #[test]
+    fn rotate_counts_and_drops() {
+        let metrics = Arc::new(Metrics::new());
+        let mem = MemWal::new();
+        let writer = WalWriter::create(Box::new(mem.clone()), FsyncPolicy::Always).unwrap();
+        let log = CommitLog::new(writer, Arc::clone(&metrics));
+        for tn in 1..=4u64 {
+            log.append(tn, &[(ObjectId(0), Value::from_u64(tn))])
+                .unwrap();
+        }
+        assert_eq!(log.rotate(3).unwrap(), (3, 1));
+        assert_eq!(metrics.snapshot().wal_rotations, 1);
+        assert_eq!(log.live_records(), 1);
+    }
+}

@@ -24,6 +24,11 @@ pub enum AbortReason {
     /// expired; the commit's `start_complete` claim failed. Retryable —
     /// a fresh attempt gets a fresh registration.
     Reaped,
+    /// The write-ahead log rejected the commit record (disk full, torn
+    /// write, failed fsync). Not retryable: a durability fault is a
+    /// property of the medium, not of this transaction's timing — the
+    /// application must surface it, not spin against a dead disk.
+    LogFailed,
 }
 
 impl fmt::Display for AbortReason {
@@ -36,6 +41,7 @@ impl fmt::Display for AbortReason {
             AbortReason::BaselineConflict => "baseline protocol conflict",
             AbortReason::UserRequested => "user requested",
             AbortReason::Reaped => "reaped after registration stall",
+            AbortReason::LogFailed => "write-ahead log append failed",
         };
         f.write_str(s)
     }
@@ -115,6 +121,7 @@ mod tests {
         assert!(DbError::Aborted(AbortReason::TimestampConflict).is_retryable());
         assert!(DbError::Aborted(AbortReason::ValidationFailed).is_retryable());
         assert!(DbError::Aborted(AbortReason::Reaped).is_retryable());
+        assert!(!DbError::Aborted(AbortReason::LogFailed).is_retryable());
         assert!(!DbError::Aborted(AbortReason::UserRequested).is_retryable());
         assert!(!DbError::TxnFinished.is_retryable());
         assert!(!DbError::VersionPruned {

@@ -22,8 +22,18 @@
 //!   cluster: phase-2 commit messages can be lost (leaving a participant
 //!   in doubt) or delivered twice (exercising idempotence), and any
 //!   message can incur extra latency.
+//! * [`FaultPoint::WalTornWrite`] / [`FaultPoint::WalPartialFsync`] /
+//!   [`FaultPoint::WalBitFlip`] / [`FaultPoint::WalDiskFull`] — disk
+//!   faults on the write-ahead log, injected by wrapping the WAL sink in
+//!   a [`FaultyFile`]: an append can tear mid-frame, an fsync can return
+//!   failure without persisting, a byte can flip silently on its way to
+//!   the platter (caught later by the frame CRC, never at write time),
+//!   and the disk can fill up.
 
+use mvcc_storage::wal::WalSink;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where a fault can be injected.
@@ -40,9 +50,17 @@ pub enum FaultPoint {
     MsgDuplicate,
     /// A cluster message incurs extra delay.
     MsgDelay,
+    /// A WAL append writes only a prefix of the frame, then errors.
+    WalTornWrite,
+    /// A WAL fsync returns an error without making anything durable.
+    WalPartialFsync,
+    /// One bit of a WAL append is flipped silently (the write "succeeds").
+    WalBitFlip,
+    /// A WAL append fails entirely: the disk is full.
+    WalDiskFull,
 }
 
-const N_POINTS: usize = 5;
+const N_POINTS: usize = 9;
 
 impl FaultPoint {
     fn index(self) -> usize {
@@ -52,6 +70,10 @@ impl FaultPoint {
             FaultPoint::MsgDrop => 2,
             FaultPoint::MsgDuplicate => 3,
             FaultPoint::MsgDelay => 4,
+            FaultPoint::WalTornWrite => 5,
+            FaultPoint::WalPartialFsync => 6,
+            FaultPoint::WalBitFlip => 7,
+            FaultPoint::WalDiskFull => 8,
         }
     }
 }
@@ -75,6 +97,14 @@ pub struct FaultConfig {
     pub msg_delay: f64,
     /// The extra delay applied when [`msg_delay`](Self::msg_delay) fires.
     pub msg_extra_delay: Duration,
+    /// Probability a WAL append tears (partial frame written, then error).
+    pub wal_torn_write: f64,
+    /// Probability a WAL fsync fails without persisting.
+    pub wal_partial_fsync: f64,
+    /// Probability a WAL append silently flips one bit.
+    pub wal_bit_flip: f64,
+    /// Probability a WAL append fails with "disk full".
+    pub wal_disk_full: f64,
 }
 
 impl Default for FaultConfig {
@@ -87,6 +117,10 @@ impl Default for FaultConfig {
             msg_duplicate: 0.0,
             msg_delay: 0.0,
             msg_extra_delay: Duration::from_micros(500),
+            wal_torn_write: 0.0,
+            wal_partial_fsync: 0.0,
+            wal_bit_flip: 0.0,
+            wal_disk_full: 0.0,
         }
     }
 }
@@ -99,6 +133,16 @@ impl FaultConfig {
             || self.msg_drop > 0.0
             || self.msg_duplicate > 0.0
             || self.msg_delay > 0.0
+            || self.has_disk_faults()
+    }
+
+    /// Whether any *disk* fault can fire (decides whether the engine
+    /// wraps the WAL sink in a [`FaultyFile`]).
+    pub fn has_disk_faults(&self) -> bool {
+        self.wal_torn_write > 0.0
+            || self.wal_partial_fsync > 0.0
+            || self.wal_bit_flip > 0.0
+            || self.wal_disk_full > 0.0
     }
 }
 
@@ -146,6 +190,10 @@ impl FaultInjector {
             FaultPoint::MsgDrop => self.cfg.msg_drop,
             FaultPoint::MsgDuplicate => self.cfg.msg_duplicate,
             FaultPoint::MsgDelay => self.cfg.msg_delay,
+            FaultPoint::WalTornWrite => self.cfg.wal_torn_write,
+            FaultPoint::WalPartialFsync => self.cfg.wal_partial_fsync,
+            FaultPoint::WalBitFlip => self.cfg.wal_bit_flip,
+            FaultPoint::WalDiskFull => self.cfg.wal_disk_full,
         }
     }
 
@@ -175,6 +223,15 @@ impl FaultInjector {
         }
     }
 
+    /// Deterministic index in `[0, n)` from the same draw stream (picks
+    /// torn-write cut points and bit-flip positions).
+    pub fn draw_index(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        ((self.draw() * n as f64) as usize).min(n - 1)
+    }
+
     /// How many times `point` has fired.
     pub fn injected(&self, point: FaultPoint) -> u64 {
         self.injected[point.index()].load(Ordering::Relaxed)
@@ -191,6 +248,103 @@ impl FaultInjector {
     /// The configured extra per-message delay (for `MsgDelay` firings).
     pub fn extra_delay(&self) -> Duration {
         self.cfg.msg_extra_delay
+    }
+}
+
+/// A [`WalSink`] wrapper that injects disk faults on the way through.
+///
+/// Fault semantics (each drawn independently per call from the shared
+/// injector stream, so runs are reproducible from the seed):
+///
+/// * **Disk full** — `append` writes nothing and errors
+///   ([`io::ErrorKind::StorageFull`]). The log is unchanged; the commit
+///   must abort.
+/// * **Torn write** — `append` writes roughly half the buffer, then
+///   errors ([`io::ErrorKind::WriteZero`]). This is the mid-frame crash
+///   shape; the writer above rewinds via `truncate_to`.
+/// * **Bit flip** — `append` flips one bit at a drawn position and
+///   *succeeds*. Nothing notices at write time — only the frame CRC
+///   catches it, at recovery.
+/// * **Partial fsync** — `sync` skips the underlying sync and errors
+///   ([`io::ErrorKind::Other`]); bytes appended since the last good sync
+///   are not durable.
+pub struct FaultyFile<S> {
+    inner: S,
+    injector: Arc<FaultInjector>,
+    /// Faults fire only while armed. The engine creates the wrapper
+    /// disarmed, performs its own setup writes (log header, recovery
+    /// re-appends) fault-free, then arms — faults model a hostile disk
+    /// under *commit* traffic, not a database that cannot even be built.
+    armed: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<S: WalSink> FaultyFile<S> {
+    /// Wrap `inner`, drawing faults from `injector`, armed immediately.
+    pub fn new(inner: S, injector: Arc<FaultInjector>) -> Self {
+        FaultyFile {
+            inner,
+            injector,
+            armed: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+        }
+    }
+
+    /// Wrap `inner` disarmed; faults start firing once the returned gate
+    /// is set to `true`.
+    pub fn gated(
+        inner: S,
+        injector: Arc<FaultInjector>,
+    ) -> (Self, Arc<std::sync::atomic::AtomicBool>) {
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        (
+            FaultyFile {
+                inner,
+                injector,
+                armed: Arc::clone(&armed),
+            },
+            armed,
+        )
+    }
+
+    fn fire(&self, point: FaultPoint) -> bool {
+        self.armed.load(Ordering::Relaxed) && self.injector.fire(point)
+    }
+}
+
+impl<S: WalSink> WalSink for FaultyFile<S> {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.fire(FaultPoint::WalDiskFull) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "disk full (injected)",
+            ));
+        }
+        if self.fire(FaultPoint::WalTornWrite) {
+            let cut = self.injector.draw_index(buf.len());
+            self.inner.append(&buf[..cut])?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "torn write (injected)",
+            ));
+        }
+        if self.fire(FaultPoint::WalBitFlip) && !buf.is_empty() {
+            let mut corrupt = buf.to_vec();
+            let pos = self.injector.draw_index(corrupt.len());
+            let bit = self.injector.draw_index(8);
+            corrupt[pos] ^= 1 << bit;
+            return self.inner.append(&corrupt);
+        }
+        self.inner.append(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.fire(FaultPoint::WalPartialFsync) {
+            return Err(io::Error::other("fsync failed (injected)"));
+        }
+        self.inner.sync()
+    }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.inner.truncate_to(len)
     }
 }
 
@@ -256,5 +410,89 @@ mod tests {
         });
         assert!(inj.fire(FaultPoint::CrashBeforeComplete));
         assert!(!inj.fire(FaultPoint::StallAfterRegister));
+    }
+
+    #[test]
+    fn disk_faults_activate_config() {
+        let cfg = FaultConfig {
+            wal_bit_flip: 0.5,
+            ..Default::default()
+        };
+        assert!(cfg.is_active());
+        assert!(cfg.has_disk_faults());
+        assert!(!FaultConfig::default().has_disk_faults());
+    }
+
+    #[test]
+    fn draw_index_in_range() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert!(inj.draw_index(7) < 7);
+        }
+        assert_eq!(inj.draw_index(0), 0);
+        assert_eq!(inj.draw_index(1), 0);
+    }
+
+    #[test]
+    fn faulty_file_disk_full_writes_nothing() {
+        use mvcc_storage::wal::MemWal;
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            wal_disk_full: 1.0,
+            ..Default::default()
+        }));
+        let mem = MemWal::new();
+        let mut f = FaultyFile::new(mem.clone(), inj);
+        let err = f.append(b"hello").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn faulty_file_torn_write_leaves_prefix() {
+        use mvcc_storage::wal::MemWal;
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            wal_torn_write: 1.0,
+            ..Default::default()
+        }));
+        let mem = MemWal::new();
+        let mut f = FaultyFile::new(mem.clone(), inj);
+        let err = f.append(&[0xAB; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let written = mem.bytes();
+        assert!(written.len() < 64, "torn write must not write everything");
+        assert!(written.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn faulty_file_bit_flip_succeeds_but_corrupts() {
+        use mvcc_storage::wal::MemWal;
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            wal_bit_flip: 1.0,
+            ..Default::default()
+        }));
+        let mem = MemWal::new();
+        let mut f = FaultyFile::new(mem.clone(), inj);
+        f.append(&[0u8; 32]).unwrap();
+        let written = mem.bytes();
+        assert_eq!(written.len(), 32, "bit flip must not change length");
+        let flipped: u32 = written.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn faulty_file_partial_fsync_skips_sync() {
+        use mvcc_storage::wal::MemWal;
+        let inj = Arc::new(FaultInjector::new(FaultConfig {
+            wal_partial_fsync: 1.0,
+            ..Default::default()
+        }));
+        let mem = MemWal::new();
+        let mut f = FaultyFile::new(mem.clone(), inj);
+        f.append(b"data").unwrap();
+        assert!(f.sync().is_err());
+        assert!(
+            mem.durable_bytes().is_empty(),
+            "failed fsync must not persist"
+        );
     }
 }

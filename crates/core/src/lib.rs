@@ -43,6 +43,7 @@ pub mod cc_api;
 pub mod config;
 pub mod currency;
 pub mod db;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -57,10 +58,12 @@ pub use cc_api::{CcContext, ConcurrencyControl};
 pub use config::DbConfig;
 pub use currency::{CurrencyMode, Session};
 pub use db::{MvDatabase, ReaperHandle};
+pub use durability::{CommitLog, RecoveryStats};
 pub use engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
 pub use error::{AbortReason, DbError};
-pub use fault::{FaultConfig, FaultInjector, FaultPoint};
+pub use fault::{FaultConfig, FaultInjector, FaultPoint, FaultyFile};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use mvcc_storage::wal::FsyncPolicy;
 pub use retry::RetryPolicy;
 pub use trace::Tracer;
 pub use txn::{RoTxn, RwTxn};
@@ -72,10 +75,12 @@ pub mod prelude {
     pub use crate::config::DbConfig;
     pub use crate::currency::{CurrencyMode, Session};
     pub use crate::db::MvDatabase;
+    pub use crate::durability::RecoveryStats;
     pub use crate::engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
     pub use crate::error::{AbortReason, DbError};
     pub use crate::txn::{RoTxn, RwTxn};
     pub use crate::vc::VersionControl;
     pub use mvcc_model::{ObjectId, TxnId};
+    pub use mvcc_storage::wal::{FsyncPolicy, MemWal};
     pub use mvcc_storage::{MvStore, Value};
 }

@@ -121,6 +121,16 @@ metrics! { ;
     retries_reaped,
     /// Registrations force-discarded by the stall reaper.
     reaper_force_discards,
+    /// Commit records appended to the write-ahead log.
+    wal_appends,
+    /// Frame bytes appended to the write-ahead log.
+    wal_bytes,
+    /// WAL sink syncs (`Always`: one per commit; `EveryN`: one per batch).
+    wal_syncs,
+    /// WAL rotations performed by checkpoints.
+    wal_rotations,
+    /// Aborts caused by a failed WAL append (disk fault).
+    aborts_wal,
 }
 
 #[cfg(test)]

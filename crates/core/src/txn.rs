@@ -281,6 +281,9 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
             Some(AbortReason::Reaped) => {
                 m.aborts_reaped.fetch_add(1, Ordering::Relaxed);
             }
+            Some(AbortReason::LogFailed) => {
+                m.aborts_wal.fetch_add(1, Ordering::Relaxed);
+            }
             None => {}
         }
         if let Some(tracer) = &self.core.tracer {

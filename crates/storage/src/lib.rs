@@ -21,6 +21,9 @@
 //!   younger than `vtnc`"; additionally a registry of live read-only start
 //!   numbers lowers the watermark so active snapshots stay readable.
 //! * [`stats`] — storage statistics used by the experiments.
+//! * [`persist`] / [`wal`] — durability: transaction-consistent
+//!   checkpoints (snapshot at `vtnc`) and a CRC-framed write-ahead log of
+//!   committed writesets, replayed on recovery.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod store;
 pub mod value;
 pub mod version;
+pub mod wal;
 
 pub use chain::VersionChain;
 pub use gc::{GcStats, RoScanRegistry};
@@ -40,6 +44,10 @@ pub use stats::StoreStats;
 pub use store::{MvStore, WaitOutcome, WaitTimeout};
 pub use value::Value;
 pub use version::{CommittedVersion, PendingVersion};
+pub use wal::{
+    crc32, scan, AppendInfo, CommitRecord, Crc32, FileSink, FsyncPolicy, MemWal, ScanStats,
+    WalSink, WalWriter,
+};
 
 /// Version numbers are transaction numbers (`u64`); the initial version of
 /// every object has number 0 (written by the pseudo-transaction `T_0`).

@@ -14,18 +14,65 @@
 //! Format (little-endian, versioned magic):
 //!
 //! ```text
-//! "MVDBCKP1" | watermark u64 | object count u64 |
+//! "MVDBCKP2" | watermark u64 | object count u64 |
 //!   per object: id u64 | version count u64 |
 //!     per version: number u64 | payload length u64 | payload bytes
+//! | crc32 u32                      (over everything after the magic)
 //! ```
+//!
+//! Writers emit v2; readers accept v1 (`MVDBCKP1`, identical body, no
+//! trailer) for logs written before the CRC hardening. A v2 checkpoint
+//! whose trailer does not match fails `restore` with `InvalidData`
+//! instead of silently rebuilding a bit-flipped store, and any
+//! checkpoint carrying a version numbered above its own watermark is
+//! rejected the same way — such a file is internally inconsistent no
+//! matter how it was produced.
 
 use crate::store::MvStore;
 use crate::value::Value;
+use crate::wal::Crc32;
 use crate::VersionNo;
 use mvcc_model::ObjectId;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"MVDBCKP1";
+const MAGIC_V1: &[u8; 8] = b"MVDBCKP1";
+const MAGIC_V2: &[u8; 8] = b"MVDBCKP2";
+
+/// Largest single value payload `restore` will believe. Guards against a
+/// corrupt length field turning into a giant allocation before the CRC
+/// trailer gets a chance to catch the corruption.
+const MAX_VALUE_LEN: u64 = 64 << 20;
+
+/// `Write` adapter folding every byte into a CRC32 accumulator.
+struct Crc32Writer<W> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for Crc32Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `Read` adapter folding every byte read into a CRC32 accumulator.
+struct Crc32Reader<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Summary of a checkpoint write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,9 +111,13 @@ impl MvStore {
         watermark: VersionNo,
     ) -> io::Result<CheckpointStats> {
         let objects = self.objects();
-        w.write_all(MAGIC)?;
-        put_u64(w, watermark)?;
-        put_u64(w, objects.len() as u64)?;
+        w.write_all(MAGIC_V2)?;
+        let mut cw = Crc32Writer {
+            inner: w,
+            crc: Crc32::new(),
+        };
+        put_u64(&mut cw, watermark)?;
+        put_u64(&mut cw, objects.len() as u64)?;
         let mut stats = CheckpointStats {
             watermark,
             objects: 0,
@@ -83,17 +134,20 @@ impl MvStore {
                     .map(|v| (v.number, v.value.clone()))
                     .collect()
             });
-            put_u64(w, obj.get())?;
-            put_u64(w, versions.len() as u64)?;
+            put_u64(&mut cw, obj.get())?;
+            put_u64(&mut cw, versions.len() as u64)?;
             for (number, value) in versions {
-                put_u64(w, number)?;
-                put_u64(w, value.len() as u64)?;
-                w.write_all(value.as_bytes())?;
+                put_u64(&mut cw, number)?;
+                put_u64(&mut cw, value.len() as u64)?;
+                cw.write_all(value.as_bytes())?;
                 stats.versions += 1;
                 stats.payload_bytes += value.len();
             }
             stats.objects += 1;
         }
+        let crc = cw.crc.finish();
+        let w = cw.inner;
+        w.write_all(&crc.to_le_bytes())?;
         w.flush()?;
         Ok(stats)
     }
@@ -103,12 +157,33 @@ impl MvStore {
     pub fn restore(r: &mut impl Read) -> io::Result<(MvStore, VersionNo)> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
+        match &magic {
+            m if m == MAGIC_V1 => Self::restore_body(r),
+            m if m == MAGIC_V2 => {
+                let mut cr = Crc32Reader {
+                    inner: r,
+                    crc: Crc32::new(),
+                };
+                let result = Self::restore_body(&mut cr)?;
+                let computed = cr.crc.finish();
+                let mut trailer = [0u8; 4];
+                cr.inner.read_exact(&mut trailer)?;
+                if computed != u32::from_le_bytes(trailer) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "checkpoint crc mismatch (corrupt file)",
+                    ));
+                }
+                Ok(result)
+            }
+            _ => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "not an mvdb checkpoint (bad magic)",
-            ));
+            )),
         }
+    }
+
+    fn restore_body(r: &mut impl Read) -> io::Result<(MvStore, VersionNo)> {
         let watermark = get_u64(r)?;
         let n_objects = get_u64(r)?;
         let store = MvStore::new();
@@ -118,7 +193,26 @@ impl MvStore {
             store.with(obj, |c| -> io::Result<()> {
                 for _ in 0..n_versions {
                     let number = get_u64(r)?;
-                    let len = get_u64(r)? as usize;
+                    let len = get_u64(r)?;
+                    if len > MAX_VALUE_LEN {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "implausible value length (corrupt checkpoint)",
+                        ));
+                    }
+                    let len = len as usize;
+                    if number > watermark {
+                        // A checkpoint is by definition consistent at its
+                        // watermark; a version above it means the file is
+                        // corrupt or was never a valid checkpoint.
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "checkpoint contains version {number} above \
+                                 its watermark {watermark}"
+                            ),
+                        ));
+                    }
                     let mut payload = vec![0u8; len];
                     r.read_exact(&mut payload)?;
                     if number == 0 {
@@ -211,6 +305,74 @@ mod tests {
         store.checkpoint(&mut buf, 1).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(MvStore::restore(&mut buf.as_slice()).is_err());
+    }
+
+    /// Build checkpoint bytes by hand (used to craft v1 and corrupt files).
+    fn raw_checkpoint(magic: &[u8; 8], watermark: u64, versions: &[(u64, u64, u64)]) -> Vec<u8> {
+        // versions: (object, number, value) — one object per entry.
+        let mut body = Vec::new();
+        put_u64(&mut body, watermark).unwrap();
+        put_u64(&mut body, versions.len() as u64).unwrap();
+        for &(object, number, value) in versions {
+            put_u64(&mut body, object).unwrap();
+            put_u64(&mut body, 1).unwrap();
+            put_u64(&mut body, number).unwrap();
+            let payload = Value::from_u64(value);
+            put_u64(&mut body, payload.len() as u64).unwrap();
+            body.extend_from_slice(payload.as_bytes());
+        }
+        let mut out = magic.to_vec();
+        out.extend_from_slice(&body);
+        if magic == MAGIC_V2 {
+            out.extend_from_slice(&crate::wal::crc32(&body).to_le_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn v1_checkpoints_still_restore() {
+        let bytes = raw_checkpoint(MAGIC_V1, 7, &[(1, 3, 30), (2, 7, 70)]);
+        let (restored, watermark) = MvStore::restore(&mut bytes.as_slice()).unwrap();
+        assert_eq!(watermark, 7);
+        assert_eq!(restored.read_at(obj(1), 7).unwrap().1.as_u64(), Some(30));
+        assert_eq!(restored.read_at(obj(2), 7).unwrap().1.as_u64(), Some(70));
+    }
+
+    #[test]
+    fn bit_flip_fails_crc() {
+        let store = MvStore::new();
+        store.seed(obj(1), Value::from_u64(10));
+        store.with(obj(2), |c| {
+            c.insert_committed(4, Value::from_u64(40)).unwrap()
+        });
+        let mut buf = Vec::new();
+        store.checkpoint(&mut buf, 4).unwrap();
+        assert!(buf.starts_with(MAGIC_V2));
+        // Flip one bit somewhere in every body/trailer byte: each must be
+        // caught — either by the CRC trailer or by a structural check.
+        for pos in 8..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x04;
+            assert!(
+                MvStore::restore(&mut corrupt.as_slice()).is_err(),
+                "bit flip at byte {pos} restored silently"
+            );
+        }
+        // The pristine file still restores.
+        assert!(MvStore::restore(&mut buf.as_slice()).is_ok());
+    }
+
+    #[test]
+    fn version_above_watermark_rejected() {
+        for magic in [MAGIC_V1, MAGIC_V2] {
+            let bytes = raw_checkpoint(magic, 5, &[(1, 3, 30), (2, 9, 90)]);
+            let err = MvStore::restore(&mut bytes.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().contains("above"),
+                "wrong error for inconsistent checkpoint: {err}"
+            );
+        }
     }
 
     #[test]
