@@ -70,6 +70,12 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// [`DbConfig::wal_fsync`] policy. If the config enables any disk
     /// fault, the sink is transparently wrapped in a [`FaultyFile`]
     /// drawing from the engine's injector.
+    ///
+    /// Memory cost: to support in-place rotation, the writer retains a
+    /// copy of every log frame since the last rotation, so an engine
+    /// that never calls [`checkpoint_and_rotate`](Self::checkpoint_and_rotate)
+    /// mirrors its entire WAL in memory. Checkpoint periodically to
+    /// bound both the log and its in-memory copy.
     pub fn with_wal(cc: C, config: DbConfig, sink: Box<dyn WalSink>) -> std::io::Result<Self> {
         let mut db = Self::with_config(cc, config);
         let (sink, arm) = Self::maybe_faulty(&db.core.ctx, sink);
@@ -206,16 +212,18 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
 
     /// [`checkpoint`](Self::checkpoint), then rotate the write-ahead log
     /// down to the records the new checkpoint does not cover
-    /// (`tn >` watermark). The checkpoint bytes must be durable before
-    /// the returned stats are acted on — rotation has already dropped
-    /// the records the checkpoint absorbed (see DESIGN.md §9 for the
-    /// ordering caveat).
+    /// (`tn >` watermark). Rotation destroys every record the checkpoint
+    /// absorbed, so the checkpoint bytes are made durable first: after
+    /// writing the snapshot this calls [`CheckpointSink::sync`] and only
+    /// then rotates. If the sync fails, the log is left unrotated and
+    /// the error propagates (see DESIGN.md §9).
     pub fn checkpoint_and_rotate(
         &self,
-        w: &mut impl std::io::Write,
+        w: &mut impl crate::durability::CheckpointSink,
     ) -> std::io::Result<mvcc_storage::CheckpointStats> {
         let stats = self.checkpoint(w)?;
         if let Some(log) = &self.core.ctx.wal {
+            w.sync()?;
             log.rotate(stats.watermark)?;
         }
         Ok(stats)

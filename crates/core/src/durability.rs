@@ -36,6 +36,42 @@ use std::io;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// A checkpoint destination that can attest durability.
+///
+/// `MvDatabase::checkpoint_and_rotate` must not rotate the write-ahead
+/// log (destroying every record the checkpoint absorbs) until the
+/// checkpoint bytes are on stable storage — otherwise a crash in the
+/// window loses both the records and the snapshot that replaced them.
+/// A plain `io::Write` cannot attest that, so rotation requires this
+/// trait: [`sync`](Self::sync) is called after the checkpoint is
+/// written and **before** the log rotates.
+pub trait CheckpointSink: io::Write {
+    /// Make every byte written so far durable (the `fsync` barrier
+    /// between checkpoint and rotation).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+impl CheckpointSink for std::fs::File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+impl CheckpointSink for io::BufWriter<std::fs::File> {
+    fn sync(&mut self) -> io::Result<()> {
+        io::Write::flush(self)?;
+        self.get_ref().sync_data()
+    }
+}
+
+/// In-memory checkpoints (tests, experiments) are "durable" the moment
+/// the bytes land.
+impl CheckpointSink for Vec<u8> {
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// The engine's shared write-ahead log handle. Cloned into every
 /// protocol context; appends serialize on the internal mutex (file
 /// order = append order, the property the consistency argument needs).

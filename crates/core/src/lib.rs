@@ -58,7 +58,7 @@ pub use cc_api::{CcContext, ConcurrencyControl};
 pub use config::DbConfig;
 pub use currency::{CurrencyMode, Session};
 pub use db::{MvDatabase, ReaperHandle};
-pub use durability::{CommitLog, RecoveryStats};
+pub use durability::{CheckpointSink, CommitLog, RecoveryStats};
 pub use engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
 pub use error::{AbortReason, DbError};
 pub use fault::{FaultConfig, FaultInjector, FaultPoint, FaultyFile};
@@ -75,7 +75,7 @@ pub mod prelude {
     pub use crate::config::DbConfig;
     pub use crate::currency::{CurrencyMode, Session};
     pub use crate::db::MvDatabase;
-    pub use crate::durability::RecoveryStats;
+    pub use crate::durability::{CheckpointSink, RecoveryStats};
     pub use crate::engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
     pub use crate::error::{AbortReason, DbError};
     pub use crate::txn::{RoTxn, RwTxn};

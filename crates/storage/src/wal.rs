@@ -405,7 +405,10 @@ pub struct AppendInfo {
 /// since the last rotation so [`rotate`](Self::rotate) can rewrite the
 /// log to exactly the records a new checkpoint has not yet absorbed —
 /// a single-file stand-in for segment-switch rotation; see DESIGN.md §9
-/// for the crash-window caveat.
+/// for the crash-window caveat. **Memory cost:** `recent` mirrors the
+/// whole log since the last rotation, so an engine that never
+/// checkpoints duplicates its entire WAL in memory; checkpoint (and
+/// rotate) periodically to bound it.
 pub struct WalWriter {
     sink: Box<dyn WalSink>,
     policy: FsyncPolicy,
@@ -415,6 +418,11 @@ pub struct WalWriter {
     unsynced: u64,
     /// `(tn, frame)` for every record since the last rotation.
     recent: Vec<(u64, Vec<u8>)>,
+    /// Set when the sink's contents no longer match what this writer
+    /// believes (a failed rewind or a failed rotation rewrite): every
+    /// further operation fails, forcing the engine to recover from the
+    /// log rather than keep acknowledging commits it cannot cover.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -428,6 +436,7 @@ impl WalWriter {
             offset: WAL_MAGIC.len() as u64,
             unsynced: 0,
             recent: Vec::new(),
+            poisoned: false,
         })
     }
 
@@ -452,6 +461,22 @@ impl WalWriter {
         self.policy
     }
 
+    /// Whether the writer is poisoned (sink contents unknown; see
+    /// the `poisoned` field). A poisoned log accepts no further
+    /// operations — recover from the bytes instead.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal writer poisoned by an earlier sink failure; recover from the log",
+            ));
+        }
+        Ok(())
+    }
+
     fn raw_append(&mut self, tn: u64, frame: Vec<u8>) -> io::Result<()> {
         if let Err(e) = self.sink.append(&frame) {
             // A failed append may have left a partial frame (torn write):
@@ -469,11 +494,21 @@ impl WalWriter {
     /// Append one commit record and apply the fsync policy. On success
     /// the record is in the log (durable if `synced`); on error nothing
     /// of the record remains and the caller must abort the transaction.
+    ///
+    /// That guarantee covers fsync failure too: if the policy demanded a
+    /// sync and the sink refused, the just-appended frame is rewound
+    /// before the error propagates — otherwise the caller would abort
+    /// the transaction while its record sat in the log, became durable
+    /// at the next successful sync, and was resurrected by replay. If
+    /// even the rewind fails the writer poisons itself (every further
+    /// operation errors): the sink's contents are unknown, and the only
+    /// safe continuation is recovery from the bytes.
     pub fn append_commit(
         &mut self,
         tn: u64,
         writes: &[(ObjectId, Value)],
     ) -> io::Result<AppendInfo> {
+        self.check_poisoned()?;
         let frame = encode_frame(tn, writes);
         let bytes = frame.len();
         self.raw_append(tn, frame)?;
@@ -484,7 +519,16 @@ impl WalWriter {
             FsyncPolicy::Never => false,
         };
         if want_sync {
-            self.sync()?;
+            if let Err(e) = self.sink.sync() {
+                self.offset -= bytes as u64;
+                self.unsynced -= 1;
+                self.recent.pop();
+                if self.sink.truncate_to(self.offset).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(e);
+            }
+            self.unsynced = 0;
         }
         Ok(AppendInfo {
             bytes,
@@ -494,6 +538,7 @@ impl WalWriter {
 
     /// Force a sync (end of a group-commit batch, shutdown, pre-rotate).
     pub fn sync(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
         self.sink.sync()?;
         self.unsynced = 0;
         Ok(())
@@ -503,20 +548,40 @@ impl WalWriter {
     /// log to contain only records with `tn > watermark` (everything
     /// else is in the checkpoint) and sync. Returns how many records
     /// were dropped and kept.
+    ///
+    /// If the truncation fails the sink is untouched (the old log is
+    /// still intact and scannable) and the error just propagates. Any
+    /// failure *after* the truncation poisons the writer: the sink is
+    /// now missing acknowledged records that only `recent` still holds,
+    /// so no further commit may be acknowledged on it — the caller keeps
+    /// the checkpoint it just wrote and recovers from that.
     pub fn rotate(&mut self, watermark: u64) -> io::Result<(usize, usize)> {
+        self.check_poisoned()?;
         let before = self.recent.len();
         self.recent.retain(|(tn, _)| *tn > watermark);
         let kept = self.recent.len();
         self.sink.truncate_to(0)?;
+        self.offset = 0;
+        if let Err(e) = self.rewrite_kept() {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.unsynced = 0;
+        Ok((before - kept, kept))
+    }
+
+    /// Re-emit the header plus every kept frame after a rotate
+    /// truncation, keeping `offset` in lockstep with each frame that
+    /// fully reached the sink (so it never overstates the sink on a
+    /// mid-loop failure).
+    fn rewrite_kept(&mut self) -> io::Result<()> {
         self.sink.append(WAL_MAGIC)?;
         self.offset = WAL_MAGIC.len() as u64;
         for (_, frame) in &self.recent {
             self.sink.append(frame)?;
+            self.offset += frame.len() as u64;
         }
-        self.offset += self.recent.iter().map(|(_, f)| f.len() as u64).sum::<u64>();
-        self.sink.sync()?;
-        self.unsynced = 0;
-        Ok((before - kept, kept))
+        self.sink.sync()
     }
 
     /// Records currently covered by the log (since the last rotation).
@@ -793,5 +858,137 @@ mod tests {
         let (records, stats) = scan(&mem.bytes()).unwrap();
         assert!(stats.clean_end(), "torn frame must be rewound");
         assert_eq!(records.iter().map(|r| r.tn).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    /// Sink whose `sync` fails on one chosen call (1-based, counting the
+    /// header sync from `WalWriter::create`), and whose `truncate_to`
+    /// can be disabled to model a wholly failed device.
+    struct FailingSync {
+        mem: MemWal,
+        fail_on: usize,
+        calls: usize,
+        truncate_works: bool,
+    }
+    impl WalSink for FailingSync {
+        fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+            self.mem.append(buf)
+        }
+        fn sync(&mut self) -> io::Result<()> {
+            self.calls += 1;
+            if self.calls == self.fail_on {
+                return Err(io::Error::other("fsync failed (injected)"));
+            }
+            self.mem.sync()
+        }
+        fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+            if !self.truncate_works {
+                return Err(io::Error::other("truncate failed (injected)"));
+            }
+            self.mem.truncate_to(len)
+        }
+    }
+
+    #[test]
+    fn failed_fsync_rewinds_appended_frame() {
+        let mem = MemWal::new();
+        let sink = FailingSync {
+            mem: mem.clone(),
+            fail_on: 3, // header sync = 1, tn 1 = 2, tn 2 = 3
+            calls: 0,
+            truncate_works: true,
+        };
+        let mut w = WalWriter::create(Box::new(sink), FsyncPolicy::Always).unwrap();
+        w.append_commit(1, &[(ObjectId(0), Value::from_u64(1))])
+            .unwrap();
+        let before = w.offset();
+        w.append_commit(2, &[(ObjectId(0), Value::from_u64(2))])
+            .unwrap_err();
+        // The aborted record must not linger: a later successful sync
+        // would make it durable and replay would resurrect the abort.
+        assert_eq!(w.offset(), before, "offset rewound past the failed frame");
+        assert_eq!(w.live_records(), 1);
+        let (records, stats) = scan(&mem.bytes()).unwrap();
+        assert!(stats.clean_end(), "failed-fsync frame must be rewound");
+        assert_eq!(records.iter().map(|r| r.tn).collect::<Vec<_>>(), vec![1]);
+        // The writer is not poisoned — the rewind succeeded — and keeps
+        // accepting commits.
+        assert!(!w.is_poisoned());
+        w.append_commit(3, &[(ObjectId(0), Value::from_u64(3))])
+            .unwrap();
+        let (records, _) = scan(&mem.bytes()).unwrap();
+        assert_eq!(records.iter().map(|r| r.tn).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn failed_fsync_then_failed_rewind_poisons_writer() {
+        let mem = MemWal::new();
+        let sink = FailingSync {
+            mem: mem.clone(),
+            fail_on: 2,
+            calls: 0,
+            truncate_works: false,
+        };
+        let mut w = WalWriter::create(Box::new(sink), FsyncPolicy::Always).unwrap();
+        w.append_commit(1, &[(ObjectId(0), Value::from_u64(1))])
+            .unwrap_err();
+        assert!(w.is_poisoned());
+        // Every further operation fails without touching the sink.
+        let len = mem.len();
+        w.append_commit(2, &[(ObjectId(0), Value::from_u64(2))])
+            .unwrap_err();
+        w.sync().unwrap_err();
+        w.rotate(0).unwrap_err();
+        assert_eq!(mem.len(), len, "poisoned writer must not touch the sink");
+    }
+
+    #[test]
+    fn rotate_failure_after_truncation_poisons_writer() {
+        /// Sink that fails the second append performed during rotation
+        /// (the first kept frame; the header is append #1 post-arm).
+        struct RotateTear {
+            mem: MemWal,
+            arm: bool,
+            appends: usize,
+        }
+        impl WalSink for RotateTear {
+            fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+                if self.arm {
+                    self.appends += 1;
+                    if self.appends == 2 {
+                        self.mem.append(&buf[..buf.len() / 2]).unwrap();
+                        return Err(io::Error::new(io::ErrorKind::WriteZero, "torn (injected)"));
+                    }
+                }
+                self.mem.append(buf)
+            }
+            fn sync(&mut self) -> io::Result<()> {
+                self.mem.sync()
+            }
+            fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+                self.arm = len == 0 || self.arm; // arm at the rotate truncation
+                self.mem.truncate_to(len)
+            }
+        }
+        let mem = MemWal::new();
+        let sink = RotateTear {
+            mem: mem.clone(),
+            arm: false,
+            appends: 0,
+        };
+        let mut w = WalWriter::create(Box::new(sink), FsyncPolicy::Always).unwrap();
+        for tn in 1..=4u64 {
+            w.append_commit(tn, &[(ObjectId(tn), Value::from_u64(tn))])
+                .unwrap();
+        }
+        w.rotate(2).unwrap_err();
+        // Kept records now live only in memory; acknowledging more
+        // commits on this sink would strand them, so the writer refuses.
+        assert!(w.is_poisoned());
+        w.append_commit(5, &[(ObjectId(5), Value::from_u64(5))])
+            .unwrap_err();
+        // What did land in the sink still scans as a clean-or-torn log
+        // (recovery stops at the half-written frame).
+        let (records, _) = scan(&mem.bytes()).unwrap();
+        assert!(records.len() <= 2);
     }
 }

@@ -13,6 +13,7 @@
 
 use mvdb::cc::{Optimistic, TimestampOrdering, TwoPhaseLocking};
 use mvdb::core::prelude::*;
+use mvdb::core::{FaultConfig, FaultPoint};
 use mvdb::storage::wal::scan;
 use proptest::prelude::*;
 
@@ -335,6 +336,131 @@ fn in_place_corruption_recovers_prefix() {
         }
         assert_eq!(db2.vc().vtnc(), stats.last_tn);
     }
+}
+
+/// A commit aborted by a failed fsync (`AbortReason::LogFailed`) must
+/// stay aborted across recovery: the writer rewinds the frame whose
+/// sync failed, so no later successful sync can make it durable and no
+/// replay can resurrect it.
+#[test]
+fn partial_fsync_abort_never_resurrects() {
+    let mem = MemWal::new();
+    let cfg = DbConfig::default().with_fault(FaultConfig {
+        seed: 0xF5C,
+        wal_partial_fsync: 0.3,
+        ..Default::default()
+    });
+    let db = MvDatabase::with_wal(TwoPhaseLocking::new(), cfg, Box::new(mem.clone())).unwrap();
+    // Each attempt writes a distinct (object, value); record what the
+    // engine acknowledged so recovery can be checked record-for-record.
+    let mut committed = std::collections::BTreeMap::new();
+    let mut aborted = 0u64;
+    for i in 1..=200u64 {
+        match db.run_rw(1, |t| t.write(ObjectId(i % 8), Value::from_u64(i))) {
+            Ok((tn, ())) => {
+                committed.insert(tn, (ObjectId(i % 8), i));
+            }
+            Err(DbError::Aborted(AbortReason::LogFailed)) => aborted += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        aborted > 0,
+        "wal_partial_fsync = 0.3 must abort some commits"
+    );
+    assert!(db.faults().injected(FaultPoint::WalPartialFsync) > 0);
+    drop(db); // crash
+
+    // Recover from *everything* the sink ever saw (not just the durable
+    // prefix): the failed-fsync frames were rewound at abort time, so
+    // even the full byte stream must hold no aborted transaction.
+    let (db2, stats) = MvDatabase::recover(
+        TwoPhaseLocking::new(),
+        DbConfig::default(),
+        None,
+        &mem.bytes(),
+        None,
+    )
+    .unwrap();
+    assert!(stats.clean_end, "rewound log must scan clean");
+    assert_eq!(
+        stats.replayed,
+        committed.len(),
+        "replay = exactly the acknowledged commits, no resurrected aborts"
+    );
+    let (records, _) = scan(&mem.bytes()).unwrap();
+    for r in &records {
+        assert!(
+            committed.contains_key(&r.tn),
+            "aborted tn {} resurrected by replay",
+            r.tn
+        );
+    }
+    // And every acknowledged commit survived with its exact write.
+    for (&tn, &(obj, val)) in &committed {
+        let (number, value) = db2
+            .store()
+            .read_at(obj, tn)
+            .unwrap_or_else(|| panic!("committed tn {tn} lost"));
+        assert_eq!(number, tn);
+        assert_eq!(value.as_u64(), Some(val));
+    }
+}
+
+/// The checkpoint→rotation durability barrier: if the checkpoint sink
+/// cannot attest durability (`CheckpointSink::sync` fails), rotation
+/// must not run — otherwise a crash before the checkpoint bytes landed
+/// would lose every rotated record.
+#[test]
+fn checkpoint_sync_failure_blocks_rotation() {
+    struct NoBarrier(Vec<u8>);
+    impl std::io::Write for NoBarrier {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    impl CheckpointSink for NoBarrier {
+        fn sync(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("checkpoint fsync failed (injected)"))
+        }
+    }
+
+    let mem = MemWal::new();
+    let db = MvDatabase::with_wal(
+        TwoPhaseLocking::new(),
+        DbConfig::default(),
+        Box::new(mem.clone()),
+    )
+    .unwrap();
+    fund(&db);
+    transfers(&db, 10, 6);
+    let live_before = db.wal().unwrap().live_records();
+    assert!(live_before > 0);
+
+    let mut sink = NoBarrier(Vec::new());
+    db.checkpoint_and_rotate(&mut sink)
+        .expect_err("unsyncable checkpoint must fail");
+    assert_eq!(
+        db.wal().unwrap().live_records(),
+        live_before,
+        "rotation must not run when the checkpoint cannot be made durable"
+    );
+    // The engine is unharmed: commits continue and the full log replays.
+    transfers(&db, 5, 9);
+    drop(db);
+    let (db2, _) = MvDatabase::recover(
+        TwoPhaseLocking::new(),
+        DbConfig::default(),
+        None,
+        &mem.bytes(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(bank_total(&db2), ACCOUNTS * INITIAL);
 }
 
 proptest! {
