@@ -1,17 +1,17 @@
 //! Experiment harness CLI.
 //!
 //! ```text
-//! experiments [--fast] [all | e1 e2 ... e11]
+//! experiments [--fast|--quick] [all | e1 e2 ... e15]
 //! ```
 //!
 //! Prints one section per experiment (the content of EXPERIMENTS.md).
-//! `--fast` scales run lengths down ~10× for CI.
+//! `--fast` (alias `--quick`) scales run lengths down ~10× for CI.
 
 use mvcc_bench::experiments::{registry, section};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let fast = args.iter().any(|a| a == "--fast" || a == "--quick");
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

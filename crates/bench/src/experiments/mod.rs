@@ -14,6 +14,7 @@ pub mod e11_modularity;
 pub mod e12_adaptive;
 pub mod e13_faults;
 pub mod e14_durability;
+pub mod e15_scalability;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -97,6 +98,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e14",
             title: "Durability — WAL overhead, crash recovery, disk faults",
             run: e14_durability::run,
+        },
+        Experiment {
+            id: "e15",
+            title: "Contention & scalability — sharded hot path vs global mutexes",
+            run: e15_scalability::run,
         },
     ]
 }

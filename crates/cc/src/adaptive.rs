@@ -100,9 +100,15 @@ impl Adaptive {
 
     /// Adaptive protocol with explicit thresholds.
     pub fn with_config(config: AdaptiveConfig) -> Self {
+        Self::with_config_and_shards(config, 64)
+    }
+
+    /// Adaptive protocol with explicit thresholds and 2PL lock-table
+    /// shard count.
+    pub fn with_config_and_shards(config: AdaptiveConfig, lock_shards: usize) -> Self {
         Adaptive {
             occ: Optimistic::new(),
-            tpl: TwoPhaseLocking::new(),
+            tpl: TwoPhaseLocking::with_shards(lock_shards),
             config,
             gate: Mutex::new(Gate {
                 mode: Mode::Optimistic,

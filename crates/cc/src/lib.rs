@@ -41,9 +41,10 @@ use mvcc_core::{DbConfig, MvDatabase};
 pub mod presets {
     use super::*;
 
-    /// Version control + strict two-phase locking (paper Figure 4).
+    /// Version control + strict two-phase locking (paper Figure 4). The
+    /// lock table is sharded per `config.lock_shards`.
     pub fn vc_2pl(config: DbConfig) -> MvDatabase<TwoPhaseLocking> {
-        MvDatabase::with_config(TwoPhaseLocking::new(), config)
+        MvDatabase::with_config(TwoPhaseLocking::with_shards(config.lock_shards), config)
     }
 
     /// Version control + timestamp ordering (paper Figure 3).
@@ -60,6 +61,7 @@ pub mod presets {
     /// contention, 2PL under high — the extensibility showcase of the
     /// paper's introduction).
     pub fn vc_adaptive(config: DbConfig) -> MvDatabase<Adaptive> {
-        MvDatabase::with_config(Adaptive::new(), config)
+        let cc = Adaptive::with_config_and_shards(AdaptiveConfig::default(), config.lock_shards);
+        MvDatabase::with_config(cc, config)
     }
 }

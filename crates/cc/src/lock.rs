@@ -10,6 +10,23 @@
 //! it models (between a holder's release and the waiter's wake-up), so a
 //! cycle report can occasionally be a false positive — a spurious abort,
 //! never a missed deadlock.
+//!
+//! # Lock order
+//!
+//! Two kinds of mutex exist: the per-shard `table` mutexes and the global
+//! `waits_for` mutex. The only permitted nesting is **`shard.table` →
+//! `waits_for`** — a blocked requester records its wait edges while still
+//! holding its shard. The reverse order never occurs, and no code path
+//! holds two shard locks at once (`acquire`/`release` touch exactly one
+//! shard; `clear_all` walks shards one at a time), so no lock-order cycle
+//! is possible.
+//!
+//! The `waits_for` mutex is deliberately **off the uncontended path**: an
+//! immediately granted request and a release of an uncontended lock touch
+//! only their shard. The graph is consulted exactly when a request blocks
+//! (edges set, cycle check) and updated again when the wait resolves
+//! (grant, deadlock, or timeout — each clears its own edges before
+//! returning), so a commit's `release_all` never needs it.
 
 use mvcc_model::ObjectId;
 use parking_lot::{Condvar, Mutex};
@@ -48,8 +65,12 @@ impl std::error::Error for LockError {}
 /// Outcome details of a successful acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Acquired {
-    /// Whether the requester had to wait.
+    /// Whether the requester had to wait for a conflicting holder.
     pub waited: bool,
+    /// Whether the shard's table mutex itself was held by another thread
+    /// on entry (sharding-level contention, as opposed to a lock-mode
+    /// conflict).
+    pub contended: bool,
 }
 
 #[derive(Default)]
@@ -172,9 +193,11 @@ impl LockManager {
         Self::with_shards(64)
     }
 
-    /// Manager with an explicit shard count (min 1).
+    /// Manager with an explicit shard count, rounded up to a power of two
+    /// (min 1). One shard degenerates to a global-mutex lock table.
     pub fn with_shards(n: usize) -> Self {
-        let shards = (0..n.max(1))
+        let n = mvcc_storage::shard::pow2_shards(n);
+        let shards = (0..n)
             .map(|_| LockShard {
                 table: Mutex::new(HashMap::new()),
                 cv: Condvar::new(),
@@ -187,9 +210,13 @@ impl LockManager {
         }
     }
 
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     fn shard(&self, obj: ObjectId) -> &LockShard {
-        let h = obj.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        &self.shards[mvcc_storage::shard::shard_index(obj.get(), self.shards.len())]
     }
 
     /// Acquire (or upgrade to) `mode` on `obj` for `token`, blocking up to
@@ -205,15 +232,19 @@ impl LockManager {
     ) -> Result<Acquired, LockError> {
         let shard = self.shard(obj);
         let deadline = Instant::now() + timeout;
-        let mut table = shard.table.lock();
+        let (mut table, contended) = match shard.table.try_lock() {
+            Some(g) => (g, false),
+            None => (shard.table.lock(), true),
+        };
         let mut waited = false;
         loop {
             let blockers = match table.entry(obj).or_default().try_grant(token, mode) {
                 Ok(()) => {
-                    if waited {
+                    // Edges exist only if we blocked with detection on.
+                    if waited && detect_deadlocks {
                         self.waits_for.lock().clear(token);
                     }
-                    return Ok(Acquired { waited });
+                    return Ok(Acquired { waited, contended });
                 }
                 Err(blockers) => blockers,
             };
@@ -227,37 +258,59 @@ impl LockManager {
             }
             waited = true;
             if shard.cv.wait_until(&mut table, deadline).timed_out() {
-                // last chance re-check
-                if table.entry(obj).or_default().try_grant(token, mode).is_ok() {
+                // Last-chance re-check, then a single edge cleanup for
+                // either outcome.
+                let granted = table.entry(obj).or_default().try_grant(token, mode).is_ok();
+                if detect_deadlocks {
                     self.waits_for.lock().clear(token);
-                    return Ok(Acquired { waited });
                 }
-                self.waits_for.lock().clear(token);
-                return Err(LockError::Timeout);
+                return if granted {
+                    Ok(Acquired { waited, contended })
+                } else {
+                    Err(LockError::Timeout)
+                };
             }
         }
     }
 
     /// Release `token`'s lock on `obj` (idempotent) and wake waiters.
+    ///
+    /// The broadcast happens after the shard lock is dropped, so woken
+    /// waiters can re-check immediately instead of piling up on a mutex
+    /// the notifier still holds. Safe against lost wakeups: a waiter's
+    /// grant check and its park are atomic under the shard lock, so it
+    /// either sees this release's effect or is already parked when the
+    /// notification fires.
     pub fn release(&self, token: u64, obj: ObjectId) {
         let shard = self.shard(obj);
-        let mut table = shard.table.lock();
-        if let Some(state) = table.get_mut(&obj) {
-            if state.release(token) && state.holders.is_empty() {
-                table.remove(&obj);
+        {
+            let mut table = shard.table.lock();
+            if let Some(state) = table.get_mut(&obj) {
+                if state.release(token) && state.holders.is_empty() {
+                    table.remove(&obj);
+                }
             }
         }
         shard.cv.notify_all();
     }
 
-    /// Release every lock `token` holds on `objs` and clear its waits-for
-    /// edges. (The caller tracks its lock set — strict 2PL needs it for
-    /// the lock point anyway.)
+    /// Release every lock `token` holds on `objs`. (The caller tracks its
+    /// lock set — strict 2PL needs it for the lock point anyway.)
+    ///
+    /// Deliberately does **not** touch the waits-for graph: every
+    /// [`acquire`](Self::acquire) exit path (grant, deadlock, timeout)
+    /// clears the token's own edges before returning, so by the time a
+    /// transaction releases its locks it has no edges left. Skipping the
+    /// graph here keeps commit/abort free of the one remaining global
+    /// mutex.
     pub fn release_all<'a>(&self, token: u64, objs: impl IntoIterator<Item = &'a ObjectId>) {
         for &obj in objs {
             self.release(token, obj);
         }
-        self.waits_for.lock().clear(token);
+        debug_assert!(
+            !self.waits_for.lock().edges.contains_key(&token),
+            "token {token} released its locks while holding waits-for edges"
+        );
     }
 
     /// Drop every lock and waits-for edge (a site crash: volatile lock
@@ -269,6 +322,12 @@ impl LockManager {
             shard.cv.notify_all();
         }
         self.waits_for.lock().edges.clear();
+    }
+
+    /// Total waits-for edges currently recorded (for tests: must be zero
+    /// whenever no acquisition is blocked).
+    pub fn waits_for_edges(&self) -> usize {
+        self.waits_for.lock().edges.len()
     }
 
     /// The mode `token` currently holds on `obj`, if any (for tests).

@@ -54,8 +54,14 @@ impl Default for TwoPhaseLocking {
 impl TwoPhaseLocking {
     /// Fresh protocol instance with its own lock manager.
     pub fn new() -> Self {
+        Self::with_shards(64)
+    }
+
+    /// Protocol instance whose lock table has `n` shards (rounded up to a
+    /// power of two; `1` reproduces a global-mutex lock manager).
+    pub fn with_shards(n: usize) -> Self {
         TwoPhaseLocking {
-            locks: LockManager::new(),
+            locks: LockManager::with_shards(n),
             // Tokens must never collide with transaction numbers used as
             // pending-writer ids by other protocols; within one engine
             // only this protocol runs, so a plain counter suffices.
@@ -85,6 +91,9 @@ impl TwoPhaseLocking {
             Ok(a) => {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                }
+                if a.waited || a.contended {
+                    m.lock_shard_waits.fetch_add(1, Ordering::Relaxed);
                 }
                 txn.locked.insert(obj);
                 Ok(())

@@ -53,10 +53,11 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// Engine with explicit configuration.
     pub fn with_config(cc: C, config: DbConfig) -> Self {
         let tracer = config.trace.then(|| Arc::new(Tracer::new()));
+        let ro_registry = RoScanRegistry::with_slots(config.ro_slots);
         MvDatabase {
             core: DbCore {
                 ctx: CcContext::new(config),
-                ro_registry: RoScanRegistry::new(),
+                ro_registry,
                 tracer,
                 anon_trace_seq: AtomicU64::new(0),
             },
@@ -155,11 +156,12 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             }
             ctx.wal = Some(Arc::new(CommitLog::new(writer, Arc::clone(&ctx.metrics))));
         }
+        let ro_registry = RoScanRegistry::with_slots(ctx.config.ro_slots);
         Ok((
             MvDatabase {
                 core: DbCore {
                     ctx,
-                    ro_registry: RoScanRegistry::new(),
+                    ro_registry,
                     tracer,
                     anon_trace_seq: AtomicU64::new(0),
                 },
@@ -182,10 +184,11 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             Arc::new(store),
             Arc::new(VersionControl::resumed(watermark)),
         );
+        let ro_registry = RoScanRegistry::with_slots(ctx.config.ro_slots);
         Ok(MvDatabase {
             core: DbCore {
                 ctx,
-                ro_registry: RoScanRegistry::new(),
+                ro_registry,
                 tracer,
                 anon_trace_seq: AtomicU64::new(0),
             },
@@ -204,9 +207,9 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         w: &mut impl std::io::Write,
     ) -> std::io::Result<mvcc_storage::CheckpointStats> {
         let watermark = self.core.ctx.vc.vtnc();
-        self.core.ro_registry.register(watermark);
+        let slot = self.core.ro_registry.register(watermark);
         let result = self.core.ctx.store.checkpoint(w, watermark);
-        self.core.ro_registry.deregister(watermark);
+        self.core.ro_registry.deregister(slot, watermark);
         result
     }
 
@@ -404,14 +407,24 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         &self.cc
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters, merging in the contention
+    /// counters kept inside the version-control module and the GC
+    /// snapshot registry (which have no `Metrics` handle of their own).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.core.ctx.metrics.snapshot()
+        let mut snap = self.core.ctx.metrics.snapshot();
+        let (_, wait_ns) = self.core.ctx.vc.contention();
+        snap.vc_lock_wait_ns = snap.vc_lock_wait_ns.saturating_add(wait_ns);
+        snap.gc_slot_contention = snap
+            .gc_slot_contention
+            .saturating_add(self.core.ro_registry.contention());
+        snap
     }
 
     /// Reset the engine counters (between experiment phases).
     pub fn reset_metrics(&self) {
         self.core.ctx.metrics.reset();
+        self.core.ctx.vc.reset_contention();
+        self.core.ro_registry.reset_contention();
     }
 
     /// Storage statistics.

@@ -131,6 +131,15 @@ metrics! { ;
     wal_rotations,
     /// Aborts caused by a failed WAL append (disk fault).
     aborts_wal,
+    /// Lock requests that found their lock-table shard contended or had
+    /// to block for a conflicting holder (2PL; sharding lowers it).
+    lock_shard_waits,
+    /// Nanoseconds threads spent blocked on the `VersionControl` inner
+    /// mutex (contended acquisitions only; uncontended takes are free).
+    vc_lock_wait_ns,
+    /// Contended acquisitions of GC snapshot-registry slots (stays 0
+    /// when slots ≥ worker threads).
+    gc_slot_contention,
 }
 
 #[cfg(test)]

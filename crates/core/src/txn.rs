@@ -28,13 +28,15 @@ pub(crate) const ANON_TRACE_BASE: u64 = 1 << 48;
 pub struct RoTxn<'db> {
     core: &'db DbCore,
     sn: u64,
+    /// GC-registry slot the begin-time registration landed in.
+    gc_slot: usize,
     trace: TxnTrace,
     finished: bool,
 }
 
 impl<'db> RoTxn<'db> {
     pub(crate) fn begin(core: &'db DbCore, sn: u64) -> Self {
-        core.ro_registry.register(sn);
+        let gc_slot = core.ro_registry.register(sn);
         let m = &core.ctx.metrics;
         m.ro_begun.fetch_add(1, Ordering::Relaxed);
         m.vc_start_calls.fetch_add(1, Ordering::Relaxed);
@@ -43,6 +45,7 @@ impl<'db> RoTxn<'db> {
         RoTxn {
             core,
             sn,
+            gc_slot,
             trace: TxnTrace::new(),
             finished: false,
         }
@@ -93,7 +96,7 @@ impl<'db> RoTxn<'db> {
             return;
         }
         self.finished = true;
-        self.core.ro_registry.deregister(self.sn);
+        self.core.ro_registry.deregister(self.gc_slot, self.sn);
         self.core
             .ctx
             .metrics

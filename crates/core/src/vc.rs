@@ -30,7 +30,7 @@
 //! only for active and unaborted transactions", Section 4.3).
 
 use crate::vcqueue::VcQueue;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -67,8 +67,15 @@ pub struct VersionControl {
     /// Signalled whenever `vtnc` advances (used by the Section 6
     /// rectification [`VersionControl::wait_visible`]).
     visible_cv: Condvar,
-    /// Companion mutex for `visible_cv` waits.
+    /// Companion mutex for `visible_cv` waits. Lock order: never taken
+    /// while `inner` is held — the visibility broadcast happens *after*
+    /// the inner critical section (see [`Self::notify_visible`]), so the
+    /// two mutexes are never nested.
     visible_mu: Mutex<()>,
+    /// Times `inner` was found held by another thread.
+    lock_waits: AtomicU64,
+    /// Nanoseconds spent blocked on `inner` (only on contended paths).
+    lock_wait_ns: AtomicU64,
 }
 
 impl Default for VersionControl {
@@ -96,18 +103,50 @@ impl VersionControl {
             vtnc: AtomicU64::new(vtnc),
             visible_cv: Condvar::new(),
             visible_mu: Mutex::new(()),
+            lock_waits: AtomicU64::new(0),
+            lock_wait_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Take the inner mutex, accounting contended acquisitions. The
+    /// uncontended path is a single `try_lock` — no timing syscalls.
+    fn inner(&self) -> MutexGuard<'_, VcInner> {
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        let started = Instant::now();
+        let g = self.inner.lock();
+        self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    /// `(contended acquisitions, nanoseconds blocked)` on the inner
+    /// mutex since construction or the last [`reset_contention`]
+    /// (surfaced as `vc_lock_wait_ns` in `mvcc-core`'s metrics).
+    pub fn contention(&self) -> (u64, u64) {
+        (
+            self.lock_waits.load(Ordering::Relaxed),
+            self.lock_wait_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zero the contention counters (between experiment phases).
+    pub fn reset_contention(&self) {
+        self.lock_waits.store(0, Ordering::Relaxed);
+        self.lock_wait_ns.store(0, Ordering::Relaxed);
     }
 
     /// Set (or clear) the registration TTL used for future
     /// [`register`](Self::register) calls. `None` disables the reaper.
     pub fn set_register_ttl(&self, ttl: Option<Duration>) {
-        self.inner.lock().register_ttl = ttl;
+        self.inner().register_ttl = ttl;
     }
 
     /// The current registration TTL.
     pub fn register_ttl(&self) -> Option<Duration> {
-        self.inner.lock().register_ttl
+        self.inner().register_ttl
     }
 
     /// `VCstart()`: the start number for a read-only transaction — the
@@ -123,7 +162,7 @@ impl VersionControl {
     /// `T`'s serial order is determined (begin under TO, lock point under
     /// 2PL, validation under OCC).
     pub fn register(&self) -> u64 {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner();
         let tn = inner.tnc;
         inner.tnc += 1;
         let deadline = inner.register_ttl.map(|ttl| Instant::now() + ttl);
@@ -142,17 +181,21 @@ impl VersionControl {
     /// This claim is what makes the reaper safe: the reaper only discards
     /// `Active` entries, so reaped ⇒ never claimed ⇒ no updates applied.
     pub fn start_complete(&self, tn: u64) -> bool {
-        self.inner.lock().queue.start_committing(tn)
+        self.inner().queue.start_committing(tn)
     }
 
     /// `VCdiscard(T)`: remove an aborted transaction. Also drains the
     /// queue head (see module docs). Returns `false` if `tn` was not
     /// registered (or already completed).
     pub fn discard(&self, tn: u64) -> bool {
-        let mut inner = self.inner.lock();
-        let removed = inner.queue.discard(tn);
-        if removed {
-            self.drain(&mut inner);
+        let (removed, advanced) = {
+            let mut inner = self.inner();
+            let removed = inner.queue.discard(tn);
+            let advanced = removed && self.drain_locked(&mut inner);
+            (removed, advanced)
+        };
+        if advanced {
+            self.notify_visible();
         }
         removed
     }
@@ -179,10 +222,15 @@ impl VersionControl {
     /// accounting; the stalled transaction's pending versions and locks,
     /// if any, are reclaimed separately by read/lock wait timeouts.
     pub fn reap(&self) -> Vec<u64> {
-        let mut inner = self.inner.lock();
-        let reaped = inner.queue.reap_expired(Instant::now());
-        if !reaped.is_empty() {
-            self.drain(&mut inner);
+        let now = Instant::now();
+        let (reaped, advanced) = {
+            let mut inner = self.inner();
+            let reaped = inner.queue.reap_expired(now);
+            let advanced = !reaped.is_empty() && self.drain_locked(&mut inner);
+            (reaped, advanced)
+        };
+        if advanced {
+            self.notify_visible();
         }
         reaped
     }
@@ -195,22 +243,46 @@ impl VersionControl {
     /// VCcomplete(T)") — advancing visibility first would let a read-only
     /// transaction with the new start number miss the updates.
     pub fn complete(&self, tn: u64) -> u64 {
-        let mut inner = self.inner.lock();
-        let marked = inner.queue.mark_complete(tn);
-        debug_assert!(marked, "VCcomplete for unregistered tn {tn}");
-        self.drain(&mut inner);
+        let advanced = {
+            let mut inner = self.inner();
+            let marked = inner.queue.mark_complete(tn);
+            debug_assert!(marked, "VCcomplete for unregistered tn {tn}");
+            self.drain_locked(&mut inner)
+        };
+        if advanced {
+            self.notify_visible();
+        }
         self.vtnc.load(Ordering::Acquire)
     }
 
-    fn drain(&self, inner: &mut VcInner) {
-        if let Some(new_vtnc) = inner.queue.drain_completed() {
-            debug_assert!(new_vtnc < inner.tnc);
-            self.vtnc.store(new_vtnc, Ordering::Release);
-            // Take the waiters' mutex before notifying: a waiter between
-            // its vtnc check and its park would otherwise miss the wakeup.
-            let _waiters = self.visible_mu.lock();
-            self.visible_cv.notify_all();
+    /// Pop every completed head entry and publish the new `vtnc` — one
+    /// atomic store no matter how many entries drained (the batching that
+    /// keeps the critical section short when a slow head transaction
+    /// finally completes and releases a long completed suffix).
+    ///
+    /// Runs under the inner mutex but performs **no side effects beyond
+    /// the store**: the visibility broadcast, metrics, and reaper
+    /// bookkeeping all happen outside the lock (callers invoke
+    /// [`Self::notify_visible`] after releasing it).
+    fn drain_locked(&self, inner: &mut VcInner) -> bool {
+        match inner.queue.drain_completed() {
+            Some(new_vtnc) => {
+                debug_assert!(new_vtnc < inner.tnc);
+                self.vtnc.store(new_vtnc, Ordering::Release);
+                true
+            }
+            None => false,
         }
+    }
+
+    /// Broadcast a `vtnc` advance to [`Self::wait_visible`] waiters.
+    /// Takes the waiters' mutex before notifying — a waiter between its
+    /// vtnc check and its park would otherwise miss the wakeup — but
+    /// never while `inner` is held, so waiter wakeups cannot extend the
+    /// version-control critical section.
+    fn notify_visible(&self) {
+        let _waiters = self.visible_mu.lock();
+        self.visible_cv.notify_all();
     }
 
     /// Current `vtnc` (same as [`start`](Self::start)).
@@ -220,20 +292,20 @@ impl VersionControl {
 
     /// Current `tnc` (next number to assign).
     pub fn tnc(&self) -> u64 {
-        self.inner.lock().tnc
+        self.inner().tnc
     }
 
     /// The visibility lag: how many assigned transaction numbers are not
     /// yet visible (`(tnc − 1) − vtnc`). Zero means a read-only
     /// transaction starting now sees every assigned transaction.
     pub fn lag(&self) -> u64 {
-        let inner = self.inner.lock();
+        let inner = self.inner();
         (inner.tnc - 1).saturating_sub(self.vtnc.load(Ordering::Acquire))
     }
 
     /// Number of registered, not-yet-visible transactions.
     pub fn queue_len(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.inner().queue.len()
     }
 
     /// Section 6 rectification: block until `vtnc ≥ tn` (so a read-only
@@ -258,7 +330,7 @@ impl VersionControl {
     ///
     /// Returns an error description if an invariant is violated.
     pub fn validate(&self) -> Result<(), String> {
-        let inner = self.inner.lock();
+        let inner = self.inner();
         let vtnc = self.vtnc.load(Ordering::Acquire);
         if vtnc >= inner.tnc {
             return Err(format!("vtnc {} >= tnc {}", vtnc, inner.tnc));

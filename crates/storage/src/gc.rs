@@ -15,6 +15,7 @@
 use crate::VersionNo;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Statistics of one GC pass.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -29,33 +30,110 @@ pub struct GcStats {
     pub versions_retained: usize,
 }
 
-/// Multiset of live read-only start numbers.
+/// Multiset of live read-only start numbers, sharded into per-thread
+/// *slots* so read-only transactions never contend with each other.
 ///
 /// Each RO transaction registers its start number when it begins and
 /// deregisters on completion; [`RoScanRegistry::min_active`] bounds the GC
 /// watermark from below. Registration is the *only* bookkeeping an RO
 /// transaction performs besides `VCstart()`, and it is with the GC — not
 /// with concurrency control — preserving the paper's separation.
-#[derive(Default)]
+///
+/// # Why slots, not a key-sharded map
+///
+/// Most concurrent RO transactions carry the *same* start number (the
+/// current `vtnc`), so sharding by `sn` would funnel them all into one
+/// shard. Instead each worker thread is pinned to a slot (round-robin
+/// assignment on first use, cached in a thread-local), and a slot is a
+/// small independent multiset. `register`/`deregister` touch only the
+/// calling thread's slot; only the rare GC-side reads (`min_active`,
+/// `active_count`) sweep all slots. With at least as many slots as worker
+/// threads, the RO hot path is contention-free — the structural version
+/// of the paper's Section 4.2 "almost negligible overhead" claim.
 pub struct RoScanRegistry {
-    active: Mutex<BTreeMap<VersionNo, usize>>,
+    slots: Box<[Mutex<BTreeMap<VersionNo, usize>>]>,
+    /// Times a slot lock was observed contended (`try_lock` failed and
+    /// the caller had to block). Stays 0 when slots ≥ threads.
+    contention: AtomicU64,
+}
+
+impl Default for RoScanRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Round-robin source of slot assignments, cached per thread.
+static NEXT_SLOT_SEED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT_SEED: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
 impl RoScanRegistry {
-    /// Empty registry.
+    /// Registry with a default slot count suited to benchmark thread
+    /// counts.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_slots(16)
+    }
+
+    /// Registry with an explicit slot count, rounded up to a power of two
+    /// (min 1). One slot degenerates to the old global-mutex registry.
+    pub fn with_slots(n: usize) -> Self {
+        let n = crate::shard::pow2_shards(n);
+        RoScanRegistry {
+            slots: (0..n)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            contention: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots (always a power of two).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The calling thread's slot index.
+    fn home_slot(&self) -> usize {
+        let seed = SLOT_SEED.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = NEXT_SLOT_SEED.fetch_add(1, Ordering::Relaxed);
+                s.set(v);
+            }
+            v
+        });
+        seed & (self.slots.len() - 1)
+    }
+
+    /// Lock `slot`, counting the acquisition as contended if another
+    /// thread currently holds it.
+    fn lock_slot(&self, slot: usize) -> parking_lot::MutexGuard<'_, BTreeMap<VersionNo, usize>> {
+        match self.slots[slot].try_lock() {
+            Some(g) => g,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.slots[slot].lock()
+            }
+        }
     }
 
     /// Record a read-only transaction starting with start number `sn`.
-    pub fn register(&self, sn: VersionNo) {
-        *self.active.lock().entry(sn).or_insert(0) += 1;
+    /// Returns the slot the registration landed in; pass it back to
+    /// [`deregister`](Self::deregister) on completion.
+    pub fn register(&self, sn: VersionNo) -> usize {
+        let slot = self.home_slot();
+        *self.lock_slot(slot).entry(sn).or_insert(0) += 1;
+        slot
     }
 
     /// Record the completion of a read-only transaction that had start
-    /// number `sn`. Returns `false` if no such registration existed.
-    pub fn deregister(&self, sn: VersionNo) -> bool {
-        let mut map = self.active.lock();
+    /// number `sn`, registered in `slot`. Returns `false` if no such
+    /// registration existed.
+    pub fn deregister(&self, slot: usize, sn: VersionNo) -> bool {
+        let mut map = self.lock_slot(slot & (self.slots.len() - 1));
         match map.get_mut(&sn) {
             Some(n) if *n > 1 => {
                 *n -= 1;
@@ -70,13 +148,21 @@ impl RoScanRegistry {
     }
 
     /// The smallest live start number, if any RO transaction is running.
+    /// (GC-side sweep over every slot — rare, so its cost is off the RO
+    /// hot path.)
     pub fn min_active(&self) -> Option<VersionNo> {
-        self.active.lock().keys().next().copied()
+        self.slots
+            .iter()
+            .filter_map(|s| s.lock().keys().next().copied())
+            .min()
     }
 
     /// Number of live registrations.
     pub fn active_count(&self) -> usize {
-        self.active.lock().values().sum()
+        self.slots
+            .iter()
+            .map(|s| s.lock().values().sum::<usize>())
+            .sum()
     }
 
     /// The GC watermark given the current `vtnc`: the largest number `w`
@@ -86,6 +172,18 @@ impl RoScanRegistry {
             Some(m) => m.min(vtnc),
             None => vtnc,
         }
+    }
+
+    /// Times a slot lock acquisition found the slot held by another
+    /// thread (monotone counter; see `gc_slot_contention` in
+    /// `mvcc-core`'s metrics).
+    pub fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Zero the contention counter (between experiment phases).
+    pub fn reset_contention(&self) {
+        self.contention.store(0, Ordering::Relaxed);
     }
 }
 
@@ -104,26 +202,26 @@ mod tests {
     #[test]
     fn watermark_clamped_by_oldest_reader() {
         let r = RoScanRegistry::new();
-        r.register(10);
-        r.register(20);
+        let s10 = r.register(10);
+        let s20 = r.register(20);
         assert_eq!(r.watermark(25), 10);
-        assert!(r.deregister(10));
+        assert!(r.deregister(s10, 10));
         assert_eq!(r.watermark(25), 20);
-        assert!(r.deregister(20));
+        assert!(r.deregister(s20, 20));
         assert_eq!(r.watermark(25), 25);
     }
 
     #[test]
     fn multiset_semantics() {
         let r = RoScanRegistry::new();
-        r.register(5);
-        r.register(5);
+        let a = r.register(5);
+        let b = r.register(5);
         assert_eq!(r.active_count(), 2);
-        assert!(r.deregister(5));
+        assert!(r.deregister(a, 5));
         assert_eq!(r.min_active(), Some(5));
-        assert!(r.deregister(5));
+        assert!(r.deregister(b, 5));
         assert_eq!(r.min_active(), None);
-        assert!(!r.deregister(5));
+        assert!(!r.deregister(a, 5));
     }
 
     #[test]
@@ -131,6 +229,30 @@ mod tests {
         let r = RoScanRegistry::new();
         r.register(100); // reader started "in the future" relative to vtnc 7
         assert_eq!(r.watermark(7), 7);
+    }
+
+    #[test]
+    fn slot_counts_are_pow2_and_single_slot_works() {
+        let r = RoScanRegistry::with_slots(5);
+        assert_eq!(r.slot_count(), 8);
+        let r1 = RoScanRegistry::with_slots(1);
+        assert_eq!(r1.slot_count(), 1);
+        let s = r1.register(3);
+        assert_eq!(s, 0);
+        assert_eq!(r1.min_active(), Some(3));
+        assert!(r1.deregister(s, 3));
+    }
+
+    #[test]
+    fn cross_slot_min_is_global_min() {
+        let r = RoScanRegistry::with_slots(4);
+        // Force registrations into distinct slots by writing directly.
+        *r.slots[0].lock().entry(30).or_insert(0) += 1;
+        *r.slots[1].lock().entry(10).or_insert(0) += 1;
+        *r.slots[3].lock().entry(20).or_insert(0) += 1;
+        assert_eq!(r.min_active(), Some(10));
+        assert_eq!(r.active_count(), 3);
+        assert_eq!(r.watermark(50), 10);
     }
 
     #[test]
@@ -143,8 +265,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u64 {
                     let sn = t * 1000 + i;
-                    r.register(sn);
-                    assert!(r.deregister(sn));
+                    let slot = r.register(sn);
+                    assert!(r.deregister(slot, sn));
                 }
             }));
         }
@@ -152,5 +274,17 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(r.active_count(), 0);
+    }
+
+    #[test]
+    fn contention_counter_stays_zero_single_threaded() {
+        let r = RoScanRegistry::new();
+        for i in 0..100 {
+            let s = r.register(i);
+            r.deregister(s, i);
+        }
+        assert_eq!(r.contention(), 0);
+        r.reset_contention();
+        assert_eq!(r.contention(), 0);
     }
 }

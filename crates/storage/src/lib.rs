@@ -31,6 +31,7 @@
 pub mod chain;
 pub mod gc;
 pub mod persist;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod value;

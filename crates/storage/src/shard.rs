@@ -1,0 +1,85 @@
+//! Shard-count and shard-index helpers shared by every sharded structure
+//! in the engine (the store's chain map, the 2PL lock table, the GC
+//! snapshot slots).
+//!
+//! Shard counts are always rounded **up** to a power of two so the index
+//! computation is a multiply + shift + mask — no division on the hot
+//! path. The hash is Fibonacci (multiply by 2⁶⁴/φ): sequential keys, the
+//! common case for benchmark object ids and slot counters, spread evenly
+//! across shards. The index is taken from the *high* bits of the product,
+//! where the Fibonacci multiply concentrates its mixing.
+
+/// Round a requested shard count up to the nearest power of two (min 1).
+///
+/// ```
+/// use mvcc_storage::shard;
+/// assert_eq!(shard::pow2_shards(0), 1);
+/// assert_eq!(shard::pow2_shards(1), 1);
+/// assert_eq!(shard::pow2_shards(5), 8);
+/// assert_eq!(shard::pow2_shards(64), 64);
+/// ```
+pub fn pow2_shards(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Multiplicative constant: ⌊2⁶⁴ / φ⌋, the Fibonacci hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Map `key` to a shard index in `[0, n_shards)`.
+///
+/// `n_shards` must be a power of two (use [`pow2_shards`]); the index is
+/// the high 32 bits of the Fibonacci product masked down, so it costs one
+/// multiply, one shift and one AND — no modulo.
+#[inline]
+pub fn shard_index(key: u64, n_shards: usize) -> usize {
+    debug_assert!(n_shards.is_power_of_two(), "shard count must be 2^k");
+    let h = key.wrapping_mul(FIB);
+    ((h >> 32) as usize) & (n_shards - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_rounds_up() {
+        assert_eq!(pow2_shards(0), 1);
+        assert_eq!(pow2_shards(1), 1);
+        assert_eq!(pow2_shards(2), 2);
+        assert_eq!(pow2_shards(3), 4);
+        assert_eq!(pow2_shards(63), 64);
+        assert_eq!(pow2_shards(64), 64);
+        assert_eq!(pow2_shards(65), 128);
+    }
+
+    #[test]
+    fn index_in_range_for_all_counts() {
+        for shards in [1usize, 2, 4, 8, 64, 256] {
+            for key in 0..1000u64 {
+                assert!(shard_index(key, shards) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        let shards = 16;
+        let mut hits = vec![0u32; shards];
+        for key in 0..1600u64 {
+            hits[shard_index(key, shards)] += 1;
+        }
+        // Fibonacci hashing on sequential keys is near-uniform; allow 2x
+        // imbalance to keep the test robust.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 0, "shard {i} never hit");
+            assert!(h < 200, "shard {i} got {h}/1600");
+        }
+    }
+
+    #[test]
+    fn single_shard_always_zero() {
+        for key in 0..100u64 {
+            assert_eq!(shard_index(key, 1), 0);
+        }
+    }
+}

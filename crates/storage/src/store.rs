@@ -92,9 +92,10 @@ impl MvStore {
         Self::with_shards(64)
     }
 
-    /// Store with an explicit power-of-two-ish shard count (min 1).
+    /// Store with an explicit shard count, rounded **up** to a power of
+    /// two (min 1) so shard selection is a bit-mask, not a modulo.
     pub fn with_shards(n: usize) -> Self {
-        let n = n.max(1);
+        let n = crate::shard::pow2_shards(n);
         let shards = (0..n)
             .map(|_| Shard {
                 map: Mutex::new(HashMap::new()),
@@ -107,8 +108,7 @@ impl MvStore {
 
     fn shard(&self, obj: ObjectId) -> &Shard {
         // Fibonacci hashing spreads sequential object ids across shards.
-        let h = obj.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        &self.shards[crate::shard::shard_index(obj.get(), self.shards.len())]
     }
 
     /// Run `f` with exclusive access to `obj`'s chain (created on first

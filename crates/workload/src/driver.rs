@@ -38,6 +38,12 @@ pub struct DriverConfig {
     /// Stop after this many transactions (across all threads), if set —
     /// used when a bounded trace is needed (oracle checks).
     pub txn_budget: Option<u64>,
+    /// Client think time between transactions (TPC-style open-ish load).
+    /// Zero (the default) keeps the classic saturating closed loop; a
+    /// non-zero value makes throughput scale with the client count until
+    /// the engine's capacity is reached — the regime scalability sweeps
+    /// need on hosts with few cores.
+    pub think_time: Duration,
 }
 
 impl Default for DriverConfig {
@@ -49,6 +55,7 @@ impl Default for DriverConfig {
             backoff: RetryPolicy::no_backoff(0),
             gc_every: None,
             txn_budget: None,
+            think_time: Duration::ZERO,
         }
     }
 }
@@ -253,6 +260,9 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
                         &cfg.backoff,
                         &mut out,
                     );
+                    if !cfg.think_time.is_zero() {
+                        std::thread::sleep(cfg.think_time);
+                    }
                 }
                 out
             }));
