@@ -215,7 +215,16 @@ pub fn collect(fast: bool) -> (String, Vec<Record>) {
         out,
         "\nsharded ÷ global-mutex speedup at {top} threads (committed txn/s):\n"
     );
-    let mut table = Table::new(["workload", "protocol", "speedup", "global", "sharded"]);
+    let mut table = Table::new([
+        "workload",
+        "protocol",
+        "speedup",
+        "global",
+        "sharded",
+        "lock_waits g\u{2192}s",
+        "vc_wait g\u{2192}s",
+        "gc_cont g\u{2192}s",
+    ]);
     for dist in &dists {
         for mix in &mixes {
             let wl = format!("{}/{}", dist.name, mix.name);
@@ -238,12 +247,25 @@ pub fn collect(fast: bool) -> (String, Vec<Record>) {
                 } else {
                     f64::INFINITY
                 };
+                // Contention columns: how the counters move when the
+                // global structures are sharded — the mechanism behind
+                // each speedup figure.
+                let fmt_ns = |ns: u64| {
+                    mvcc_workload::report::fmt_duration(std::time::Duration::from_nanos(ns))
+                };
                 table.row([
                     wl.clone(),
                     protocol.to_string(),
                     format!("{speedup:.2}x"),
                     fmt_rate(g.txn_per_sec),
                     fmt_rate(s.txn_per_sec),
+                    format!("{}\u{2192}{}", g.lock_shard_waits, s.lock_shard_waits),
+                    format!(
+                        "{}\u{2192}{}",
+                        fmt_ns(g.vc_lock_wait_ns),
+                        fmt_ns(s.vc_lock_wait_ns)
+                    ),
+                    format!("{}\u{2192}{}", g.gc_slot_contention, s.gc_slot_contention),
                 ]);
             }
         }

@@ -1,0 +1,356 @@
+//! E16 — observability overhead: what the obs layer costs, on and off.
+//!
+//! The obs layer (events, phase histograms, flight recorder) threads
+//! through every hot path, so its *disabled* cost must be negligible —
+//! the design budget is one relaxed load per instrumentation point. This
+//! experiment measures both sides at the contention point where
+//! instrumentation fires most (hotspot/write-heavy, 16 threads, the E15
+//! headline cell):
+//!
+//! * **enabled overhead** — committed throughput with events off vs on,
+//!   interleaved A/B repeats (off, on, off, on, …) with medians, so
+//!   machine drift cancels instead of biasing one side;
+//! * **disabled overhead** — the shipped default has the checks compiled
+//!   in, so the pre-obs baseline cannot be rebuilt at run time. Two
+//!   complementary estimates bound it instead: an *analytic* bound
+//!   (measured cost of one disabled-path check × instrumentation points
+//!   executed per committed transaction ÷ per-transaction engine time)
+//!   and an *A/A noise floor* (medians of the interleaved halves of the
+//!   events-off repeats — any real disabled-path cost would have to
+//!   exceed this to be observable).
+//!
+//! Besides the text report, the run emits `BENCH_obs_overhead.json` into
+//! `$BENCH_OUT_DIR` (or the current directory) — CI's obs-smoke job and
+//! the acceptance check parse it.
+
+use crate::scaled_ms;
+use mvcc_cc::presets;
+use mvcc_core::{ConcurrencyControl, DbConfig, Engine, EventKind, MvDatabase, Obs, ObsConfig};
+use mvcc_workload::report::{fmt_rate, Table};
+use mvcc_workload::{driver, DriverConfig, KeyDist, WorkloadSpec};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The E15 headline cell: every access in a 128-object hot region,
+/// write-heavy, saturating closed loop.
+const THREADS: usize = 16;
+
+/// Interleaved off/on measurement pairs.
+fn repeats(fast: bool) -> usize {
+    if fast {
+        3
+    } else {
+        7
+    }
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        n_objects: 128,
+        ro_fraction: 0.05,
+        ro_ops: 4,
+        rw_ops: 8,
+        rw_write_fraction: 0.5,
+        use_increments: false,
+        distribution: KeyDist::Uniform,
+        seed: 16,
+    }
+}
+
+/// One protocol's measurements, mirrored into `BENCH_obs_overhead.json`.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Protocol label, e.g. `"vc+2pl"`.
+    pub protocol: String,
+    /// Median committed txn/s with events disabled (the shipped default).
+    pub off_txn_per_sec: f64,
+    /// Median committed txn/s with events + phase recording enabled.
+    pub on_txn_per_sec: f64,
+    /// Throughput cost of enabling events: `(off − on) / off × 100`.
+    pub enabled_overhead_pct: f64,
+    /// Instrumentation points executed per committed transaction
+    /// (events emitted + phase samples, measured on an enabled run).
+    pub points_per_txn: f64,
+    /// Analytic bound on the disabled-path cost: `points_per_txn ×
+    /// disabled-check cost ÷ per-transaction engine time × 100`.
+    pub disabled_overhead_pct: f64,
+    /// A/A noise floor: |median(even off repeats) − median(odd off
+    /// repeats)| / median × 100. Any real disabled-path cost would have
+    /// to exceed this to be observable.
+    pub aa_noise_pct: f64,
+}
+
+/// Measured cost of one disabled-path check (relaxed load + branch), in
+/// nanoseconds. `black_box` keeps the loop from being hoisted.
+fn disabled_check_ns() -> f64 {
+    let obs = Obs::new(&ObsConfig::default());
+    let iters = 4_000_000u64;
+    let started = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(&obs).emit(EventKind::Begin, i, 0);
+    }
+    started.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run_cell(engine: &dyn Engine, fast: bool) -> driver::RunReport {
+    let spec = spec();
+    driver::seed_zeroes(engine, spec.n_objects);
+    engine.reset_metrics();
+    let cfg = DriverConfig {
+        threads: THREADS,
+        duration: scaled_ms(fast, 300),
+        max_retries: 5000,
+        gc_every: Some(scaled_ms(fast, 50)),
+        ..Default::default()
+    };
+    driver::run(engine, &spec, &cfg)
+}
+
+fn build(protocol: &str, cfg: DbConfig) -> Box<dyn Engine> {
+    match protocol {
+        "vc+2pl" => Box::new(presets::vc_2pl(cfg)),
+        "vc+to" => Box::new(presets::vc_to(cfg)),
+        "vc+occ" => Box::new(presets::vc_occ(cfg)),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+/// Instrumentation points executed per committed transaction, measured
+/// on a fresh events-enabled engine: emitted events plus engine-phase
+/// samples (each phase sample also pays a timer check on entry, counted
+/// as a second point).
+fn points_per_txn<P: ConcurrencyControl>(db: &MvDatabase<P>, fast: bool) -> f64 {
+    let report = run_cell(db, fast);
+    let txns = (report.ro_committed + report.rw_committed).max(1);
+    let events = db.obs().events().emitted();
+    let phases = db.phase_latencies();
+    let phase_samples: u64 = phases.phases().iter().map(|(_, h)| h.count()).sum();
+    (events + 2 * phase_samples) as f64 / txns as f64
+}
+
+fn measure_protocol(protocol: &str, check_ns: f64, fast: bool) -> Record {
+    let n = repeats(fast);
+    let mut off = Vec::with_capacity(n);
+    let mut on = Vec::with_capacity(n);
+    // Interleave off/on so slow drift (thermal, neighbors) cancels.
+    for _ in 0..n {
+        let engine = build(protocol, DbConfig::default());
+        off.push(run_cell(engine.as_ref(), fast).throughput());
+        let engine = build(protocol, DbConfig::default().with_events());
+        on.push(run_cell(engine.as_ref(), fast).throughput());
+    }
+
+    let points = match protocol {
+        "vc+2pl" => points_per_txn(&presets::vc_2pl(DbConfig::default().with_events()), fast),
+        "vc+to" => points_per_txn(&presets::vc_to(DbConfig::default().with_events()), fast),
+        "vc+occ" => points_per_txn(&presets::vc_occ(DbConfig::default().with_events()), fast),
+        other => panic!("unknown protocol {other}"),
+    };
+
+    // A/A halves of the off samples before consuming them for the median.
+    let mut evens: Vec<f64> = off.iter().step_by(2).copied().collect();
+    let mut odds: Vec<f64> = off.iter().skip(1).step_by(2).copied().collect();
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+    let aa_noise_pct = if odds.is_empty() || off_med <= 0.0 {
+        0.0
+    } else {
+        (median(&mut evens) - median(&mut odds)).abs() / off_med * 100.0
+    };
+
+    let enabled_overhead_pct = if off_med > 0.0 {
+        (off_med - on_med) / off_med * 100.0
+    } else {
+        0.0
+    };
+    // Per-transaction engine time in the saturating closed loop: all
+    // THREADS workers are inside the engine, so each committed
+    // transaction consumes THREADS / throughput seconds of thread time.
+    let disabled_overhead_pct = if off_med > 0.0 {
+        let per_txn_ns = THREADS as f64 / off_med * 1e9;
+        points * check_ns / per_txn_ns * 100.0
+    } else {
+        0.0
+    };
+
+    Record {
+        protocol: protocol.to_string(),
+        off_txn_per_sec: off_med,
+        on_txn_per_sec: on_med,
+        enabled_overhead_pct,
+        points_per_txn: points,
+        disabled_overhead_pct,
+        aa_noise_pct,
+    }
+}
+
+/// Run every protocol and return `(text report, check cost ns, records)`
+/// without touching the filesystem.
+pub fn collect(fast: bool) -> (String, f64, Vec<Record>) {
+    let check_ns = disabled_check_ns();
+    let records: Vec<Record> = ["vc+2pl", "vc+to", "vc+occ"]
+        .iter()
+        .map(|p| measure_protocol(p, check_ns, fast))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "hotspot/write-heavy (n=128, rw 95%), {THREADS} threads, {} interleaved off/on pairs;\n\
+         one disabled-path check (relaxed load + branch): {check_ns:.2} ns\n",
+        repeats(fast),
+    );
+    let mut table = Table::new([
+        "protocol",
+        "events off",
+        "events on",
+        "on-cost",
+        "points/txn",
+        "off-cost (bound)",
+        "A/A noise",
+    ]);
+    for r in &records {
+        table.row([
+            r.protocol.clone(),
+            fmt_rate(r.off_txn_per_sec),
+            fmt_rate(r.on_txn_per_sec),
+            format!("{:.2}%", r.enabled_overhead_pct),
+            format!("{:.1}", r.points_per_txn),
+            format!("{:.4}%", r.disabled_overhead_pct),
+            format!("{:.2}%", r.aa_noise_pct),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nreading: \"off-cost\" is the analytic bound on what the compiled-in (but\n\
+         disabled) instrumentation costs vs the pre-obs baseline — instrumentation\n\
+         points per committed transaction times the measured per-check cost, as a\n\
+         share of per-transaction engine time. It sits orders of magnitude below\n\
+         the 2% budget and below the A/A noise floor of the measurement itself,\n\
+         so the run-to-run medians cannot distinguish the disabled build from a\n\
+         build with no instrumentation at all. \"on-cost\" is the measured price\n\
+         of turning events + phase timing on (ring-buffer claim + seqlock write\n\
+         plus two Instant::now per timed phase).\n",
+    );
+    (out, check_ns, records)
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the records as the `BENCH_obs_overhead.json` document.
+pub fn render_json(fast: bool, check_ns: f64, records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"e16_obs_overhead\",");
+    let _ = writeln!(out, "  \"git_rev\": \"{}\",", json_escape(&git_rev()));
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if fast { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"workload\": \"hotspot/write-heavy\",");
+    let _ = writeln!(out, "  \"threads\": {THREADS},");
+    let _ = writeln!(out, "  \"repeats\": {},", repeats(fast));
+    let _ = writeln!(out, "  \"disabled_check_ns\": {check_ns:.3},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"protocol\": \"{}\", \"off_txn_per_sec\": {:.1}, \
+             \"on_txn_per_sec\": {:.1}, \"enabled_overhead_pct\": {:.3}, \
+             \"points_per_txn\": {:.2}, \"disabled_overhead_pct\": {:.5}, \
+             \"aa_noise_pct\": {:.3}}}{}",
+            json_escape(&r.protocol),
+            r.off_txn_per_sec,
+            r.on_txn_per_sec,
+            r.enabled_overhead_pct,
+            r.points_per_txn,
+            r.disabled_overhead_pct,
+            r.aa_noise_pct,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Where the JSON lands: `$BENCH_OUT_DIR` or the current directory.
+pub fn json_path() -> PathBuf {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    Path::new(&dir).join("BENCH_obs_overhead.json")
+}
+
+pub(crate) fn run(fast: bool) -> String {
+    let (mut out, check_ns, records) = collect(fast);
+    let path = json_path();
+    match std::fs::write(&path, render_json(fast, check_ns, &records)) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "\nwrote {} ({} records)",
+                path.display(),
+                records.len()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "\nFAILED to write {}: {e}", path.display());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_measures_all_protocols_and_json_parses_shape() {
+        let (report, check_ns, records) = collect(true);
+        assert_eq!(records.len(), 3);
+        assert!(report.contains("events off"));
+        assert!(check_ns > 0.0);
+        for r in &records {
+            assert!(r.off_txn_per_sec > 0.0, "{}: no off throughput", r.protocol);
+            assert!(r.on_txn_per_sec > 0.0, "{}: no on throughput", r.protocol);
+            assert!(
+                r.points_per_txn > 0.0,
+                "{}: enabled run recorded nothing",
+                r.protocol
+            );
+            // The analytic bound is deterministic (unlike the throughput
+            // medians on a loaded single-core CI host): a handful of
+            // ~1 ns checks against microseconds of per-txn engine time.
+            assert!(
+                r.disabled_overhead_pct < 2.0,
+                "{}: disabled-path bound {:.4}% ≥ 2%",
+                r.protocol,
+                r.disabled_overhead_pct
+            );
+        }
+        let json = render_json(true, check_ns, &records);
+        assert!(json.contains("\"experiment\": \"e16_obs_overhead\""));
+        assert!(json.contains("\"disabled_overhead_pct\""));
+        assert!(json.contains("\"enabled_overhead_pct\""));
+        assert!(json.contains("\"vc+occ\""));
+    }
+}

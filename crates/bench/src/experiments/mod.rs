@@ -15,6 +15,7 @@ pub mod e12_adaptive;
 pub mod e13_faults;
 pub mod e14_durability;
 pub mod e15_scalability;
+pub mod e16_obs;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -103,6 +104,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e15",
             title: "Contention & scalability — sharded hot path vs global mutexes",
             run: e15_scalability::run,
+        },
+        Experiment {
+            id: "e16",
+            title: "Observability — event/gauge/flight-recorder layer overhead",
+            run: e16_obs::run,
         },
     ]
 }

@@ -282,6 +282,32 @@ impl ConcurrencyControl for Adaptive {
         self.exit();
         self.record_and_decide(true);
     }
+
+    fn txn_obs_id(&self, txn: &AdaptiveTxn) -> u64 {
+        match txn {
+            AdaptiveTxn::Occ(t) => self.occ.txn_obs_id(t),
+            AdaptiveTxn::Tpl(t) => self.tpl.txn_obs_id(t),
+        }
+    }
+
+    fn waits_for_snapshot(&self) -> Option<Vec<(u64, Vec<u64>)>> {
+        // Only the locking side maintains a graph; it is empty (but
+        // present) while running optimistic.
+        self.tpl.waits_for_snapshot()
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        let mut g = self.tpl.gauges();
+        g.push((
+            "adaptive_mode",
+            match self.mode() {
+                Mode::Optimistic => 0,
+                Mode::Locking => 1,
+            },
+        ));
+        g.push(("adaptive_switches", self.switch_count()));
+        g
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! eliminates exactly the "validation overhead of read-only transactions"
 //! that refs \[1, 2\] targeted.
 
-use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
+use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError, EventKind};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
 use parking_lot::Mutex;
@@ -102,6 +102,9 @@ impl ConcurrencyControl for Optimistic {
             m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
             let current = ctx.store.with(obj, |c| c.latest().number);
             if current != seen {
+                // id 0: the loser has no transaction number (it never
+                // registers); aux names the conflicting object.
+                ctx.obs.emit(EventKind::Validate, 0, obj.get());
                 return Err(DbError::Aborted(AbortReason::ValidationFailed));
             }
         }
@@ -109,6 +112,8 @@ impl ConcurrencyControl for Optimistic {
         // Serial order fixed here: register inside the critical section.
         let tn = ctx.vc.register();
         m.vc_register_calls.fetch_add(1, Ordering::Relaxed);
+        ctx.obs
+            .emit(EventKind::Validate, tn, txn.read_set.len() as u64);
         // Claim before writing (reaper discipline). The claim cannot
         // realistically fail — register and claim run back-to-back under
         // the validation lock — but the contract is uniform.

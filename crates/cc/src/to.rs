@@ -17,7 +17,7 @@
 //! transactions, so the waits-for relation follows the total order of
 //! transaction numbers.
 
-use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
+use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError, EventKind};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::store::WaitOutcome;
 use mvcc_storage::{PendingVersion, Value};
@@ -105,6 +105,7 @@ impl ConcurrencyControl for TimestampOrdering {
                     if !blocked {
                         blocked = true;
                         m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                        ctx.obs.emit(EventKind::Blocked, tn, obj.get());
                     }
                     return WaitOutcome::Wait;
                 }
@@ -143,6 +144,7 @@ impl ConcurrencyControl for TimestampOrdering {
                     if !blocked {
                         blocked = true;
                         m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                        ctx.obs.emit(EventKind::Blocked, tn, obj.get());
                     }
                     return WaitOutcome::Wait;
                 }
@@ -225,6 +227,10 @@ impl ConcurrencyControl for TimestampOrdering {
 
     fn abort(&self, ctx: &CcContext, mut txn: ToTxn) {
         self.doom(ctx, &mut txn);
+    }
+
+    fn txn_obs_id(&self, txn: &ToTxn) -> u64 {
+        txn.tn
     }
 }
 

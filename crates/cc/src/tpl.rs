@@ -21,7 +21,9 @@
 
 use crate::lock::{LockError, LockManager, LockMode};
 use mvcc_core::config::DeadlockPolicy;
-use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError};
+use mvcc_core::{
+    AbortReason, CcContext, ConcurrencyControl, DbError, DumpContext, EventKind, FlightTrigger,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{PendingVersion, Value};
 use std::collections::HashSet;
@@ -84,6 +86,7 @@ impl TwoPhaseLocking {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let detect = ctx.config.deadlock == DeadlockPolicy::Detect;
+        let timer = ctx.obs.timer();
         match self
             .locks
             .acquire(txn.token, obj, mode, ctx.config.lock_wait_timeout, detect)
@@ -91,6 +94,10 @@ impl TwoPhaseLocking {
             Ok(a) => {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                    if let Some(started) = timer {
+                        ctx.obs.phases().lock_wait.record(started.elapsed());
+                        ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
+                    }
                 }
                 if a.waited || a.contended {
                     m.lock_shard_waits.fetch_add(1, Ordering::Relaxed);
@@ -98,7 +105,29 @@ impl TwoPhaseLocking {
                 txn.locked.insert(obj);
                 Ok(())
             }
-            Err(LockError::Deadlock) => Err(DbError::Aborted(AbortReason::Deadlock)),
+            Err(LockError::Deadlock) => {
+                // The fatal request never returns with `waited`, so record
+                // it explicitly — the victim's timeline must show the lock
+                // wait that closed the cycle.
+                ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
+                // Victimization is the flight-recorder moment: capture the
+                // waits-for graph as it stood when the cycle closed (the
+                // victim's own edges are already cleared by the manager).
+                ctx.obs.dump(
+                    FlightTrigger::Deadlock,
+                    &DumpContext {
+                        victim: Some(txn.token),
+                        detail: format!(
+                            "deadlock: token {} victimized requesting {mode:?} on object {}",
+                            txn.token,
+                            obj.get()
+                        ),
+                        waits_for: Some(self.locks.waits_for_snapshot()),
+                        vc: Some(ctx.vc.view()),
+                    },
+                );
+                Err(DbError::Aborted(AbortReason::Deadlock))
+            }
             Err(LockError::Timeout) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
         }
     }
@@ -244,6 +273,21 @@ impl ConcurrencyControl for TwoPhaseLocking {
         // VCdiscard — exactly the paper's point about deadlocks being
         // invisible to version control.
         self.cleanup(ctx, &txn);
+    }
+
+    fn txn_obs_id(&self, txn: &TplTxn) -> u64 {
+        txn.token
+    }
+
+    fn waits_for_snapshot(&self) -> Option<Vec<(u64, Vec<u64>)>> {
+        Some(self.locks.waits_for_snapshot())
+    }
+
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("locked_objects", self.locks.locked_objects()),
+            ("occupied_lock_shards", self.locks.occupied_shards()),
+        ]
     }
 }
 

@@ -24,6 +24,7 @@ use crate::durability::CommitLog;
 use crate::error::{AbortReason, DbError};
 use crate::fault::FaultInjector;
 use crate::metrics::Metrics;
+use crate::obs::{EventKind, Obs};
 use crate::vc::VersionControl;
 use mvcc_model::ObjectId;
 use mvcc_storage::{MvStore, Value};
@@ -47,6 +48,9 @@ pub struct CcContext {
     /// (see [`crate::MvDatabase::with_wal`]). `None` costs nothing on
     /// the commit path.
     pub wal: Option<Arc<CommitLog>>,
+    /// Observability hub (events, phase latencies, flight recorder).
+    /// Shared with [`Self::vc`]; disabled unless configured.
+    pub obs: Arc<Obs>,
 }
 
 impl CcContext {
@@ -64,6 +68,9 @@ impl CcContext {
     pub fn with_parts(config: DbConfig, store: Arc<MvStore>, vc: Arc<VersionControl>) -> Self {
         vc.set_register_ttl(config.register_ttl);
         let faults = Arc::new(FaultInjector::new(config.fault.clone()));
+        // First attachment wins; share whichever hub the instance ends up
+        // with so `ctx.obs` and the version-control emitter agree.
+        let obs = vc.attach_obs(Arc::new(Obs::new(&config.obs)));
         CcContext {
             store,
             vc,
@@ -71,6 +78,7 @@ impl CcContext {
             metrics: Arc::new(Metrics::new()),
             faults,
             wal: None,
+            obs,
         }
     }
 
@@ -87,9 +95,17 @@ impl CcContext {
         let Some(wal) = &self.wal else {
             return Ok(());
         };
-        wal.append(tn, writes)
-            .map(|_| ())
-            .map_err(|_| DbError::Aborted(AbortReason::LogFailed))
+        let timer = self.obs.timer();
+        let res = wal
+            .append(tn, writes)
+            .map_err(|_| DbError::Aborted(AbortReason::LogFailed));
+        if let Some(started) = timer {
+            self.obs.phases().wal_append.record(started.elapsed());
+            if let Ok(info) = &res {
+                self.obs.emit(EventKind::WalAppend, tn, info.bytes as u64);
+            }
+        }
+        res.map(|_| ())
     }
 }
 
@@ -161,4 +177,27 @@ pub trait ConcurrencyControl: Send + Sync + 'static {
     /// `abort(T)`: discard pendings, release protocol resources,
     /// `vc.discard(tn)` if registered.
     fn abort(&self, ctx: &CcContext, txn: Self::Txn);
+
+    // ---- observability hooks (all optional) ------------------------------
+
+    /// A stable id for `txn`'s lifecycle events: whatever the protocol
+    /// uses to identify the transaction internally (lock token under 2PL,
+    /// transaction number under TO). `0` when the protocol has none.
+    fn txn_obs_id(&self, _txn: &Self::Txn) -> u64 {
+        0
+    }
+
+    /// Snapshot of the waits-for graph as `(waiter, holders)` edges, for
+    /// protocols that maintain one (2PL with deadlock detection). `None`
+    /// when the protocol has no such graph.
+    fn waits_for_snapshot(&self) -> Option<Vec<(u64, Vec<u64>)>> {
+        None
+    }
+
+    /// Protocol-specific gauges, appended to
+    /// [`GaugeSample::extra`](crate::obs::GaugeSample) by the collector
+    /// (e.g. locked objects, occupied lock shards, adaptive mode).
+    fn gauges(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }

@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::fault::FaultConfig;
+use crate::obs::ObsConfig;
 use mvcc_storage::wal::FsyncPolicy;
 use std::time::Duration;
 
@@ -52,6 +53,10 @@ pub struct DbConfig {
     /// default: a committed transaction is durable before its commit
     /// call returns.
     pub wal_fsync: FsyncPolicy,
+    /// Observability: structured events, phase latencies, flight
+    /// recorder. All off by default — the disabled hot-path cost is one
+    /// relaxed load per instrumentation point.
+    pub obs: ObsConfig,
 }
 
 impl Default for DbConfig {
@@ -68,6 +73,7 @@ impl Default for DbConfig {
             register_ttl: None,
             fault: FaultConfig::default(),
             wal_fsync: FsyncPolicy::Always,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -133,6 +139,24 @@ impl DbConfig {
     /// Set the WAL fsync policy.
     pub fn with_wal_fsync(mut self, policy: FsyncPolicy) -> Self {
         self.wal_fsync = policy;
+        self
+    }
+
+    /// Set the observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Enable structured event recording (and phase latencies).
+    pub fn with_events(mut self) -> Self {
+        self.obs.events = true;
+        self
+    }
+
+    /// Arm the flight recorder, writing post-mortems into `dir`.
+    pub fn with_flight_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.obs.flight_dir = Some(dir.into());
         self
     }
 }

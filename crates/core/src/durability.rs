@@ -134,6 +134,13 @@ impl CommitLog {
     pub fn offset(&self) -> u64 {
         self.writer.lock().offset()
     }
+
+    /// Frame bytes appended but not yet synced (the durability backlog;
+    /// zero under [`FsyncPolicy::Always`]). The `wal_backlog_bytes`
+    /// gauge.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.writer.lock().backlog_bytes()
+    }
 }
 
 /// What [`crate::MvDatabase::recover`] rebuilt, for assertions and the

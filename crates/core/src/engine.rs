@@ -10,6 +10,7 @@ use crate::db::MvDatabase;
 use crate::error::DbError;
 use crate::fault::FaultPoint;
 use crate::metrics::MetricsSnapshot;
+use crate::obs::{GaugeSample, PhaseSnapshot};
 use mvcc_model::ObjectId;
 use mvcc_storage::{StoreStats, Value};
 
@@ -98,6 +99,19 @@ pub trait Engine: Send + Sync {
 
     /// Optional background maintenance (GC pass); default no-op.
     fn maintenance(&self) {}
+
+    /// One gauge sample over the engine's internals, for exporters and
+    /// the periodic reporter. `None` for engines without gauges
+    /// (baselines); the paper's engine overrides this.
+    fn sample_gauges(&self) -> Option<GaugeSample> {
+        None
+    }
+
+    /// Snapshot of the per-phase latency histograms, if the engine keeps
+    /// them. `None` for baselines.
+    fn phase_latencies(&self) -> Option<PhaseSnapshot> {
+        None
+    }
 }
 
 impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
@@ -178,5 +192,13 @@ impl<C: ConcurrencyControl> Engine for MvDatabase<C> {
     fn maintenance(&self) {
         self.reap_stalled();
         self.collect_garbage();
+    }
+
+    fn sample_gauges(&self) -> Option<GaugeSample> {
+        Some(MvDatabase::sample_gauges(self))
+    }
+
+    fn phase_latencies(&self) -> Option<PhaseSnapshot> {
+        Some(MvDatabase::phase_latencies(self))
     }
 }

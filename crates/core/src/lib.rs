@@ -48,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod retry;
 pub mod trace;
 pub mod txn;
@@ -64,6 +65,10 @@ pub use error::{AbortReason, DbError};
 pub use fault::{FaultConfig, FaultInjector, FaultPoint, FaultyFile};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use mvcc_storage::wal::FsyncPolicy;
+pub use obs::{
+    DumpContext, EventKind, FlightTrigger, GaugeCollector, GaugeSample, Obs, ObsConfig,
+    PhaseSnapshot, VcView,
+};
 pub use retry::RetryPolicy;
 pub use trace::Tracer;
 pub use txn::{RoTxn, RwTxn};

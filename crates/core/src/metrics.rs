@@ -49,6 +49,13 @@ macro_rules! metrics {
                     $( $name: self.$name.saturating_sub(earlier.$name), )+
                 }
             }
+
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order — the exporters and `--metrics-json` iterate this so
+            /// new counters are picked up without touching them.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
         }
     };
 }
@@ -169,6 +176,19 @@ mod tests {
         assert_eq!(d.ro_reads, 5);
         assert_eq!(d.rw_begun, 1);
         assert_eq!(d.ro_begun, 0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter_in_order() {
+        let m = Metrics::new();
+        m.ro_begun.fetch_add(4, Ordering::Relaxed);
+        m.gc_slot_contention.fetch_add(9, Ordering::Relaxed);
+        let fields = m.snapshot().fields();
+        assert_eq!(fields.first(), Some(&("ro_begun", 4)));
+        assert_eq!(fields.last(), Some(&("gc_slot_contention", 9)));
+        // No duplicate names.
+        let names: std::collections::HashSet<_> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), fields.len());
     }
 
     #[test]

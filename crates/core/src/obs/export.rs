@@ -1,0 +1,185 @@
+//! Metrics exporters: Prometheus text format and JSON snapshots.
+//!
+//! Both emitters are pure functions over snapshots — counters from
+//! [`MetricsSnapshot::fields`], gauges from [`GaugeSample::fields`], and
+//! per-phase latency summaries from [`PhaseSnapshot`] — so they can run
+//! from a reporter hook, a test, or an end-of-run dump without touching
+//! engine internals. JSON is hand-rolled: the workspace's vendored serde
+//! shim is a no-op.
+
+use super::gauges::GaugeSample;
+use super::phases::PhaseSnapshot;
+use crate::metrics::MetricsSnapshot;
+use mvcc_storage::Histogram;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn phase_quantiles(h: &Histogram) -> [(f64, u64); 3] {
+    [
+        (0.5, h.p50().as_nanos() as u64),
+        (0.99, h.p99().as_nanos() as u64),
+        (1.0, h.max().as_nanos() as u64),
+    ]
+}
+
+/// Render everything in the Prometheus text exposition format
+/// (`# HELP`/`# TYPE` headers, `mvdb_`-prefixed metric names, phase
+/// latencies as native-histogram-free summaries).
+pub fn prometheus_text(
+    metrics: &MetricsSnapshot,
+    gauges: Option<&GaugeSample>,
+    phases: Option<&PhaseSnapshot>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in metrics.fields() {
+        out.push_str(&format!(
+            "# HELP mvdb_{name} engine counter\n# TYPE mvdb_{name} counter\nmvdb_{name} {value}\n"
+        ));
+    }
+    if let Some(g) = gauges {
+        for (name, value) in g.fields() {
+            out.push_str(&format!(
+                "# HELP mvdb_gauge_{name} engine gauge\n# TYPE mvdb_gauge_{name} gauge\nmvdb_gauge_{name} {value}\n"
+            ));
+        }
+    }
+    if let Some(p) = phases {
+        for (phase, h) in p.phases() {
+            let base = format!("mvdb_phase_{phase}_ns");
+            out.push_str(&format!(
+                "# HELP {base} engine phase latency (ns)\n# TYPE {base} summary\n"
+            ));
+            for (q, v) in phase_quantiles(h) {
+                out.push_str(&format!("{base}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{base}_sum {}\n", h.sum_ns()));
+            out.push_str(&format!("{base}_count {}\n", h.count()));
+        }
+    }
+    out
+}
+
+/// Render everything as one JSON object:
+/// `{"counters":{...},"gauges":{...}|null,"phases":{...}|null}`.
+pub fn json_snapshot(
+    metrics: &MetricsSnapshot,
+    gauges: Option<&GaugeSample>,
+    phases: Option<&PhaseSnapshot>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"counters\": {");
+    for (i, (name, value)) in metrics.fields().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{name}\": {value}"));
+    }
+    out.push_str("\n  },\n  \"gauges\": ");
+    match gauges {
+        Some(g) => {
+            out.push('{');
+            for (i, (name, value)) in g.fields().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\n    \"{name}\": {value}"));
+            }
+            out.push_str("\n  }");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"phases\": ");
+    match phases {
+        Some(p) => {
+            out.push('{');
+            for (i, (phase, h)) in p.phases().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    \"{phase}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                    h.count(),
+                    h.sum_ns(),
+                    h.p50().as_nanos(),
+                    h.p99().as_nanos(),
+                    h.max().as_nanos()
+                ));
+            }
+            out.push_str("\n  }");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn prometheus_text_has_all_sections() {
+        let m = Metrics::new();
+        m.rw_committed.fetch_add(5, Ordering::Relaxed);
+        let phases = super::super::phases::PhaseHistograms::new();
+        phases.wal_append.record(Duration::from_micros(3));
+        let gauges = GaugeSample {
+            live_versions: 11,
+            ..Default::default()
+        };
+        let text = prometheus_text(&m.snapshot(), Some(&gauges), Some(&phases.snapshot()));
+        assert!(text.contains("mvdb_rw_committed 5"));
+        assert!(text.contains("# TYPE mvdb_rw_committed counter"));
+        assert!(text.contains("mvdb_gauge_live_versions 11"));
+        assert!(text.contains("# TYPE mvdb_gauge_live_versions gauge"));
+        assert!(text.contains("mvdb_phase_wal_append_ns_count 1"));
+        assert!(text.contains("quantile=\"0.5\""));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+            assert!(parts.next().is_some(), "no metric name: {line}");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let m = Metrics::new();
+        m.ro_begun.fetch_add(2, Ordering::Relaxed);
+        let text = json_snapshot(&m.snapshot(), None, None);
+        assert!(text.contains("\"counters\""));
+        assert!(text.contains("\"ro_begun\": 2"));
+        assert!(text.contains("\"gauges\": null"));
+        assert!(text.contains("\"phases\": null"));
+        // Balanced braces (cheap well-formedness check without serde).
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

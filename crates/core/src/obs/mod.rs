@@ -1,0 +1,190 @@
+//! Engine observability: structured events, per-phase latency, gauges,
+//! flight recorder, exporters.
+//!
+//! The paper's claims are quantitative, and flat end-of-run counters
+//! cannot show *when* vtnc lags, *which* transaction stalled the VCQueue,
+//! or *why* a deadlock ring formed. This layer adds that visibility while
+//! keeping the disabled hot path to a single relaxed load per
+//! instrumentation point:
+//!
+//! * [`event`] — lock-free MPSC ring-buffer event bus for lifecycle
+//!   events (`Begin`, `Register`, `LockWait`, …, `ReaperFire`).
+//! * [`phases`] — engine-side latency histograms (register→complete,
+//!   lock-wait, wal-append, RO read), built on the lock-free
+//!   [`mvcc_storage::AtomicHistogram`].
+//! * [`gauges`] — point-in-time state (vtnc lag, VCQueue depth/head age,
+//!   resident versions, lock occupancy, WAL backlog) plus a background
+//!   collector thread.
+//! * [`recorder`] — post-mortem JSON dumps on deadlock victimization,
+//!   reaper fire, recovery, and invariant violations.
+//! * [`export`] — Prometheus-text and JSON emitters over all of the above.
+
+pub mod event;
+pub mod export;
+pub mod gauges;
+pub mod phases;
+pub mod recorder;
+
+pub use event::{abort_reason_code, abort_reason_name, Event, EventBus, EventKind};
+pub use export::{json_snapshot, prometheus_text};
+pub use gauges::{GaugeCollector, GaugeSample, VcView};
+pub use phases::{PhaseHistograms, PhaseSnapshot};
+pub use recorder::{DumpContext, FlightRecorder, FlightTrigger};
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Observability configuration, embedded in
+/// [`DbConfig`](crate::config::DbConfig).
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Record lifecycle events (and phase latencies). Off by default:
+    /// the disabled path is one relaxed load per instrumentation point.
+    pub events: bool,
+    /// Event ring capacity (rounded up to a power of two, min 64).
+    /// Zero selects the default (4096).
+    pub event_capacity: usize,
+    /// Directory for flight-recorder post-mortem dumps; `None` disarms
+    /// the recorder.
+    pub flight_dir: Option<PathBuf>,
+    /// How many trailing events each post-mortem includes. Zero selects
+    /// the default (512).
+    pub flight_events: usize,
+}
+
+impl ObsConfig {
+    /// Enable event recording.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
+        self
+    }
+
+    /// Arm the flight recorder, writing post-mortems into `dir`.
+    pub fn with_flight_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dir = Some(dir.into());
+        self
+    }
+}
+
+/// The per-engine observability hub: event bus + phase histograms +
+/// flight recorder. One `Arc<Obs>` is shared by the context, the
+/// version-control instance, and the protocol.
+#[derive(Debug)]
+pub struct Obs {
+    events: EventBus,
+    phases: PhaseHistograms,
+    recorder: FlightRecorder,
+}
+
+impl Obs {
+    /// Build from config.
+    pub fn new(cfg: &ObsConfig) -> Obs {
+        let cap = if cfg.event_capacity == 0 {
+            4096
+        } else {
+            cfg.event_capacity
+        };
+        let window = if cfg.flight_events == 0 {
+            512
+        } else {
+            cfg.flight_events
+        };
+        Obs {
+            events: EventBus::new(cap, cfg.events),
+            phases: PhaseHistograms::new(),
+            recorder: FlightRecorder::new(cfg.flight_dir.clone(), window),
+        }
+    }
+
+    /// Whether recording is on. One relaxed load — every instrumentation
+    /// point checks this (or calls a method that does) before paying
+    /// anything else.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.events.enabled()
+    }
+
+    /// Turn event + phase recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.events.set_enabled(on);
+    }
+
+    /// Emit an event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, kind: EventKind, id: u64, aux: u64) {
+        self.events.emit(kind, id, aux);
+    }
+
+    /// Start a phase timer: `Some(now)` when recording, `None` when off —
+    /// so the disabled path never calls `Instant::now`.
+    #[inline]
+    pub fn timer(&self) -> Option<Instant> {
+        if self.on() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// The event bus.
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    /// The phase histograms.
+    pub fn phases(&self) -> &PhaseHistograms {
+        &self.phases
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Take a post-mortem dump (no-op unless a flight dir is configured).
+    pub fn dump(&self, trigger: FlightTrigger, ctx: &DumpContext) -> Option<PathBuf> {
+        self.recorder.dump(trigger, &self.events, ctx)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new(&ObsConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_obs_is_off_and_cheap() {
+        let obs = Obs::default();
+        assert!(!obs.on());
+        assert!(obs.timer().is_none());
+        obs.emit(EventKind::Begin, 1, 0);
+        assert_eq!(obs.events().emitted(), 0);
+        assert!(!obs.recorder().armed());
+    }
+
+    #[test]
+    fn enabled_obs_records() {
+        let obs = Obs::new(&ObsConfig::default().with_events(true));
+        assert!(obs.on());
+        assert!(obs.timer().is_some());
+        obs.emit(EventKind::Register, 42, 0);
+        let evs = obs.events().recent(8);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].id, 42);
+    }
+
+    #[test]
+    fn runtime_toggle() {
+        let obs = Obs::default();
+        obs.set_enabled(true);
+        obs.emit(EventKind::Begin, 1, 0);
+        obs.set_enabled(false);
+        obs.emit(EventKind::Begin, 2, 0);
+        assert_eq!(obs.events().recent(8).len(), 1);
+    }
+}

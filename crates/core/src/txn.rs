@@ -14,6 +14,7 @@
 use crate::cc_api::{CcContext, ConcurrencyControl};
 use crate::db::DbCore;
 use crate::error::{AbortReason, DbError};
+use crate::obs::{abort_reason_code, EventKind};
 use crate::trace::TxnTrace;
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::Value;
@@ -67,7 +68,12 @@ impl<'db> RoTxn<'db> {
     /// was read (= the creator's transaction number).
     pub fn read_versioned(&mut self, obj: ObjectId) -> Result<(u64, Value), DbError> {
         let m = &self.core.ctx.metrics;
-        match self.core.ctx.store.read_at(obj, self.sn) {
+        let timer = self.core.ctx.obs.timer();
+        let read = self.core.ctx.store.read_at(obj, self.sn);
+        if let Some(started) = timer {
+            self.core.ctx.obs.phases().ro_read.record(started.elapsed());
+        }
+        match read {
             Some((version, value)) => {
                 m.ro_reads.fetch_add(1, Ordering::Relaxed);
                 self.trace.read(obj, version);
@@ -130,17 +136,28 @@ pub struct RwTxn<'db, C: ConcurrencyControl> {
     cc: &'db C,
     state: Option<C::Txn>,
     trace: TxnTrace,
+    /// Protocol actor id captured at begin, so lifecycle events can be
+    /// stamped even after `state` has been consumed by commit/abort.
+    obs_id: u64,
 }
 
 impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     pub(crate) fn begin(core: &'db DbCore, cc: &'db C) -> Result<Self, DbError> {
         let state = cc.begin(&core.ctx)?;
         core.ctx.metrics.rw_begun.fetch_add(1, Ordering::Relaxed);
+        let obs_id = if core.ctx.obs.on() {
+            let id = cc.txn_obs_id(&state);
+            core.ctx.obs.emit(EventKind::Begin, id, 0);
+            id
+        } else {
+            0
+        };
         Ok(RwTxn {
             core,
             cc,
             state: Some(state),
             trace: TxnTrace::new(),
+            obs_id,
         })
     }
 
@@ -262,6 +279,11 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     fn record_abort(&mut self, e: &DbError) {
         let m = &self.ctx().metrics;
         m.rw_aborted.fetch_add(1, Ordering::Relaxed);
+        if let Some(reason) = e.abort_reason() {
+            self.ctx()
+                .obs
+                .emit(EventKind::Abort, self.obs_id, abort_reason_code(&reason));
+        }
         match e.abort_reason() {
             Some(AbortReason::TimestampConflict) => {
                 m.aborts_ts_conflict.fetch_add(1, Ordering::Relaxed);

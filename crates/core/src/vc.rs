@@ -29,9 +29,11 @@
 //! preserves the Visibility Property exactly ("the visibility is delayed
 //! only for active and unaborted transactions", Section 4.3).
 
+use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView};
 use crate::vcqueue::VcQueue;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 struct VcInner {
@@ -76,6 +78,10 @@ pub struct VersionControl {
     lock_waits: AtomicU64,
     /// Nanoseconds spent blocked on `inner` (only on contended paths).
     lock_wait_ns: AtomicU64,
+    /// Observability hub, attached once by the owning engine context.
+    /// Unattached (unit tests, standalone use) costs one `OnceLock` load
+    /// per operation; attached-but-disabled adds one relaxed bool load.
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl Default for VersionControl {
@@ -105,6 +111,24 @@ impl VersionControl {
             visible_mu: Mutex::new(()),
             lock_waits: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attach the observability hub. First attachment wins (restore paths
+    /// may rebuild a context around an existing instance); the effective
+    /// hub is returned so the caller can share exactly it.
+    pub fn attach_obs(&self, obs: Arc<Obs>) -> Arc<Obs> {
+        self.obs.get_or_init(|| obs).clone()
+    }
+
+    /// The attached hub, only when event recording is on — the gate every
+    /// instrumentation point in this module goes through.
+    #[inline]
+    fn obs_on(&self) -> Option<&Obs> {
+        match self.obs.get() {
+            Some(o) if o.on() => Some(o),
+            _ => None,
         }
     }
 
@@ -162,11 +186,24 @@ impl VersionControl {
     /// `T`'s serial order is determined (begin under TO, lock point under
     /// 2PL, validation under OCC).
     pub fn register(&self) -> u64 {
-        let mut inner = self.inner();
-        let tn = inner.tnc;
-        inner.tnc += 1;
-        let deadline = inner.register_ttl.map(|ttl| Instant::now() + ttl);
-        inner.queue.insert(tn, deadline);
+        let obs = self.obs_on();
+        let tn = {
+            let mut inner = self.inner();
+            let tn = inner.tnc;
+            inner.tnc += 1;
+            // Read the clock only when someone consumes the stamp (the
+            // reaper's deadline or the register→complete histogram).
+            let now = (inner.register_ttl.is_some() || obs.is_some()).then(Instant::now);
+            let deadline = match (inner.register_ttl, now) {
+                (Some(ttl), Some(now)) => Some(now + ttl),
+                _ => None,
+            };
+            inner.queue.insert_at(tn, deadline, now);
+            tn
+        };
+        if let Some(o) = obs {
+            o.emit(EventKind::Register, tn, 0);
+        }
         tn
     }
 
@@ -188,14 +225,25 @@ impl VersionControl {
     /// queue head (see module docs). Returns `false` if `tn` was not
     /// registered (or already completed).
     pub fn discard(&self, tn: u64) -> bool {
-        let (removed, advanced) = {
+        let obs = self.obs_on();
+        let (removed, advanced, vtnc_before) = {
             let mut inner = self.inner();
+            let vtnc_before = self.vtnc.load(Ordering::Acquire);
             let removed = inner.queue.discard(tn);
             let advanced = removed && self.drain_locked(&mut inner);
-            (removed, advanced)
+            (removed, advanced, vtnc_before)
         };
         if advanced {
             self.notify_visible();
+        }
+        if let Some(o) = obs {
+            if removed {
+                let vtnc = self.vtnc.load(Ordering::Acquire);
+                o.emit(EventKind::Discard, tn, vtnc);
+                if advanced {
+                    o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
+                }
+            }
         }
         removed
     }
@@ -232,6 +280,12 @@ impl VersionControl {
         if advanced {
             self.notify_visible();
         }
+        if !reaped.is_empty() {
+            if let Some(o) = self.obs_on() {
+                let vtnc = self.vtnc.load(Ordering::Acquire);
+                o.emit(EventKind::ReaperFire, reaped.len() as u64, vtnc);
+            }
+        }
         reaped
     }
 
@@ -243,16 +297,33 @@ impl VersionControl {
     /// VCcomplete(T)") — advancing visibility first would let a read-only
     /// transaction with the new start number miss the updates.
     pub fn complete(&self, tn: u64) -> u64 {
-        let advanced = {
+        let obs = self.obs_on();
+        let (advanced, vtnc_before, registered_at) = {
             let mut inner = self.inner();
+            let vtnc_before = self.vtnc.load(Ordering::Acquire);
+            let registered_at = if obs.is_some() {
+                inner.queue.registered_at(tn)
+            } else {
+                None
+            };
             let marked = inner.queue.mark_complete(tn);
             debug_assert!(marked, "VCcomplete for unregistered tn {tn}");
-            self.drain_locked(&mut inner)
+            (self.drain_locked(&mut inner), vtnc_before, registered_at)
         };
         if advanced {
             self.notify_visible();
         }
-        self.vtnc.load(Ordering::Acquire)
+        let vtnc = self.vtnc.load(Ordering::Acquire);
+        if let Some(o) = obs {
+            if let Some(at) = registered_at {
+                o.phases().register_to_complete.record(at.elapsed());
+            }
+            o.emit(EventKind::Complete, tn, vtnc);
+            if advanced {
+                o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
+            }
+        }
+        vtnc
     }
 
     /// Pop every completed head entry and publish the new `vtnc` — one
@@ -308,6 +379,22 @@ impl VersionControl {
         self.inner().queue.len()
     }
 
+    /// One-shot snapshot of the whole version-control state, for gauges
+    /// and flight-recorder dumps.
+    pub fn view(&self) -> VcView {
+        let inner = self.inner();
+        VcView {
+            tnc: inner.tnc - 1, // last assigned number
+            vtnc: self.vtnc.load(Ordering::Acquire),
+            queue_depth: inner.queue.len() as u64,
+            head_tn: inner.queue.head_tn(),
+            head_age_us: inner
+                .queue
+                .head_age(Instant::now())
+                .map(|d| d.as_micros() as u64),
+        }
+    }
+
     /// Section 6 rectification: block until `vtnc ≥ tn` (so a read-only
     /// transaction started afterwards is guaranteed to see `tn`'s
     /// updates). Returns the satisfying `vtnc`, or `None` on timeout.
@@ -330,17 +417,35 @@ impl VersionControl {
     ///
     /// Returns an error description if an invariant is violated.
     pub fn validate(&self) -> Result<(), String> {
-        let inner = self.inner();
-        let vtnc = self.vtnc.load(Ordering::Acquire);
-        if vtnc >= inner.tnc {
-            return Err(format!("vtnc {} >= tnc {}", vtnc, inner.tnc));
-        }
-        if let Some(head) = inner.queue.head_tn() {
-            if head <= vtnc {
-                return Err(format!("queued tn {head} <= vtnc {vtnc}"));
+        let res = {
+            let inner = self.inner();
+            let vtnc = self.vtnc.load(Ordering::Acquire);
+            if vtnc >= inner.tnc {
+                Err(format!("vtnc {} >= tnc {}", vtnc, inner.tnc))
+            } else if inner.queue.head_tn().is_some_and(|head| head <= vtnc) {
+                Err(format!(
+                    "queued tn {} <= vtnc {vtnc}",
+                    inner.queue.head_tn().unwrap_or(0)
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        if let Err(msg) = &res {
+            // Invariant violations are flight-recorder triggers regardless
+            // of whether event recording is on.
+            if let Some(o) = self.obs.get() {
+                o.dump(
+                    FlightTrigger::InvariantViolation,
+                    &DumpContext {
+                        detail: msg.clone(),
+                        vc: Some(self.view()),
+                        ..Default::default()
+                    },
+                );
             }
         }
-        Ok(())
+        res
     }
 }
 
@@ -526,6 +631,47 @@ mod tests {
         // The stalled client wakes up and tries to commit: it must lose.
         assert!(!vc.start_complete(t1));
         vc.validate().unwrap();
+    }
+
+    #[test]
+    fn obs_events_and_phase_histogram() {
+        use crate::obs::{EventKind as K, Obs, ObsConfig};
+        let vc = VersionControl::new();
+        let obs = vc.attach_obs(Arc::new(Obs::new(&ObsConfig::default().with_events(true))));
+        let t1 = vc.register();
+        let t2 = vc.register();
+        vc.complete(t2); // head still active → no advance
+        vc.discard(t1); // unblocks → vtnc advances to 2
+        let kinds: Vec<K> = obs.events().recent(64).iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                K::Register,
+                K::Register,
+                K::Complete,
+                K::Discard,
+                K::VtncAdvance
+            ]
+        );
+        assert_eq!(obs.phases().snapshot().register_to_complete.count(), 1);
+        let view = vc.view();
+        assert_eq!(view.tnc, 2);
+        assert_eq!(view.vtnc, 2);
+        assert_eq!(view.queue_depth, 0);
+        assert_eq!(view.vtnc_lag(), 0);
+    }
+
+    #[test]
+    fn unattached_or_disabled_obs_costs_nothing_observable() {
+        use crate::obs::{Obs, ObsConfig};
+        let vc = VersionControl::new();
+        let tn = vc.register();
+        vc.complete(tn); // no obs attached: must not panic or stamp
+        let obs = vc.attach_obs(Arc::new(Obs::new(&ObsConfig::default())));
+        let tn = vc.register();
+        vc.complete(tn);
+        assert_eq!(obs.events().emitted(), 0);
+        assert_eq!(obs.phases().snapshot().register_to_complete.count(), 0);
     }
 
     #[test]

@@ -34,6 +34,10 @@ struct Entry {
     /// Registration deadline: an `Active` entry older than this may be
     /// force-discarded by the reaper. `None` = never reaped.
     deadline: Option<Instant>,
+    /// When the entry was registered. Stamped only when someone will
+    /// consume it (reaper TTL or observability); feeds the
+    /// register→complete phase histogram and the head-age gauge.
+    registered_at: Option<Instant>,
 }
 
 /// The version-control queue of Figure 1.
@@ -55,6 +59,17 @@ impl VcQueue {
     /// In debug builds, if `tn` is out of order — that would mean the
     /// version-control lock discipline was violated.
     pub fn insert(&mut self, tn: u64, deadline: Option<Instant>) {
+        self.insert_at(tn, deadline, None);
+    }
+
+    /// [`insert`](Self::insert) with an explicit registration stamp
+    /// (consumed by the register→complete histogram and head-age gauge).
+    pub fn insert_at(
+        &mut self,
+        tn: u64,
+        deadline: Option<Instant>,
+        registered_at: Option<Instant>,
+    ) {
         debug_assert!(
             self.entries.back().is_none_or(|e| e.tn < tn),
             "VCQueue insert out of order: {tn}"
@@ -63,6 +78,7 @@ impl VcQueue {
             tn,
             state: EntryState::Active,
             deadline,
+            registered_at,
         });
     }
 
@@ -155,6 +171,21 @@ impl VcQueue {
     /// The smallest queued transaction number (the visibility blocker).
     pub fn head_tn(&self) -> Option<u64> {
         self.entries.front().map(|e| e.tn)
+    }
+
+    /// When `tn` was registered, if its entry exists and was stamped.
+    pub fn registered_at(&self, tn: u64) -> Option<Instant> {
+        self.position(tn)
+            .and_then(|i| self.entries[i].registered_at)
+    }
+
+    /// Age of the queue head (how long the current visibility blocker has
+    /// been registered), if the head exists and was stamped.
+    pub fn head_age(&self, now: Instant) -> Option<std::time::Duration> {
+        self.entries
+            .front()
+            .and_then(|e| e.registered_at)
+            .map(|at| now.saturating_duration_since(at))
     }
 
     fn position(&self, tn: u64) -> Option<usize> {
@@ -278,6 +309,21 @@ mod tests {
         assert_eq!(q.drain_completed(), None);
         q.mark_complete(1);
         assert_eq!(q.drain_completed(), Some(2));
+    }
+
+    #[test]
+    fn registration_stamp_and_head_age() {
+        let t0 = Instant::now();
+        let mut q = VcQueue::new();
+        q.insert_at(1, None, Some(t0));
+        q.insert(2, None); // unstamped
+        assert_eq!(q.registered_at(1), Some(t0));
+        assert_eq!(q.registered_at(2), None);
+        assert_eq!(q.registered_at(9), None);
+        let later = t0 + std::time::Duration::from_millis(7);
+        assert_eq!(q.head_age(later), Some(std::time::Duration::from_millis(7)));
+        q.discard(1);
+        assert_eq!(q.head_age(later), None, "head 2 is unstamped");
     }
 
     #[test]

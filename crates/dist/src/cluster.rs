@@ -125,6 +125,39 @@ enum Decision {
     Abort,
 }
 
+/// One gauge sample of per-site visibility: how far each site's `vtnc`
+/// has advanced and how much the slowest site lags the fastest (in
+/// Lamport time). Produced by [`Cluster::visibility_skew`]; the skew is
+/// the distributed analogue of the single-site `vtnc_lag` gauge — a
+/// persistent skew means some site is pinning global snapshots back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSkew {
+    /// Each site's current visibility watermark.
+    pub per_site: Vec<(SiteId, Gtn)>,
+    /// `max(time) - min(time)` over all sites' watermarks.
+    pub skew: u64,
+}
+
+impl SiteSkew {
+    /// Flatten into `(name, value)` gauge fields: one `site<N>_vtnc_time`
+    /// entry per site would need dynamic names, so this reports the
+    /// aggregate trio exporters care about.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        let times: Vec<u64> = self.per_site.iter().map(|&(_, g)| g.time()).collect();
+        vec![
+            (
+                "site_vtnc_time_min",
+                times.iter().copied().min().unwrap_or(0),
+            ),
+            (
+                "site_vtnc_time_max",
+                times.iter().copied().max().unwrap_or(0),
+            ),
+            ("site_vtnc_skew", self.skew),
+        ]
+    }
+}
+
 /// Outcome counts of one [`Cluster::resolve_in_doubt`] sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InDoubtStats {
@@ -226,6 +259,22 @@ impl Cluster {
     /// How many HomeSite read-only transactions fell back to GlobalMin.
     pub fn ro_fallbacks(&self) -> u64 {
         self.ro_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Sample every site's visibility watermark and the Lamport-time skew
+    /// between the fastest and slowest site. Purely local (no simulated
+    /// messages): this models an operator's dashboard scrape, not a
+    /// protocol action.
+    pub fn visibility_skew(&self) -> SiteSkew {
+        let per_site: Vec<(SiteId, Gtn)> =
+            self.sites.iter().map(|s| (s.id(), s.vc().vtnc())).collect();
+        let times = per_site.iter().map(|&(_, g)| g.time());
+        let skew = times
+            .clone()
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(times.min().unwrap_or(0));
+        SiteSkew { per_site, skew }
     }
 
     fn net_delay(&self) {
@@ -775,6 +824,35 @@ mod tests {
         r.finish();
         // 2 VCstart (one per site) + 1 read
         assert_eq!(c.messages() - before, 3);
+    }
+
+    #[test]
+    fn visibility_skew_tracks_lagging_site() {
+        let c = Cluster::new(2);
+        let fresh = c.visibility_skew();
+        assert_eq!(fresh.skew, 0, "fresh cluster has no skew");
+        assert_eq!(fresh.per_site.len(), 2);
+        // Commit only through site 1: site 2's watermark stays at ZERO.
+        let mut t = c.begin_rw();
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        let fin = t.commit().unwrap();
+        let skewed = c.visibility_skew();
+        assert_eq!(skewed.skew, fin.time(), "site 2 lags by the full clock");
+        let fields = skewed.fields();
+        assert_eq!(
+            fields,
+            vec![
+                ("site_vtnc_time_min", 0),
+                ("site_vtnc_time_max", fin.time()),
+                ("site_vtnc_skew", fin.time()),
+            ]
+        );
+        // A distributed commit touching both sites closes the gap.
+        let mut t2 = c.begin_rw();
+        t2.write(SiteId(1), obj(1), Value::from_u64(2)).unwrap();
+        t2.write(SiteId(2), obj(1), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(c.visibility_skew().skew, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod gtn;
 pub mod site;
 pub mod vc;
 
-pub use cluster::{Cluster, ClusterConfig, DistRoTxn, DistRwTxn, InDoubtStats, RoMode};
+pub use cluster::{Cluster, ClusterConfig, DistRoTxn, DistRwTxn, InDoubtStats, RoMode, SiteSkew};
 pub use gtn::Gtn;
 pub use site::{Site, SiteId};
 pub use vc::DistVc;

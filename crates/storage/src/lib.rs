@@ -30,6 +30,7 @@
 
 pub mod chain;
 pub mod gc;
+pub mod histogram;
 pub mod persist;
 pub mod shard;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod wal;
 
 pub use chain::VersionChain;
 pub use gc::{GcStats, RoScanRegistry};
+pub use histogram::{AtomicHistogram, Histogram};
 pub use persist::CheckpointStats;
 pub use stats::StoreStats;
 pub use store::{MvStore, WaitOutcome, WaitTimeout};

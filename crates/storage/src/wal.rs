@@ -416,6 +416,10 @@ pub struct WalWriter {
     offset: u64,
     /// Appends since the last sync (group-commit counter).
     unsynced: u64,
+    /// Frame bytes appended since the last sync — the durability backlog
+    /// a crash right now would lose. Surfaced as the `wal_backlog_bytes`
+    /// gauge by the engine's observability layer.
+    unsynced_bytes: u64,
     /// `(tn, frame)` for every record since the last rotation.
     recent: Vec<(u64, Vec<u8>)>,
     /// Set when the sink's contents no longer match what this writer
@@ -435,6 +439,7 @@ impl WalWriter {
             policy,
             offset: WAL_MAGIC.len() as u64,
             unsynced: 0,
+            unsynced_bytes: 0,
             recent: Vec::new(),
             poisoned: false,
         })
@@ -513,6 +518,7 @@ impl WalWriter {
         let bytes = frame.len();
         self.raw_append(tn, frame)?;
         self.unsynced += 1;
+        self.unsynced_bytes += bytes as u64;
         let want_sync = match self.policy {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
@@ -522,6 +528,7 @@ impl WalWriter {
             if let Err(e) = self.sink.sync() {
                 self.offset -= bytes as u64;
                 self.unsynced -= 1;
+                self.unsynced_bytes -= bytes as u64;
                 self.recent.pop();
                 if self.sink.truncate_to(self.offset).is_err() {
                     self.poisoned = true;
@@ -529,6 +536,7 @@ impl WalWriter {
                 return Err(e);
             }
             self.unsynced = 0;
+            self.unsynced_bytes = 0;
         }
         Ok(AppendInfo {
             bytes,
@@ -541,6 +549,7 @@ impl WalWriter {
         self.check_poisoned()?;
         self.sink.sync()?;
         self.unsynced = 0;
+        self.unsynced_bytes = 0;
         Ok(())
     }
 
@@ -567,6 +576,7 @@ impl WalWriter {
             return Err(e);
         }
         self.unsynced = 0;
+        self.unsynced_bytes = 0;
         Ok((before - kept, kept))
     }
 
@@ -592,6 +602,12 @@ impl WalWriter {
     /// Bytes appended so far (header included, failed appends excluded).
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// Frame bytes appended but not yet synced — what a crash right now
+    /// would lose (zero under [`FsyncPolicy::Always`]).
+    pub fn backlog_bytes(&self) -> u64 {
+        self.unsynced_bytes
     }
 }
 
@@ -654,6 +670,27 @@ mod tests {
         }
         w.sync().unwrap();
         mem
+    }
+
+    #[test]
+    fn backlog_bytes_tracks_unsynced_frames() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::create(Box::new(mem), FsyncPolicy::EveryN(3)).unwrap();
+        assert_eq!(w.backlog_bytes(), 0);
+        let a = w.append_commit(1, &rec(1, &[(0, 1)]).writes).unwrap();
+        assert!(!a.synced);
+        assert_eq!(w.backlog_bytes(), a.bytes as u64);
+        let b = w.append_commit(2, &rec(2, &[(1, 2)]).writes).unwrap();
+        assert_eq!(w.backlog_bytes(), (a.bytes + b.bytes) as u64);
+        // Third append completes the group commit: backlog drains.
+        let c = w.append_commit(3, &rec(3, &[(2, 3)]).writes).unwrap();
+        assert!(c.synced);
+        assert_eq!(w.backlog_bytes(), 0);
+        // Explicit sync also drains.
+        w.append_commit(4, &rec(4, &[(3, 4)]).writes).unwrap();
+        assert!(w.backlog_bytes() > 0);
+        w.sync().unwrap();
+        assert_eq!(w.backlog_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Property tests for the log-bucketed latency histogram: merge is
+//! associative (and agrees with recording everything into one
+//! histogram), quantiles are monotone and stay within the recorded
+//! range, and the atomic variant's snapshot matches the plain one.
+
+use mvcc_storage::{AtomicHistogram, Histogram};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) == record-all-in-one, field by field.
+    #[test]
+    fn merge_associative_and_lossless(
+        a in proptest::collection::vec(0u64..1_000_000, 0..40),
+        b in proptest::collection::vec(0u64..1_000_000, 0..40),
+        c in proptest::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = from_samples(&all);
+
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), direct.count());
+            prop_assert_eq!(h.sum_ns(), direct.sum_ns());
+            prop_assert_eq!(h.min(), direct.min());
+            prop_assert_eq!(h.max(), direct.max());
+            prop_assert_eq!(h.p50(), direct.p50());
+            prop_assert_eq!(h.p99(), direct.p99());
+        }
+    }
+
+    /// p50 ≤ p95 ≤ p99 ≤ max, and every quantile lies in [min, max].
+    #[test]
+    fn quantiles_ordered_and_in_range(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..80),
+    ) {
+        let h = from_samples(&samples);
+        let (min, max) = (h.min(), h.max());
+
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        prop_assert!(h.p99() <= max);
+
+        let mut prev = Duration::ZERO;
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= min, "quantile({}) = {:?} < min {:?}", q, v, min);
+            prop_assert!(v <= max, "quantile({}) = {:?} > max {:?}", q, v, max);
+            prop_assert!(v >= prev, "quantile not monotone at {}", q);
+            prev = v;
+        }
+    }
+
+    /// AtomicHistogram::snapshot agrees with a plain Histogram fed the
+    /// same samples.
+    #[test]
+    fn atomic_snapshot_matches_plain(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 0..60),
+    ) {
+        let atomic = AtomicHistogram::new();
+        for &ns in &samples {
+            atomic.record(Duration::from_nanos(ns));
+        }
+        let snap = atomic.snapshot();
+        let plain = from_samples(&samples);
+        prop_assert_eq!(snap.count(), plain.count());
+        prop_assert_eq!(snap.sum_ns(), plain.sum_ns());
+        prop_assert_eq!(snap.min(), plain.min());
+        prop_assert_eq!(snap.max(), plain.max());
+        prop_assert_eq!(snap.p50(), plain.p50());
+        prop_assert_eq!(snap.p99(), plain.p99());
+    }
+}

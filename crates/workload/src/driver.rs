@@ -10,13 +10,56 @@
 use crate::histogram::Histogram;
 use crate::keydist::KeySampler;
 use crate::spec::WorkloadSpec;
-use mvcc_core::{Engine, MetricsSnapshot, OpSpec, RetryPolicy};
+use mvcc_core::{Engine, GaugeSample, MetricsSnapshot, OpSpec, PhaseSnapshot, RetryPolicy};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One periodic observation emitted by the driver's control loop while a
+/// run is in flight (see [`DriverConfig::reporter`]).
+#[derive(Debug, Clone)]
+pub struct ReportTick {
+    /// 0-based index of this tick within the run.
+    pub seq: u64,
+    /// Time since the run started.
+    pub elapsed: Duration,
+    /// Engine counters accumulated since the run began (after − before).
+    pub metrics: MetricsSnapshot,
+    /// Point-in-time gauges, when the engine exposes them.
+    pub gauges: Option<GaugeSample>,
+    /// Per-phase latency snapshot, when the engine keeps one.
+    pub phases: Option<PhaseSnapshot>,
+}
+
+/// Periodic metrics callback fired from the driver's control loop — the
+/// hook an exporter sidecar (Prometheus scrape file, live dashboard,
+/// progress log) attaches to. Wraps the closure in an `Arc` so
+/// [`DriverConfig`] stays `Clone`.
+#[derive(Clone)]
+pub struct Reporter(Arc<dyn Fn(&ReportTick) + Send + Sync>);
+
+impl Reporter {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(&ReportTick) + Send + Sync + 'static) -> Self {
+        Reporter(Arc::new(f))
+    }
+
+    /// Invoke the callback.
+    pub fn fire(&self, tick: &ReportTick) {
+        (self.0)(tick);
+    }
+}
+
+impl fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Reporter(..)")
+    }
+}
 
 /// Driver parameters.
 #[derive(Debug, Clone)]
@@ -44,6 +87,12 @@ pub struct DriverConfig {
     /// the engine's capacity is reached — the regime scalability sweeps
     /// need on hosts with few cores.
     pub think_time: Duration,
+    /// Fire the [`reporter`](Self::reporter) roughly this often, if set.
+    pub report_every: Option<Duration>,
+    /// Periodic metrics callback (exporter hook) invoked from the control
+    /// loop with a [`ReportTick`]. Ignored unless
+    /// [`report_every`](Self::report_every) is also set.
+    pub reporter: Option<Reporter>,
 }
 
 impl Default for DriverConfig {
@@ -56,6 +105,8 @@ impl Default for DriverConfig {
             gc_every: None,
             txn_budget: None,
             think_time: Duration::ZERO,
+            report_every: None,
+            reporter: None,
         }
     }
 }
@@ -268,14 +319,29 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
             }));
         }
 
-        // Control loop: maintenance ticks + stop signal.
+        // Control loop: maintenance + reporter ticks + stop signal.
         let mut last_gc = Instant::now();
+        let mut last_report = Instant::now();
+        let mut report_seq = 0u64;
         while started.elapsed() < cfg.duration && budget.load(Ordering::Relaxed) > 0 {
             std::thread::sleep(Duration::from_millis(2).min(cfg.duration));
             if let Some(every) = cfg.gc_every {
                 if last_gc.elapsed() >= every {
                     engine.maintenance();
                     last_gc = Instant::now();
+                }
+            }
+            if let (Some(every), Some(reporter)) = (cfg.report_every, cfg.reporter.as_ref()) {
+                if last_report.elapsed() >= every {
+                    reporter.fire(&ReportTick {
+                        seq: report_seq,
+                        elapsed: started.elapsed(),
+                        metrics: engine.metrics().delta(&before),
+                        gauges: engine.sample_gauges(),
+                        phases: engine.phase_latencies(),
+                    });
+                    report_seq += 1;
+                    last_report = Instant::now();
                 }
             }
         }
@@ -472,6 +538,72 @@ mod tests {
         assert!(r.throughput() >= r.ro_throughput());
         assert!(r.rw_abort_rate() >= 0.0 && r.rw_abort_rate() <= 1.0);
         assert!(r.mean_lag() >= 0.0);
+    }
+
+    #[test]
+    fn reporter_ticks_carry_engine_state() {
+        use std::sync::Mutex;
+        let db = presets::vc_2pl(DbConfig::default());
+        let spec = WorkloadSpec {
+            n_objects: 16,
+            ro_fraction: 0.3,
+            use_increments: true,
+            ..Default::default()
+        };
+        seed_zeroes(&db, spec.n_objects);
+        let ticks: Arc<Mutex<Vec<ReportTick>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&ticks);
+        let cfg = DriverConfig {
+            threads: 2,
+            duration: Duration::from_millis(150),
+            max_retries: 200,
+            report_every: Some(Duration::from_millis(10)),
+            reporter: Some(Reporter::new(move |tick| {
+                sink.lock().unwrap().push(tick.clone());
+            })),
+            ..Default::default()
+        };
+        let report = run(&db, &spec, &cfg);
+        let ticks = ticks.lock().unwrap();
+        assert!(!ticks.is_empty(), "reporter never fired");
+        // Ticks are ordered and carry live engine state: counters grow
+        // monotonically and the MV engine exposes gauges.
+        for (i, t) in ticks.iter().enumerate() {
+            assert_eq!(t.seq, i as u64);
+            assert!(t.gauges.is_some(), "MV engine should expose gauges");
+            assert!(t.phases.is_some(), "MV engine should expose phases");
+        }
+        for pair in ticks.windows(2) {
+            assert!(pair[1].metrics.rw_committed >= pair[0].metrics.rw_committed);
+            assert!(pair[1].elapsed >= pair[0].elapsed);
+        }
+        let last = ticks.last().unwrap();
+        assert!(last.metrics.rw_committed <= report.metrics.rw_committed);
+        let g = last.gauges.as_ref().unwrap();
+        assert!(g.vc.vtnc > 0, "vtnc should have advanced mid-run");
+    }
+
+    #[test]
+    fn reporter_without_interval_never_fires() {
+        use std::sync::atomic::AtomicU64;
+        let db = presets::vc_occ(DbConfig::default());
+        let spec = WorkloadSpec {
+            n_objects: 16,
+            ..Default::default()
+        };
+        seed_zeroes(&db, spec.n_objects);
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&fired);
+        let cfg = DriverConfig {
+            threads: 1,
+            duration: Duration::from_millis(40),
+            reporter: Some(Reporter::new(move |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })),
+            ..Default::default()
+        };
+        run(&db, &spec, &cfg);
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
     }
 
     #[test]

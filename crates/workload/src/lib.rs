@@ -13,12 +13,16 @@
 #![deny(unsafe_code)]
 
 pub mod driver;
-pub mod histogram;
 pub mod keydist;
 pub mod report;
 pub mod spec;
 
-pub use driver::{DriverConfig, RunReport};
+/// Latency histograms now live in `mvcc-storage` (so the engine's
+/// observability layer can share them); re-exported here for
+/// compatibility.
+pub use mvcc_storage::histogram;
+
+pub use driver::{DriverConfig, ReportTick, Reporter, RunReport};
 pub use histogram::Histogram;
 pub use keydist::{KeyDist, KeySampler};
 pub use report::Table;

@@ -235,3 +235,100 @@ fn ro_progress_despite_wedged_writers() {
     assert_eq!(db.metrics().ro_blocks, 0);
     wedge.abort();
 }
+
+/// Drive a mixed contended workload on `db` and return its metrics at
+/// quiescence (all worker threads joined, nothing in flight).
+fn churn(db: &dyn mvdb::core::Engine) -> mvdb::core::MetricsSnapshot {
+    use mvdb::workload::{driver, DriverConfig, KeyDist, WorkloadSpec};
+    let spec = WorkloadSpec {
+        n_objects: 16,
+        ro_fraction: 0.3,
+        ro_ops: 4,
+        rw_ops: 4,
+        rw_write_fraction: 0.6,
+        use_increments: false,
+        distribution: KeyDist::Zipf { theta: 0.9 },
+        seed: 77,
+    };
+    driver::seed_zeroes(db, spec.n_objects);
+    let cfg = DriverConfig {
+        threads: 4,
+        duration: Duration::from_millis(120),
+        max_retries: 500,
+        ..Default::default()
+    };
+    driver::run(db, &spec, &cfg);
+    db.metrics()
+}
+
+/// Paper Section 3: a read-only transaction performs exactly one
+/// synchronization action — `VCstart` — regardless of which read-write
+/// protocol the engine runs. The counters must agree exactly under all
+/// three integrations.
+#[test]
+fn ro_sync_actions_equal_ro_begun_under_all_protocols() {
+    let engines: [(&str, Box<dyn mvdb::core::Engine>); 3] = [
+        ("vc+2pl", Box::new(presets::vc_2pl(DbConfig::default()))),
+        ("vc+to", Box::new(presets::vc_to(DbConfig::default()))),
+        ("vc+occ", Box::new(presets::vc_occ(DbConfig::default()))),
+    ];
+    for (name, db) in engines {
+        let m = churn(db.as_ref());
+        assert!(m.ro_begun > 0, "{name}: workload started no RO txns");
+        assert_eq!(
+            m.ro_sync_actions, m.ro_begun,
+            "{name}: RO must pay exactly one sync action (VCstart) each"
+        );
+    }
+}
+
+/// Every `VCregister` is balanced by exactly one `VCcomplete` (commit)
+/// or `VCdiscard` (abort) once the system is quiescent — the VCQueue
+/// bookkeeping can neither leak nor double-settle a registration.
+#[test]
+fn vc_registrations_balance_at_quiescence() {
+    let engines: [(&str, Box<dyn mvdb::core::Engine>); 3] = [
+        ("vc+2pl", Box::new(presets::vc_2pl(DbConfig::default()))),
+        ("vc+to", Box::new(presets::vc_to(DbConfig::default()))),
+        ("vc+occ", Box::new(presets::vc_occ(DbConfig::default()))),
+    ];
+    for (name, db) in engines {
+        let m = churn(db.as_ref());
+        assert!(m.vc_register_calls > 0, "{name}: nothing registered");
+        assert_eq!(
+            m.vc_register_calls,
+            m.vc_complete_calls + m.vc_discard_calls,
+            "{name}: registrations must settle as complete xor discard"
+        );
+    }
+}
+
+/// Every read-write abort carries exactly one root-cause label: the
+/// per-reason counters partition `rw_aborted`. (`aborts_due_to_ro` is an
+/// attribution overlay, not a reason, and stays out of the sum.)
+#[test]
+fn abort_reason_counters_partition_rw_aborted() {
+    let engines: [(&str, Box<dyn mvdb::core::Engine>); 3] = [
+        ("vc+2pl", Box::new(presets::vc_2pl(DbConfig::default()))),
+        ("vc+to", Box::new(presets::vc_to(DbConfig::default()))),
+        ("vc+occ", Box::new(presets::vc_occ(DbConfig::default()))),
+    ];
+    for (name, db) in engines {
+        let m = churn(db.as_ref());
+        let by_reason = m.aborts_ts_conflict
+            + m.aborts_deadlock
+            + m.aborts_validation
+            + m.aborts_timeout
+            + m.aborts_baseline
+            + m.aborts_user
+            + m.aborts_reaped;
+        assert_eq!(
+            by_reason, m.rw_aborted,
+            "{name}: abort reasons must partition rw_aborted"
+        );
+        assert!(
+            m.rw_aborted > 0,
+            "{name}: contended workload should produce some aborts"
+        );
+    }
+}

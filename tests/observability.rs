@@ -1,0 +1,239 @@
+//! End-to-end observability tests: flight-recorder post-mortems on a
+//! forced deadlock and on a reaper force-discard, and exporter output
+//! shape. These drive the real engine — the unit tests in
+//! `crates/core/src/obs/` cover the pieces in isolation.
+
+use mvdb::cc::presets;
+use mvdb::core::prelude::*;
+use mvdb::core::FaultConfig;
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::thread;
+use std::time::Duration;
+
+/// Fresh per-test flight directory under the system temp dir.
+fn flight_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mvdb-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Read every post-mortem written for `trigger` in `dir`.
+fn postmortems(dir: &PathBuf, trigger: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&format!("postmortem-{trigger}-")) && name.ends_with(".json") {
+            out.push(std::fs::read_to_string(entry.path()).unwrap());
+        }
+    }
+    out
+}
+
+/// Minimal well-formedness check for the hand-rolled JSON: braces and
+/// brackets balance and never go negative outside string literals.
+fn assert_balanced_json(text: &str) {
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_str {
+            match c {
+                '\\' if !escaped => escaped = true,
+                '"' if !escaped => in_str = false,
+                _ => escaped = false,
+            }
+            if c != '\\' {
+                escaped = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => braces += 1,
+            '}' => braces -= 1,
+            '[' => brackets += 1,
+            ']' => brackets -= 1,
+            _ => {}
+        }
+        assert!(braces >= 0 && brackets >= 0, "unbalanced JSON:\n{text}");
+    }
+    assert_eq!(braces, 0, "unbalanced braces:\n{text}");
+    assert_eq!(brackets, 0, "unbalanced brackets:\n{text}");
+    assert!(!in_str, "unterminated string:\n{text}");
+}
+
+/// Two writers acquire the same two objects in opposite order; the 2PL
+/// waits-for graph detects the cycle and victimizes one. The armed
+/// flight recorder must dump a post-mortem containing the victim's event
+/// timeline and the waits-for snapshot.
+#[test]
+fn forced_deadlock_writes_postmortem() {
+    let dir = flight_dir("deadlock");
+    let db = presets::vc_2pl(
+        DbConfig::default()
+            .with_events()
+            .with_flight_dir(dir.clone()),
+    );
+    db.seed(ObjectId(0), Value::from_u64(0));
+    db.seed(ObjectId(1), Value::from_u64(0));
+
+    let barrier = Barrier::new(2);
+    thread::scope(|scope| {
+        for (first, second) in [(0u64, 1u64), (1u64, 0u64)] {
+            let db = &db;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut txn = db.begin_read_write().unwrap();
+                txn.write(ObjectId(first), Value::from_u64(first + 10))
+                    .unwrap();
+                // Both hold their first lock before requesting the second:
+                // the lock-order inversion is now guaranteed.
+                barrier.wait();
+                match txn.write(ObjectId(second), Value::from_u64(second + 10)) {
+                    Ok(()) => {
+                        let _ = txn.commit();
+                    }
+                    Err(_) => txn.abort(),
+                }
+            });
+        }
+    });
+
+    assert!(
+        db.metrics().aborts_deadlock >= 1,
+        "the lock-order inversion must victimize someone"
+    );
+    assert_eq!(db.obs().recorder().dumps_written(), 1);
+    let dumps = postmortems(&dir, "deadlock");
+    assert_eq!(dumps.len(), 1, "exactly one deadlock post-mortem");
+    let text = &dumps[0];
+    assert_balanced_json(text);
+    assert!(text.contains("\"trigger\": \"deadlock\""));
+    assert!(!text.contains("\"victim\": null"), "victim must be named");
+    // Waits-for snapshot: the victim was waiting on the survivor.
+    assert!(text.contains("\"waiter\":"), "waits_for edges missing");
+    assert!(text.contains("\"holders\":["));
+    // Victim timeline: at least its Begin and the lock wait that closed
+    // the cycle, all carrying the victim's id.
+    let timeline = text
+        .split("\"victim_timeline\"")
+        .nth(1)
+        .and_then(|t| t.split("\"event_count\"").next())
+        .expect("victim_timeline section");
+    assert!(
+        timeline.contains("\"kind\":\"begin\""),
+        "victim's begin missing from timeline: {timeline}"
+    );
+    assert!(
+        timeline.contains("\"kind\":\"lock_wait\""),
+        "victim's blocking lock wait missing from timeline: {timeline}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that stalls right after `VCregister` pins `vtnc`; once its
+/// TTL expires, `reap_stalled` force-discards it and must dump a
+/// post-mortem naming the reaped tn with its full event timeline.
+#[test]
+fn reaper_force_discard_writes_postmortem() {
+    const TTL: Duration = Duration::from_millis(20);
+    let dir = flight_dir("reaper");
+    let db = presets::vc_to(
+        DbConfig::default()
+            .with_events()
+            .with_flight_dir(dir.clone())
+            .with_register_ttl(TTL)
+            .with_fault(FaultConfig {
+                seed: 7,
+                stall_after_register: 1.0,
+                ..Default::default()
+            }),
+    );
+    db.seed(ObjectId(0), Value::from_u64(0));
+
+    let err = db
+        .run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))])
+        .unwrap_err();
+    assert!(
+        matches!(err, DbError::Internal(_)),
+        "stall expected: {err:?}"
+    );
+    assert_eq!(db.vc().lag(), 1, "the stalled registration pins vtnc");
+
+    thread::sleep(TTL + Duration::from_millis(5));
+    let reaped = db.reap_stalled();
+    assert_eq!(reaped.len(), 1);
+
+    let dumps = postmortems(&dir, "reaper_fire");
+    assert_eq!(dumps.len(), 1, "exactly one reaper post-mortem");
+    let text = &dumps[0];
+    assert_balanced_json(text);
+    assert!(text.contains("\"trigger\": \"reaper_fire\""));
+    assert!(text.contains(&format!("\"victim\": {}", reaped[0])));
+    assert!(text.contains(&format!("force-discarded tns [{}]", reaped[0])));
+    // The reaped transaction's timeline must show the registration it
+    // never completed, and the reaper firing on it.
+    let timeline = text
+        .split("\"victim_timeline\"")
+        .nth(1)
+        .and_then(|t| t.split("\"event_count\"").next())
+        .expect("victim_timeline section");
+    assert!(
+        timeline.contains("\"kind\":\"register\""),
+        "stalled registration missing from timeline: {timeline}"
+    );
+    assert!(
+        timeline.contains("\"kind\":\"reaper_fire\""),
+        "forced discard missing from timeline: {timeline}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exporter output parses: Prometheus text exposition (every sample line
+/// is `name value` with a numeric value) and the JSON snapshot.
+#[test]
+fn exporters_render_parseable_output() {
+    let db = presets::vc_2pl(DbConfig::default().with_events());
+    db.seed(ObjectId(0), Value::from_u64(0));
+    for i in 0..5u64 {
+        db.run_rw(10, |t| t.write(ObjectId(0), Value::from_u64(i)))
+            .unwrap();
+    }
+    let mut r = db.begin_read_only();
+    let _ = r.read_u64(ObjectId(0)).unwrap();
+    r.finish();
+
+    let prom = db.prometheus_text();
+    assert!(prom.contains("# TYPE mvdb_rw_committed counter"));
+    assert!(prom.contains("mvdb_rw_committed 5"));
+    assert!(prom.contains("# TYPE mvdb_gauge_vtnc gauge"));
+    assert!(prom.contains("mvdb_phase_register_to_complete_ns_count"));
+    for line in prom.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("metric name");
+        let value = parts.next().expect("metric value");
+        assert!(parts.next().is_none(), "extra tokens on line: {line}");
+        assert!(name.starts_with("mvdb_"), "unprefixed metric name: {line}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "non-numeric sample value: {line}"
+        );
+    }
+
+    let json = db.metrics_json();
+    assert_balanced_json(&json);
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"gauges\""));
+    assert!(json.contains("\"phases\""));
+    assert!(json.contains("\"rw_committed\": 5"));
+    assert!(json.contains("\"vtnc\": 5"));
+}
