@@ -187,11 +187,15 @@ impl Adaptive {
     /// the switch past the timeout, proceed in the old mode — the switch
     /// lands later; modes are never mixed.
     fn enter(&self) -> Mode {
-        let deadline = std::time::Instant::now() + self.config.drain_timeout;
         let mut gate = self.gate.lock();
-        while gate.pending.is_some() {
-            if self.gate_cv.wait_until(&mut gate, deadline).timed_out() {
-                break;
+        // Zero drain timeout (deterministic simulation): never park —
+        // proceed in the old mode and let the switch land later.
+        if !self.config.drain_timeout.is_zero() {
+            let deadline = std::time::Instant::now() + self.config.drain_timeout;
+            while gate.pending.is_some() {
+                if self.gate_cv.wait_until(&mut gate, deadline).timed_out() {
+                    break;
+                }
             }
         }
         gate.in_flight += 1;

@@ -231,11 +231,23 @@ impl LockManager {
         detect_deadlocks: bool,
     ) -> Result<Acquired, LockError> {
         let shard = self.shard(obj);
-        let deadline = Instant::now() + timeout;
         let (mut table, contended) = match shard.table.try_lock() {
             Some(g) => (g, false),
             None => (shard.table.lock(), true),
         };
+        // Zero-timeout fail-fast: one grant attempt, never park (the
+        // deterministic-simulation path — a conflict becomes an immediate
+        // retryable timeout abort).
+        if timeout.is_zero() {
+            return match table.entry(obj).or_default().try_grant(token, mode) {
+                Ok(()) => Ok(Acquired {
+                    waited: false,
+                    contended,
+                }),
+                Err(_) => Err(LockError::Timeout),
+            };
+        }
+        let deadline = Instant::now() + timeout;
         let mut waited = false;
         loop {
             let blockers = match table.entry(obj).or_default().try_grant(token, mode) {

@@ -95,7 +95,7 @@ impl TwoPhaseLocking {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
                     if let Some(started) = timer {
-                        ctx.obs.phases().lock_wait.record(started.elapsed());
+                        ctx.obs.phases().lock_wait.record(ctx.obs.since(started));
                         ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
                     }
                 }

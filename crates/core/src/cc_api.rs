@@ -67,10 +67,16 @@ impl CcContext {
     /// (checkpoint restore).
     pub fn with_parts(config: DbConfig, store: Arc<MvStore>, vc: Arc<VersionControl>) -> Self {
         vc.set_register_ttl(config.register_ttl);
-        let faults = Arc::new(FaultInjector::new(config.fault.clone()));
+        vc.attach_clock(config.clock.clone());
+        // With an injected shared stream, fault coins come from the
+        // simulation seed; otherwise from the fault config's own seed.
+        let faults = Arc::new(match &config.rng {
+            Some(rng) => FaultInjector::with_rng(config.fault.clone(), Arc::clone(rng)),
+            None => FaultInjector::new(config.fault.clone()),
+        });
         // First attachment wins; share whichever hub the instance ends up
         // with so `ctx.obs` and the version-control emitter agree.
-        let obs = vc.attach_obs(Arc::new(Obs::new(&config.obs)));
+        let obs = vc.attach_obs(Arc::new(Obs::with_clock(&config.obs, config.clock.clone())));
         CcContext {
             store,
             vc,
@@ -100,7 +106,7 @@ impl CcContext {
             .append(tn, writes)
             .map_err(|_| DbError::Aborted(AbortReason::LogFailed));
         if let Some(started) = timer {
-            self.obs.phases().wal_append.record(started.elapsed());
+            self.obs.phases().wal_append.record(self.obs.since(started));
             if let Ok(info) = &res {
                 self.obs.emit(EventKind::WalAppend, tn, info.bytes as u64);
             }

@@ -1,0 +1,262 @@
+//! Virtual time and seeded randomness — the determinism substrate.
+//!
+//! Every timing decision the engine makes (reaper TTLs, retry backoff,
+//! lock-wait deadlines, 2PC retransmission delays) and every random draw
+//! (fault firing, backoff jitter) goes through two narrow traits:
+//!
+//! * [`Clock`] — `now()` and `sleep()`. Production uses [`RealClock`]
+//!   (plain `Instant::now` / `thread::sleep`); the simulator injects a
+//!   [`SimClock`] whose `sleep` *advances virtual time instantly*, so a
+//!   simulated run burns no wall-clock waiting.
+//! * [`SimRng`] — a shared `next_u64()` stream. Production components
+//!   default to a private [`SplitMixRng`] seeded from their config (so
+//!   they are already seed-reproducible in isolation); the simulator
+//!   injects one shared stream so *every* draw in the process — fault
+//!   coins, jitter, scheduler choices — comes from a single `u64` seed.
+//!
+//! # Why `Instant` still works
+//!
+//! `std::time::Instant` is opaque: you cannot fabricate one at an
+//! arbitrary point. [`SimClock`] therefore anchors itself to a real
+//! `Instant` captured at construction and reports `base + offset` where
+//! `offset` is an atomic count of virtual nanoseconds. All existing
+//! deadline arithmetic (`now + ttl`, `deadline < now`, `a - b`) keeps
+//! working unchanged on the values a `SimClock` returns.
+//!
+//! # The condvar rule
+//!
+//! A simulated `Instant` may lie in the *real* future, so handing it to a
+//! real `Condvar::wait_until` would block wall-clock time. Simulated runs
+//! therefore configure every wait bound (`lock_wait_timeout`,
+//! `read_wait_timeout`, …) as `Duration::ZERO`, and each blocking
+//! primitive has a zero-timeout fail-fast path that polls once and
+//! reports a timeout without ever parking. Conflicts become immediate
+//! retryable aborts handled by the retry layer — under the simulator's
+//! cooperative scheduler that is both deterministic and live.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of time: the one interface the engine asks "what time is it"
+/// and "wait this long" through.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current instant (virtual under simulation).
+    fn now(&self) -> Instant;
+
+    /// Wait for `d` to pass. [`RealClock`] parks the thread;
+    /// [`SimClock`] advances virtual time and returns immediately.
+    fn sleep(&self, d: Duration);
+
+    /// `true` when this clock is simulated (drivers use it to skip
+    /// wall-clock pacing entirely).
+    fn is_simulated(&self) -> bool {
+        false
+    }
+}
+
+/// A shared clock handle, cheap to clone into every subsystem.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Wall-clock time: `Instant::now` and `thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// The default clock handle (a [`RealClock`]).
+pub fn real_clock() -> SharedClock {
+    Arc::new(RealClock)
+}
+
+/// Virtual time for deterministic simulation: a real anchor `Instant`
+/// plus an atomic count of virtual nanoseconds.
+///
+/// `now()` never advances on its own — time moves only when something
+/// calls [`advance`](Self::advance) (or [`Clock::sleep`], which is the
+/// same thing). Two runs that perform the same sequence of advances
+/// observe the same sequence of *relative* times, which is what every
+/// consumer (deadlines, TTLs, event timestamps) actually compares.
+pub struct SimClock {
+    base: Instant,
+    offset_ns: AtomicU64,
+}
+
+impl SimClock {
+    /// A fresh virtual clock at virtual time zero.
+    pub fn new() -> Arc<SimClock> {
+        Arc::new(SimClock {
+            base: Instant::now(),
+            offset_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Advance virtual time by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.offset_ns
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+
+    /// Nanoseconds of virtual time elapsed since construction.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.offset_ns.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimClock")
+            .field("elapsed_ns", &self.elapsed_ns())
+            .finish()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Instant {
+        self.base + Duration::from_nanos(self.offset_ns.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+
+    fn is_simulated(&self) -> bool {
+        true
+    }
+}
+
+/// A shared deterministic random stream.
+///
+/// Thread-safe by contract (draws may interleave across threads), but
+/// determinism across *runs* additionally requires a deterministic draw
+/// order — which the simulator guarantees by running single-threaded.
+pub trait SimRng: Send + Sync + fmt::Debug {
+    /// The next 64 random bits.
+    fn next_u64(&self) -> u64;
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_unit(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)` (`0` when `n == 0`).
+    fn next_below(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            // Multiply-shift: unbiased enough for scheduling/fault draws.
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+    }
+}
+
+/// A shared RNG handle.
+pub type SharedRng = Arc<dyn SimRng>;
+
+/// SplitMix64 behind one atomic: `next_u64` is a single `fetch_add` plus
+/// a few multiplies, so it is cheap enough for production fault coins.
+pub struct SplitMixRng {
+    state: AtomicU64,
+}
+
+impl SplitMixRng {
+    /// Stream seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMixRng {
+        SplitMixRng {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    /// Shared handle to a fresh stream.
+    pub fn shared(seed: u64) -> Arc<SplitMixRng> {
+        Arc::new(Self::new(seed))
+    }
+}
+
+impl fmt::Debug for SplitMixRng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SplitMixRng").finish_non_exhaustive()
+    }
+}
+
+impl SimRng for SplitMixRng {
+    fn next_u64(&self) -> u64 {
+        let mut z = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances() {
+        let c = RealClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(!c.is_simulated());
+    }
+
+    #[test]
+    fn sim_clock_only_moves_on_advance() {
+        let c = SimClock::new();
+        let t0 = c.now();
+        assert_eq!(c.now(), t0, "virtual time is frozen");
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c.now() - t0, Duration::from_secs(5));
+        c.sleep(Duration::from_millis(1));
+        assert_eq!(c.now() - t0, Duration::from_millis(5001));
+        assert_eq!(c.elapsed_ns(), 5_001_000_000);
+        assert!(c.is_simulated());
+    }
+
+    #[test]
+    fn sim_clock_deadline_arithmetic_works() {
+        let c = SimClock::new();
+        let deadline = c.now() + Duration::from_millis(10);
+        assert!(c.now() < deadline);
+        c.advance(Duration::from_millis(11));
+        assert!(c.now() > deadline);
+    }
+
+    #[test]
+    fn splitmix_same_seed_same_stream() {
+        let a = SplitMixRng::new(42);
+        let b = SplitMixRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let c = SplitMixRng::new(43);
+        assert_ne!(SplitMixRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn rng_helpers_in_range() {
+        let r = SplitMixRng::new(7);
+        for _ in 0..1000 {
+            let u = r.next_unit();
+            assert!((0.0..1.0).contains(&u));
+            assert!(r.next_below(13) < 13);
+        }
+        assert_eq!(r.next_below(0), 0);
+        assert_eq!(r.next_below(1), 0);
+    }
+}

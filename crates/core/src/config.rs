@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::clock::{real_clock, SharedClock, SharedRng};
 use crate::fault::FaultConfig;
 use crate::obs::ObsConfig;
 use mvcc_storage::wal::FsyncPolicy;
@@ -57,6 +58,16 @@ pub struct DbConfig {
     /// recorder. All off by default — the disabled hot-path cost is one
     /// relaxed load per instrumentation point.
     pub obs: ObsConfig,
+    /// The time source for every deadline, TTL, backoff sleep, and event
+    /// timestamp in this engine. [`crate::RealClock`] by default; the
+    /// simulator injects a [`crate::SimClock`] (see DESIGN.md §13).
+    pub clock: SharedClock,
+    /// Optional shared random stream. When set, the fault injector and
+    /// the retry-jitter streams draw from it instead of their private
+    /// per-seed streams, so one `u64` seed reproduces every draw in the
+    /// engine. `None` (the default) keeps the per-component seeded
+    /// streams.
+    pub rng: Option<SharedRng>,
 }
 
 impl Default for DbConfig {
@@ -74,6 +85,8 @@ impl Default for DbConfig {
             fault: FaultConfig::default(),
             wal_fsync: FsyncPolicy::Always,
             obs: ObsConfig::default(),
+            clock: real_clock(),
+            rng: None,
         }
     }
 }
@@ -145,6 +158,18 @@ impl DbConfig {
     /// Set the observability configuration.
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Inject a time source (the simulator's [`crate::SimClock`]).
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Inject a shared random stream for fault coins and retry jitter.
+    pub fn with_rng(mut self, rng: SharedRng) -> Self {
+        self.rng = Some(rng);
         self
     }
 

@@ -323,7 +323,8 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         policy: &RetryPolicy,
         mut body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
     ) -> Result<(u64, R), DbError> {
-        let mut jitter = policy.jitter_stream();
+        let config = &self.core.ctx.config;
+        let mut jitter = policy.jitter_stream_with(config.rng.as_deref());
         let mut last_err = DbError::Internal("run_rw: zero attempts".into());
         let attempts = policy.max_attempts.max(1);
         for attempt in 0..attempts {
@@ -331,7 +332,7 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 record_retry(&self.core.ctx.metrics, &last_err);
                 let sleep = policy.backoff_for(attempt - 1, &mut jitter);
                 if !sleep.is_zero() {
-                    std::thread::sleep(sleep);
+                    config.clock.sleep(sleep);
                 }
             }
             let mut txn = self.begin_read_write()?;

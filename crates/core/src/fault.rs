@@ -30,6 +30,7 @@
 //!   the platter (caught later by the frame CRC, never at write time),
 //!   and the disk can fill up.
 
+use crate::clock::{SharedRng, SplitMixRng};
 use mvcc_storage::wal::WalSink;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -148,22 +149,32 @@ impl FaultConfig {
 
 /// The shared, thread-safe fault coin.
 ///
-/// Draws use a SplitMix64 stream advanced with a single `fetch_add`, so
-/// firing a fault point is one atomic RMW plus a few multiplies — cheap
-/// enough to leave in production paths, and exactly zero-cost (an early
-/// return) when the point's probability is zero.
+/// Every draw goes through the [`crate::SimRng`] trait. By default the
+/// injector owns a private [`SplitMixRng`] seeded from
+/// [`FaultConfig::seed`] (one atomic RMW plus a few multiplies per draw —
+/// cheap enough to leave in production paths, and exactly zero-cost, an
+/// early return, when the point's probability is zero). Under simulation
+/// the engine injects its shared stream via [`Self::with_rng`], so fault
+/// firing is a function of the single simulation seed.
 pub struct FaultInjector {
     cfg: FaultConfig,
-    state: AtomicU64,
+    rng: SharedRng,
     injected: [AtomicU64; N_POINTS],
 }
 
 impl FaultInjector {
-    /// Injector from a config.
+    /// Injector from a config, drawing from a private stream seeded with
+    /// `cfg.seed`.
     pub fn new(cfg: FaultConfig) -> Self {
+        let rng = SplitMixRng::shared(cfg.seed);
+        Self::with_rng(cfg, rng)
+    }
+
+    /// Injector drawing from an injected shared stream (the simulator's).
+    pub fn with_rng(cfg: FaultConfig, rng: SharedRng) -> Self {
         FaultInjector {
-            state: AtomicU64::new(cfg.seed),
             cfg,
+            rng,
             injected: Default::default(),
         }
     }
@@ -197,25 +208,13 @@ impl FaultInjector {
         }
     }
 
-    /// Draw the next value of the SplitMix64 stream in `[0, 1)`.
-    fn draw(&self) -> f64 {
-        let mut z = self
-            .state
-            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
     /// Should the fault at `point` fire now? Counts injections.
     pub fn fire(&self, point: FaultPoint) -> bool {
         let p = self.probability(point);
         if p <= 0.0 {
             return false;
         }
-        if self.draw() < p {
+        if self.rng.next_unit() < p {
             self.injected[point.index()].fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -226,10 +225,7 @@ impl FaultInjector {
     /// Deterministic index in `[0, n)` from the same draw stream (picks
     /// torn-write cut points and bit-flip positions).
     pub fn draw_index(&self, n: usize) -> usize {
-        if n == 0 {
-            return 0;
-        }
-        ((self.draw() * n as f64) as usize).min(n - 1)
+        self.rng.next_below(n as u64) as usize
     }
 
     /// How many times `point` has fired.

@@ -40,6 +40,7 @@
 #![deny(unsafe_code)]
 
 pub mod cc_api;
+pub mod clock;
 pub mod config;
 pub mod currency;
 pub mod db;
@@ -56,6 +57,7 @@ pub mod vc;
 pub mod vcqueue;
 
 pub use cc_api::{CcContext, ConcurrencyControl};
+pub use clock::{Clock, RealClock, SharedClock, SharedRng, SimClock, SimRng, SplitMixRng};
 pub use config::DbConfig;
 pub use currency::{CurrencyMode, Session};
 pub use db::{MvDatabase, ReaperHandle};
@@ -77,6 +79,7 @@ pub use vc::VersionControl;
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use crate::cc_api::{CcContext, ConcurrencyControl};
+    pub use crate::clock::{Clock, RealClock, SimClock, SimRng, SplitMixRng};
     pub use crate::config::DbConfig;
     pub use crate::currency::{CurrencyMode, Session};
     pub use crate::db::MvDatabase;

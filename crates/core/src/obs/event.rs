@@ -15,6 +15,7 @@
 //! The disabled path — the common case, and the one the tentpole budget
 //! is written against — is a single relaxed load of `enabled`.
 
+use crate::clock::{real_clock, SharedClock};
 use crate::error::AbortReason;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -175,6 +176,10 @@ pub struct EventBus {
     mask: u64,
     slots: Box<[Slot]>,
     base: Instant,
+    /// Stamp source: `t_ns` is this clock's now minus `base`. Under a
+    /// simulated clock, event timestamps are virtual — which is what
+    /// makes a replayed run's trace byte-equal.
+    clock: SharedClock,
 }
 
 impl std::fmt::Debug for EventBus {
@@ -191,6 +196,11 @@ impl EventBus {
     /// Create a bus with at least `capacity` slots (rounded up to a power
     /// of two, minimum 64), initially `enabled` per the flag.
     pub fn new(capacity: usize, enabled: bool) -> EventBus {
+        Self::with_clock(capacity, enabled, real_clock())
+    }
+
+    /// [`new`](Self::new) stamping timestamps from an injected clock.
+    pub fn with_clock(capacity: usize, enabled: bool, clock: SharedClock) -> EventBus {
         let cap = capacity.max(64).next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         slots.resize_with(cap, Slot::default);
@@ -199,7 +209,8 @@ impl EventBus {
             head: AtomicU64::new(0),
             mask: (cap - 1) as u64,
             slots: slots.into_boxed_slice(),
-            base: Instant::now(),
+            base: clock.now(),
+            clock,
         }
     }
 
@@ -243,8 +254,12 @@ impl EventBus {
         // Seqlock write: start first, payload, done last (Release so a
         // reader that sees `done == seq` also sees the payload stores).
         slot.start.store(seq, Ordering::Release);
-        slot.t_ns
-            .store(self.base.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let t_ns = self
+            .clock
+            .now()
+            .saturating_duration_since(self.base)
+            .as_nanos() as u64;
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
         let packed = (thread_ordinal() << 8) | kind as u64;
         slot.kind_thread.store(packed, Ordering::Relaxed);
         slot.id.store(id, Ordering::Relaxed);

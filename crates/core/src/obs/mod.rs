@@ -31,8 +31,9 @@ pub use gauges::{GaugeCollector, GaugeSample, VcView};
 pub use phases::{PhaseHistograms, PhaseSnapshot};
 pub use recorder::{DumpContext, FlightRecorder, FlightTrigger};
 
+use crate::clock::{real_clock, SharedClock};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Observability configuration, embedded in
 /// [`DbConfig`](crate::config::DbConfig).
@@ -74,11 +75,19 @@ pub struct Obs {
     events: EventBus,
     phases: PhaseHistograms,
     recorder: FlightRecorder,
+    clock: SharedClock,
 }
 
 impl Obs {
-    /// Build from config.
+    /// Build from config, stamping with the wall clock.
     pub fn new(cfg: &ObsConfig) -> Obs {
+        Self::with_clock(cfg, real_clock())
+    }
+
+    /// Build from config with an injected time source (the engine passes
+    /// [`crate::config::DbConfig::clock`] so phase timers and event
+    /// timestamps follow virtual time under simulation).
+    pub fn with_clock(cfg: &ObsConfig, clock: SharedClock) -> Obs {
         let cap = if cfg.event_capacity == 0 {
             4096
         } else {
@@ -90,9 +99,10 @@ impl Obs {
             cfg.flight_events
         };
         Obs {
-            events: EventBus::new(cap, cfg.events),
+            events: EventBus::with_clock(cap, cfg.events, clock.clone()),
             phases: PhaseHistograms::new(),
             recorder: FlightRecorder::new(cfg.flight_dir.clone(), window),
+            clock,
         }
     }
 
@@ -116,14 +126,21 @@ impl Obs {
     }
 
     /// Start a phase timer: `Some(now)` when recording, `None` when off —
-    /// so the disabled path never calls `Instant::now`.
+    /// so the disabled path never reads the clock.
     #[inline]
     pub fn timer(&self) -> Option<Instant> {
         if self.on() {
-            Some(Instant::now())
+            Some(self.clock.now())
         } else {
             None
         }
+    }
+
+    /// Elapsed time since a [`timer`](Self::timer) stamp, on the same
+    /// clock that produced it.
+    #[inline]
+    pub fn since(&self, started: Instant) -> Duration {
+        self.clock.now().saturating_duration_since(started)
     }
 
     /// The event bus.

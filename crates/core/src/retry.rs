@@ -57,6 +57,19 @@ impl RetryPolicy {
         JitterStream { state: self.seed }
     }
 
+    /// Jitter stream seeded from a shared random stream, when one is
+    /// injected ([`crate::config::DbConfig::rng`]): each transaction's
+    /// retries get a *distinct* but fully seed-determined stream, instead
+    /// of every transaction replaying the identical `self.seed` stream.
+    pub fn jitter_stream_with(&self, rng: Option<&dyn crate::clock::SimRng>) -> JitterStream {
+        match rng {
+            Some(r) => JitterStream {
+                state: r.next_u64(),
+            },
+            None => self.jitter_stream(),
+        }
+    }
+
     /// The sleep before retry number `attempt` (0-based: the sleep after
     /// the first failed attempt is `backoff_for(0, …)`).
     pub fn backoff_for(&self, attempt: u32, jitter: &mut JitterStream) -> Duration {

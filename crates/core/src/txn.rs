@@ -71,7 +71,8 @@ impl<'db> RoTxn<'db> {
         let timer = self.core.ctx.obs.timer();
         let read = self.core.ctx.store.read_at(obj, self.sn);
         if let Some(started) = timer {
-            self.core.ctx.obs.phases().ro_read.record(started.elapsed());
+            let obs = &self.core.ctx.obs;
+            obs.phases().ro_read.record(obs.since(started));
         }
         match read {
             Some((version, value)) => {

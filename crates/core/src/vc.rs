@@ -29,6 +29,7 @@
 //! preserves the Visibility Property exactly ("the visibility is delayed
 //! only for active and unaborted transactions", Section 4.3).
 
+use crate::clock::SharedClock;
 use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView};
 use crate::vcqueue::VcQueue;
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -82,6 +83,10 @@ pub struct VersionControl {
     /// Unattached (unit tests, standalone use) costs one `OnceLock` load
     /// per operation; attached-but-disabled adds one relaxed bool load.
     obs: OnceLock<Arc<Obs>>,
+    /// Time source for TTL deadlines, head ages, and wait bounds.
+    /// Attached once by the owning engine context; unattached falls back
+    /// to wall-clock `Instant::now`.
+    clock: OnceLock<SharedClock>,
 }
 
 impl Default for VersionControl {
@@ -112,6 +117,7 @@ impl VersionControl {
             lock_waits: AtomicU64::new(0),
             lock_wait_ns: AtomicU64::new(0),
             obs: OnceLock::new(),
+            clock: OnceLock::new(),
         }
     }
 
@@ -129,6 +135,22 @@ impl VersionControl {
         match self.obs.get() {
             Some(o) if o.on() => Some(o),
             _ => None,
+        }
+    }
+
+    /// Attach the time source. First attachment wins, mirroring
+    /// [`attach_obs`](Self::attach_obs).
+    pub fn attach_clock(&self, clock: SharedClock) {
+        let _ = self.clock.set(clock);
+    }
+
+    /// The current instant from the attached clock (wall clock when
+    /// nothing is attached).
+    #[inline]
+    fn now(&self) -> Instant {
+        match self.clock.get() {
+            Some(c) => c.now(),
+            None => Instant::now(),
         }
     }
 
@@ -193,7 +215,7 @@ impl VersionControl {
             inner.tnc += 1;
             // Read the clock only when someone consumes the stamp (the
             // reaper's deadline or the register→complete histogram).
-            let now = (inner.register_ttl.is_some() || obs.is_some()).then(Instant::now);
+            let now = (inner.register_ttl.is_some() || obs.is_some()).then(|| self.now());
             let deadline = match (inner.register_ttl, now) {
                 (Some(ttl), Some(now)) => Some(now + ttl),
                 _ => None,
@@ -270,7 +292,7 @@ impl VersionControl {
     /// accounting; the stalled transaction's pending versions and locks,
     /// if any, are reclaimed separately by read/lock wait timeouts.
     pub fn reap(&self) -> Vec<u64> {
-        let now = Instant::now();
+        let now = self.now();
         let (reaped, advanced) = {
             let mut inner = self.inner();
             let reaped = inner.queue.reap_expired(now);
@@ -316,7 +338,9 @@ impl VersionControl {
         let vtnc = self.vtnc.load(Ordering::Acquire);
         if let Some(o) = obs {
             if let Some(at) = registered_at {
-                o.phases().register_to_complete.record(at.elapsed());
+                o.phases()
+                    .register_to_complete
+                    .record(self.now().saturating_duration_since(at));
             }
             o.emit(EventKind::Complete, tn, vtnc);
             if advanced {
@@ -390,7 +414,7 @@ impl VersionControl {
             head_tn: inner.queue.head_tn(),
             head_age_us: inner
                 .queue
-                .head_age(Instant::now())
+                .head_age(self.now())
                 .map(|d| d.as_micros() as u64),
         }
     }
@@ -399,7 +423,14 @@ impl VersionControl {
     /// transaction started afterwards is guaranteed to see `tn`'s
     /// updates). Returns the satisfying `vtnc`, or `None` on timeout.
     pub fn wait_visible(&self, tn: u64, timeout: Duration) -> Option<u64> {
-        let deadline = std::time::Instant::now() + timeout;
+        // Zero-timeout fail-fast: poll once without parking. Simulated
+        // runs use this path exclusively (see DESIGN.md §13) — a virtual
+        // deadline handed to a real condvar would block wall-clock time.
+        if timeout.is_zero() {
+            let v = self.vtnc.load(Ordering::Acquire);
+            return (v >= tn).then_some(v);
+        }
+        let deadline = self.now() + timeout;
         let mut guard = self.visible_mu.lock();
         loop {
             let v = self.vtnc.load(Ordering::Acquire);

@@ -21,6 +21,7 @@
 
 use crate::gtn::Gtn;
 use crate::site::{Site, SiteId};
+use mvcc_core::clock::{real_clock, SharedClock, SharedRng};
 use mvcc_core::trace::TxnTrace;
 use mvcc_core::{AbortReason, DbError, FaultConfig, FaultInjector, FaultPoint, Tracer};
 use mvcc_model::{ObjectId, TxnId};
@@ -72,6 +73,14 @@ pub struct ClusterConfig {
     pub fault: FaultConfig,
     /// Keep a global execution trace for the MVSG oracle.
     pub trace: bool,
+    /// Time source for network delays and in-doubt age stamps. Defaults
+    /// to the real wall clock; the simulation harness injects a
+    /// [`SimClock`](mvcc_core::SimClock) so delays advance virtual time.
+    pub clock: SharedClock,
+    /// Randomness source for fault injection. `None` (the default) seeds
+    /// a private stream from `fault.seed`; the simulation harness
+    /// injects its schedule rng so faults replay with the run.
+    pub rng: Option<SharedRng>,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +91,8 @@ impl Default for ClusterConfig {
             lock_timeout: Duration::from_secs(2),
             fault: FaultConfig::default(),
             trace: false,
+            clock: real_clock(),
+            rng: None,
         }
     }
 }
@@ -114,6 +125,18 @@ impl ClusterConfig {
     /// Enable the global execution trace.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Inject a time source (simulation harness).
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Inject a randomness source (simulation harness).
+    pub fn with_rng(mut self, rng: SharedRng) -> Self {
+        self.rng = Some(rng);
         self
     }
 }
@@ -179,6 +202,7 @@ pub struct Cluster {
     delay: Option<Duration>,
     tracer: Option<Tracer>,
     timeout: Duration,
+    clock: SharedClock,
     faults: FaultInjector,
     /// Coordinator decision log, written *before* any phase-2 message.
     /// Stands in for the coordinator's stable commit record; in-doubt
@@ -210,7 +234,13 @@ impl Cluster {
         assert!(n >= 1);
         Cluster {
             sites: (1..=n)
-                .map(|i| Arc::new(Site::with_lock_timeout(SiteId(i), cfg.lock_timeout)))
+                .map(|i| {
+                    Arc::new(Site::with_clock(
+                        SiteId(i),
+                        cfg.lock_timeout,
+                        Arc::clone(&cfg.clock),
+                    ))
+                })
                 .collect(),
             next_token: AtomicU64::new(1),
             next_anon: AtomicU64::new(1),
@@ -218,7 +248,11 @@ impl Cluster {
             delay: cfg.delay,
             tracer: cfg.trace.then(Tracer::new),
             timeout: cfg.timeout,
-            faults: FaultInjector::new(cfg.fault),
+            clock: Arc::clone(&cfg.clock),
+            faults: match cfg.rng {
+                Some(rng) => FaultInjector::with_rng(cfg.fault, rng),
+                None => FaultInjector::new(cfg.fault),
+            },
             decisions: Mutex::new(BTreeMap::new()),
             ro_fallbacks: AtomicU64::new(0),
         }
@@ -279,10 +313,10 @@ impl Cluster {
 
     fn net_delay(&self) {
         if let Some(d) = self.delay {
-            std::thread::sleep(d);
+            self.clock.sleep(d);
         }
         if self.faults.fire(FaultPoint::MsgDelay) {
-            std::thread::sleep(self.faults.extra_delay());
+            self.clock.sleep(self.faults.extra_delay());
         }
     }
 

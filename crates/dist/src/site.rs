@@ -6,6 +6,7 @@
 use crate::gtn::Gtn;
 use crate::vc::DistVc;
 use mvcc_cc::{LockError, LockManager, LockMode};
+use mvcc_core::clock::{real_clock, SharedClock};
 use mvcc_core::{AbortReason, DbError, Metrics};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{MvStore, PendingVersion, StoreStats, Value};
@@ -37,6 +38,9 @@ pub struct Site {
     vc: DistVc,
     metrics: Metrics,
     lock_timeout: Duration,
+    /// Time source for in-doubt age stamps (simulated under the DST
+    /// harness, real otherwise).
+    clock: SharedClock,
     /// Prepared-but-undecided transactions, keyed by coordinator token.
     /// Doubles as the phase-2 idempotence filter: the first commit or
     /// rollback delivery removes the entry; duplicates are no-ops.
@@ -51,6 +55,11 @@ impl Site {
 
     /// Fresh site with an explicit lock-wait timeout.
     pub fn with_lock_timeout(id: SiteId, lock_timeout: Duration) -> Self {
+        Self::with_clock(id, lock_timeout, real_clock())
+    }
+
+    /// Fresh site with an explicit lock-wait timeout and time source.
+    pub fn with_clock(id: SiteId, lock_timeout: Duration, clock: SharedClock) -> Self {
         Site {
             id,
             store: MvStore::new(),
@@ -58,6 +67,7 @@ impl Site {
             vc: DistVc::new(id.0),
             metrics: Metrics::new(),
             lock_timeout,
+            clock,
             in_doubt: Mutex::new(HashMap::new()),
         }
     }
@@ -130,7 +140,7 @@ impl Site {
                 proposal: p,
                 locked: locked.to_vec(),
                 written: written.to_vec(),
-                since: Instant::now(),
+                since: self.clock.now(),
             },
         );
         p
@@ -226,10 +236,11 @@ impl Site {
     /// Tokens of prepared transactions still awaiting a decision, with
     /// how long each has been in doubt.
     pub fn in_doubt_tokens(&self) -> Vec<(u64, Duration)> {
+        let now = self.clock.now();
         self.in_doubt
             .lock()
             .iter()
-            .map(|(&t, e)| (t, e.since.elapsed()))
+            .map(|(&t, e)| (t, now.saturating_duration_since(e.since)))
             .collect()
     }
 

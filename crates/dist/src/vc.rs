@@ -175,6 +175,12 @@ impl DistVc {
     /// Block until `vtnc ≥ g` (used by lazily-contacted sites in a
     /// distributed read-only transaction). `None` on timeout.
     pub fn wait_visible(&self, g: Gtn, timeout: Duration) -> Option<Gtn> {
+        // Zero-timeout fail-fast: poll once, never park (the simulated
+        // cluster drives catch-up explicitly instead of waiting).
+        if timeout.is_zero() {
+            let v = self.vtnc();
+            return (v >= g).then_some(v);
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut guard = self.visible_mu.lock();
         loop {

@@ -1,0 +1,210 @@
+//! Schedule explorer: sweep seeds across workload × protocol × fault
+//! grids and diagnose every oracle failure.
+//!
+//! ```text
+//! cargo run -p mvcc-sim --bin explore -- --seeds 50 --modes single,cluster
+//! ```
+//!
+//! On failure the explorer minimizes the spec, replays it twice to prove
+//! the trace is byte-stable, prints the violations plus a post-mortem
+//! trace tail, and emits the exact flags that reproduce the run. With
+//! `--expect-violation` (CI sabotage jobs) the exit code inverts: success
+//! means the planted defect *was* found, minimized and replayed.
+
+use mvcc_sim::{sweep, FaultProfile, Mode, Protocol, Sabotage, SweepConfig};
+use std::process::ExitCode;
+use std::str::FromStr;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(Parsed::Run(cfg)) => cfg,
+        Ok(Parsed::Help) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "exploring {} seeds from {} | modes {:?} protocols {:?} faults {:?} sabotage {}",
+        cfg.sweep.seeds,
+        cfg.sweep.seed_start,
+        cfg.sweep.modes.iter().map(|m| m.name()).collect::<Vec<_>>(),
+        cfg.sweep
+            .protocols
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>(),
+        cfg.sweep
+            .faults
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>(),
+        cfg.sweep.sabotage,
+    );
+
+    let outcome = sweep(&cfg.sweep, |r| {
+        if cfg.verbose {
+            println!("  {}", r.summary());
+        }
+    });
+    println!(
+        "ran {} simulations: {} passed, {} failed",
+        outcome.runs,
+        outcome.passed,
+        outcome.failures.len()
+    );
+
+    let mut replay_broken = false;
+    for (i, f) in outcome.failures.iter().enumerate() {
+        println!("\n=== failure {} ===", i + 1);
+        println!("original:  {}", f.spec);
+        println!("minimized: {}", f.minimized);
+        println!(
+            "replay: {}",
+            if f.replay_ok {
+                "byte-identical across 2 replays"
+            } else {
+                "NOT DETERMINISTIC (trace drifted between replays)"
+            }
+        );
+        replay_broken |= !f.replay_ok;
+        for v in &f.report.violations {
+            println!("violation: {v}");
+        }
+        println!("post-mortem (trace tail):");
+        for line in f.report.trace_tail(30).lines() {
+            println!("  | {line}");
+        }
+        println!("repro: cargo run -p mvcc-sim --bin explore -- {}", f.repro);
+        if let Some(dir) = &cfg.artifact_dir {
+            let name = format!(
+                "seed-{}-{}-{}.txt",
+                f.minimized.seed,
+                f.minimized.mode.name(),
+                f.minimized.protocol.name()
+            );
+            let path = std::path::Path::new(dir).join(name);
+            let body = format!(
+                "{}\nrepro: cargo run -p mvcc-sim --bin explore -- {}\n\nviolations:\n{}\n\ntrace:\n{}",
+                f.report.summary(),
+                f.repro,
+                f.report
+                    .violations
+                    .iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                f.report.trace,
+            );
+            match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, body)) {
+                Ok(()) => println!("artifact: {}", path.display()),
+                Err(e) => eprintln!("artifact write failed: {e}"),
+            }
+        }
+    }
+
+    let found = !outcome.failures.is_empty();
+    let ok = if cfg.expect_violation {
+        // Sabotage runs: the planted defect must be found AND replay
+        // deterministically.
+        found && !replay_broken
+    } else {
+        !found
+    };
+    if cfg.expect_violation && !found {
+        eprintln!("expected a violation but every run passed");
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+struct Cli {
+    sweep: SweepConfig,
+    expect_violation: bool,
+    artifact_dir: Option<String>,
+    verbose: bool,
+}
+
+enum Parsed {
+    Run(Cli),
+    Help,
+}
+
+const USAGE: &str = "\
+usage: explore [flags]
+
+  --seeds N              seeds to sweep (default 20)
+  --seed-start N         first seed (default 1)
+  --modes a,b            single,cluster (default single)
+  --protocols a,b,c      2pl,to,occ (default all; cluster ignores)
+  --faults a,b           none,light,heavy (default light)
+  --sabotage S           none,rogue-write,per-site-snapshots (default none)
+  --clients N            read-write client slots (default 4)
+  --ro-clients N         read-only client slots (default 2)
+  --steps N              transactions per run (default 150)
+  --objects N            keyspace size (default 8)
+  --sites N              cluster sites (default 3)
+  --expect-violation     exit 0 iff a violation was found (sabotage CI)
+  --artifact-dir DIR     write full failure reports into DIR
+  --verbose              print every run's summary
+  --help                 this text
+";
+
+fn parse_list<T: FromStr<Err = String>>(s: &str) -> Result<Vec<T>, String> {
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.parse())
+        .collect()
+}
+
+fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut cli = Cli {
+        sweep: SweepConfig::default(),
+        expect_violation: false,
+        artifact_dir: None,
+        verbose: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(Parsed::Help),
+            "--seeds" => cli.sweep.seeds = num(&value()?)?,
+            "--seed-start" => cli.sweep.seed_start = num(&value()?)?,
+            "--modes" => cli.sweep.modes = parse_list::<Mode>(&value()?)?,
+            "--protocols" => cli.sweep.protocols = parse_list::<Protocol>(&value()?)?,
+            "--faults" => cli.sweep.faults = parse_list::<FaultProfile>(&value()?)?,
+            "--sabotage" => cli.sweep.sabotage = value()?.parse::<Sabotage>()?,
+            "--clients" => cli.sweep.base.clients = num(&value()?)? as usize,
+            "--ro-clients" => cli.sweep.base.ro_clients = num(&value()?)? as usize,
+            "--steps" => cli.sweep.base.steps = num(&value()?)?,
+            "--objects" => cli.sweep.base.objects = num(&value()?)?,
+            "--sites" => cli.sweep.base.sites = num(&value()?)? as u16,
+            "--expect-violation" => cli.expect_violation = true,
+            "--artifact-dir" => cli.artifact_dir = Some(value()?),
+            "--verbose" => cli.verbose = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if cli.sweep.modes.is_empty() || cli.sweep.protocols.is_empty() || cli.sweep.faults.is_empty() {
+        return Err("modes, protocols and faults must be non-empty".into());
+    }
+    Ok(Parsed::Run(cli))
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}

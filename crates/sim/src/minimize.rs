@@ -1,0 +1,97 @@
+//! Failing-run minimization: shrink a spec while the failure persists.
+//!
+//! Because a run is a pure function of its spec, minimization is just
+//! re-running candidate specs: halve one dimension at a time (steps,
+//! clients, read-only clients, objects, sites) and keep the candidate if
+//! it still fails any oracle. Loops to a fixed point, so the result is
+//! locally minimal: shrinking any single dimension further makes the
+//! failure disappear.
+
+use crate::report::RunReport;
+use crate::run_spec;
+use crate::spec::{Mode, SimSpec};
+
+/// Halve `v` toward `floor` (no-op at the floor).
+fn halve(v: u64, floor: u64) -> u64 {
+    (v / 2).max(floor)
+}
+
+/// Shrink `failing` while it keeps failing. Returns the minimized spec
+/// and its (still-failing) report. If `failing` actually passes, returns
+/// it unchanged with its passing report.
+pub fn minimize(failing: &SimSpec) -> (SimSpec, RunReport) {
+    let mut best = failing.clone();
+    let mut best_report = run_spec(&best);
+    if best_report.passed() {
+        return (best, best_report);
+    }
+    loop {
+        let mut improved = false;
+        let candidates = candidate_shrinks(&best);
+        for cand in candidates {
+            if cand == best {
+                continue;
+            }
+            let report = run_spec(&cand);
+            if !report.passed() {
+                best = cand;
+                best_report = report;
+                improved = true;
+                break; // restart shrinking from the new, smaller spec
+            }
+        }
+        if !improved {
+            return (best, best_report);
+        }
+    }
+}
+
+fn candidate_shrinks(spec: &SimSpec) -> Vec<SimSpec> {
+    let mut out = Vec::new();
+    let mut c = spec.clone();
+    c.steps = halve(spec.steps, 10);
+    out.push(c);
+    let mut c = spec.clone();
+    c.clients = halve(spec.clients as u64, 1) as usize;
+    out.push(c);
+    let mut c = spec.clone();
+    c.ro_clients = halve(spec.ro_clients as u64, 1) as usize;
+    out.push(c);
+    let mut c = spec.clone();
+    c.objects = halve(spec.objects, 1);
+    out.push(c);
+    if spec.mode == Mode::Cluster {
+        let mut c = spec.clone();
+        c.sites = halve(spec.sites as u64, 2) as u16;
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halve_respects_floor() {
+        assert_eq!(halve(100, 10), 50);
+        assert_eq!(halve(11, 10), 10);
+        assert_eq!(halve(10, 10), 10);
+        assert_eq!(halve(1, 1), 1);
+    }
+
+    #[test]
+    fn shrink_candidates_never_grow() {
+        let spec = SimSpec {
+            mode: Mode::Cluster,
+            ..SimSpec::default()
+        };
+        for c in candidate_shrinks(&spec) {
+            assert!(c.steps <= spec.steps);
+            assert!(c.clients <= spec.clients);
+            assert!(c.ro_clients <= spec.ro_clients);
+            assert!(c.objects <= spec.objects);
+            assert!(c.sites <= spec.sites);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Seed sweeping: the explorer's engine, callable from tests and CI.
+//!
+//! A sweep runs a grid of `seeds × modes × protocols × fault profiles`,
+//! checks every run against the oracles, and for each failure produces
+//! the full diagnosis bundle: the minimized spec, a double replay that
+//! proves the trace is byte-stable, and the one-command repro string.
+
+use crate::minimize::minimize;
+use crate::report::RunReport;
+use crate::run_spec;
+use crate::spec::{FaultProfile, Mode, Protocol, Sabotage, SimSpec};
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// First seed in the range.
+    pub seed_start: u64,
+    /// How many consecutive seeds to run.
+    pub seeds: u64,
+    /// Modes to cover.
+    pub modes: Vec<Mode>,
+    /// Protocols to cover (single-node runs; cluster runs once per seed).
+    pub protocols: Vec<Protocol>,
+    /// Fault profiles to cover.
+    pub faults: Vec<FaultProfile>,
+    /// Sabotage applied to every run.
+    pub sabotage: Sabotage,
+    /// Template for the non-swept dimensions (clients, steps, objects…).
+    pub base: SimSpec,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed_start: 1,
+            seeds: 20,
+            modes: vec![Mode::Single],
+            protocols: Protocol::ALL.to_vec(),
+            faults: vec![FaultProfile::Light],
+            sabotage: Sabotage::None,
+            base: SimSpec::default(),
+        }
+    }
+}
+
+/// One failing run with its full diagnosis.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The spec the sweep originally ran.
+    pub spec: SimSpec,
+    /// Locally minimal spec that still fails.
+    pub minimized: SimSpec,
+    /// The minimized run's report (violations, trace, fingerprint).
+    pub report: RunReport,
+    /// Whether two fresh replays of the minimized spec produced
+    /// byte-identical traces (the determinism guarantee, verified).
+    pub replay_ok: bool,
+    /// Explorer CLI flags reproducing the minimized run.
+    pub repro: String,
+}
+
+/// The outcome of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Total runs executed (excluding minimization/replay reruns).
+    pub runs: u64,
+    /// Runs that passed every oracle.
+    pub passed: u64,
+    /// Every failing run, fully diagnosed.
+    pub failures: Vec<Failure>,
+}
+
+/// Run the sweep. `on_run` is invoked after every grid run (for progress
+/// output); pass `|_| {}` to stay silent.
+pub fn sweep(cfg: &SweepConfig, mut on_run: impl FnMut(&RunReport)) -> SweepOutcome {
+    let mut runs = 0;
+    let mut passed = 0;
+    let mut failures = Vec::new();
+    for seed in cfg.seed_start..cfg.seed_start.saturating_add(cfg.seeds) {
+        for &mode in &cfg.modes {
+            // Cluster sites are 2PL by construction; sweeping protocols
+            // there would rerun identical specs.
+            let protos: &[Protocol] = match mode {
+                Mode::Single => &cfg.protocols,
+                Mode::Cluster => &cfg.protocols[..1.min(cfg.protocols.len())],
+            };
+            for &protocol in protos {
+                for &faults in &cfg.faults {
+                    let spec = SimSpec {
+                        seed,
+                        mode,
+                        protocol,
+                        faults,
+                        sabotage: cfg.sabotage,
+                        ..cfg.base.clone()
+                    };
+                    let report = run_spec(&spec);
+                    runs += 1;
+                    on_run(&report);
+                    if report.passed() {
+                        passed += 1;
+                        continue;
+                    }
+                    let (minimized, min_report) = minimize(&spec);
+                    let a = run_spec(&minimized);
+                    let b = run_spec(&minimized);
+                    let replay_ok = a.trace == b.trace && a.trace == min_report.trace;
+                    failures.push(Failure {
+                        spec,
+                        repro: minimized.repro_args(),
+                        minimized,
+                        report: min_report,
+                        replay_ok,
+                    });
+                }
+            }
+        }
+    }
+    SweepOutcome {
+        runs,
+        passed,
+        failures,
+    }
+}

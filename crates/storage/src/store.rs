@@ -129,6 +129,16 @@ impl MvStore {
         mut f: impl FnMut(&mut VersionChain) -> WaitOutcome<R>,
     ) -> Result<R, WaitTimeout> {
         let shard = self.shard(obj);
+        // Zero-timeout fail-fast: poll once, never park. Deterministic
+        // simulation configures every wait bound as zero so virtual
+        // deadlines are never handed to a real condvar.
+        if timeout.is_zero() {
+            let mut map = shard.map.lock();
+            return match f(map.entry(obj).or_default()) {
+                WaitOutcome::Ready(r) => Ok(r),
+                _ => Err(WaitTimeout { waited: timeout }),
+            };
+        }
         let deadline = Instant::now() + timeout;
         let mut map = shard.map.lock();
         loop {

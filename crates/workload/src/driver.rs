@@ -10,6 +10,7 @@
 use crate::histogram::Histogram;
 use crate::keydist::KeySampler;
 use crate::spec::WorkloadSpec;
+use mvcc_core::clock::{real_clock, Clock, SharedClock};
 use mvcc_core::{Engine, GaugeSample, MetricsSnapshot, OpSpec, PhaseSnapshot, RetryPolicy};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
@@ -93,6 +94,12 @@ pub struct DriverConfig {
     /// loop with a [`ReportTick`]. Ignored unless
     /// [`report_every`](Self::report_every) is also set.
     pub reporter: Option<Reporter>,
+    /// Time source for latency stamps, backoff/think-time sleeps, and
+    /// interval bookkeeping. Defaults to the real wall clock; under a
+    /// simulated clock the control loop still polls on a real 2 ms tick
+    /// (the run then needs a [`txn_budget`](Self::txn_budget), since
+    /// virtual time only advances when a worker sleeps).
+    pub clock: SharedClock,
 }
 
 impl Default for DriverConfig {
@@ -107,6 +114,7 @@ impl Default for DriverConfig {
             think_time: Duration::ZERO,
             report_every: None,
             reporter: None,
+            clock: real_clock(),
         }
     }
 }
@@ -189,28 +197,41 @@ struct ThreadOutcome {
     lag_samples: u64,
 }
 
+/// The per-attempt retry discipline shared by every worker: bound,
+/// backoff policy, and the clock that times both sleeps and latency.
+struct RetryKnobs<'a> {
+    max_retries: u32,
+    backoff: &'a RetryPolicy,
+    clock: &'a dyn Clock,
+}
+
 /// Generate the next transaction and run it to completion (with retries).
 fn run_one(
     engine: &dyn Engine,
     spec: &WorkloadSpec,
     sampler: &KeySampler,
     rng: &mut SmallRng,
-    max_retries: u32,
-    backoff: &RetryPolicy,
+    knobs: &RetryKnobs<'_>,
     out: &mut ThreadOutcome,
 ) {
+    let RetryKnobs {
+        max_retries,
+        backoff,
+        clock,
+    } = *knobs;
     let mut jitter = backoff.jitter_stream();
     let is_ro = rng.random_bool(spec.ro_fraction.clamp(0.0, 1.0));
     if is_ro {
         let keys: Vec<ObjectId> = (0..spec.ro_ops)
             .map(|_| ObjectId(sampler.sample(rng)))
             .collect();
-        let started = Instant::now();
+        let started = clock.now();
         for attempt in 0..=max_retries {
             match engine.run_read_only(&keys) {
                 Ok(ro) => {
                     out.ro_committed += 1;
-                    out.ro_latency.record(started.elapsed());
+                    out.ro_latency
+                        .record(clock.now().saturating_duration_since(started));
                     out.lag_sum += ro.lag_at_start;
                     out.lag_samples += 1;
                     return;
@@ -219,7 +240,7 @@ fn run_one(
                     out.ro_retries += 1;
                     let sleep = backoff.backoff_for(attempt, &mut jitter);
                     if !sleep.is_zero() {
-                        std::thread::sleep(sleep);
+                        clock.sleep(sleep);
                     }
                 }
                 Err(_) => {
@@ -241,19 +262,20 @@ fn run_one(
                 }
             })
             .collect();
-        let started = Instant::now();
+        let started = clock.now();
         for attempt in 0..=max_retries {
             match engine.run_read_write(&ops) {
                 Ok(_) => {
                     out.rw_committed += 1;
-                    out.rw_latency.record(started.elapsed());
+                    out.rw_latency
+                        .record(clock.now().saturating_duration_since(started));
                     return;
                 }
                 Err(e) if e.is_retryable() && attempt < max_retries => {
                     out.rw_retries += 1;
                     let sleep = backoff.backoff_for(attempt, &mut jitter);
                     if !sleep.is_zero() {
-                        std::thread::sleep(sleep);
+                        clock.sleep(sleep);
                     }
                 }
                 Err(_) => {
@@ -272,7 +294,9 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
     let before = engine.metrics();
     let stop = AtomicBool::new(false);
     let budget = std::sync::atomic::AtomicU64::new(cfg.txn_budget.unwrap_or(u64::MAX));
-    let started = Instant::now();
+    let clock = &cfg.clock;
+    let started = clock.now();
+    let since = |at: Instant| clock.now().saturating_duration_since(at);
 
     let outcomes: Vec<ThreadOutcome> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.threads);
@@ -307,41 +331,46 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
                         spec_ref,
                         &sampler,
                         &mut rng,
-                        cfg.max_retries,
-                        &cfg.backoff,
+                        &RetryKnobs {
+                            max_retries: cfg.max_retries,
+                            backoff: &cfg.backoff,
+                            clock: cfg.clock.as_ref(),
+                        },
                         &mut out,
                     );
                     if !cfg.think_time.is_zero() {
-                        std::thread::sleep(cfg.think_time);
+                        cfg.clock.sleep(cfg.think_time);
                     }
                 }
                 out
             }));
         }
 
-        // Control loop: maintenance + reporter ticks + stop signal.
-        let mut last_gc = Instant::now();
-        let mut last_report = Instant::now();
+        // Control loop: maintenance + reporter ticks + stop signal. The
+        // poll tick stays on the real clock (it paces a real thread);
+        // the durations it compares come from the injected clock.
+        let mut last_gc = clock.now();
+        let mut last_report = clock.now();
         let mut report_seq = 0u64;
-        while started.elapsed() < cfg.duration && budget.load(Ordering::Relaxed) > 0 {
+        while since(started) < cfg.duration && budget.load(Ordering::Relaxed) > 0 {
             std::thread::sleep(Duration::from_millis(2).min(cfg.duration));
             if let Some(every) = cfg.gc_every {
-                if last_gc.elapsed() >= every {
+                if since(last_gc) >= every {
                     engine.maintenance();
-                    last_gc = Instant::now();
+                    last_gc = clock.now();
                 }
             }
             if let (Some(every), Some(reporter)) = (cfg.report_every, cfg.reporter.as_ref()) {
-                if last_report.elapsed() >= every {
+                if since(last_report) >= every {
                     reporter.fire(&ReportTick {
                         seq: report_seq,
-                        elapsed: started.elapsed(),
+                        elapsed: since(started),
                         metrics: engine.metrics().delta(&before),
                         gauges: engine.sample_gauges(),
                         phases: engine.phase_latencies(),
                     });
                     report_seq += 1;
-                    last_report = Instant::now();
+                    last_report = clock.now();
                 }
             }
         }
@@ -352,7 +381,7 @@ pub fn run(engine: &dyn Engine, spec: &WorkloadSpec, cfg: &DriverConfig) -> RunR
             .collect()
     });
 
-    let elapsed = started.elapsed();
+    let elapsed = since(started);
     let mut report = RunReport {
         engine: engine.name(),
         elapsed,
@@ -413,16 +442,14 @@ pub fn run_fixed_count(
         lag_samples: 0,
     };
     let backoff = RetryPolicy::no_backoff(0);
+    let clock = real_clock();
+    let knobs = RetryKnobs {
+        max_retries,
+        backoff: &backoff,
+        clock: clock.as_ref(),
+    };
     for _ in 0..txns {
-        run_one(
-            engine,
-            spec,
-            &sampler,
-            &mut rng,
-            max_retries,
-            &backoff,
-            &mut out,
-        );
+        run_one(engine, spec, &sampler, &mut rng, &knobs, &mut out);
     }
     RunReport {
         engine: engine.name(),

@@ -5,6 +5,11 @@
 //! tests break that assumption with a stalled client and verify that the
 //! registration TTL + stall reaper restore liveness — and that a reaped
 //! transaction's late commit is refused, so its writes never surface.
+//!
+//! Registration ages are measured on an injected [`SimClock`], so TTL
+//! expiry is exact: "too early" really is too early no matter how slowly
+//! the test host schedules these threads, and expiry happens the moment
+//! the test advances virtual time — no `thread::sleep` races.
 
 use mvdb::cc::presets;
 use mvdb::core::prelude::*;
@@ -28,10 +33,12 @@ fn stall_all() -> FaultConfig {
 /// lag drains to zero.
 #[test]
 fn stalled_client_pins_vtnc_until_reaped() {
+    let sim = SimClock::new();
     let db = presets::vc_to(
         DbConfig::default()
             .with_register_ttl(TTL)
-            .with_fault(stall_all()),
+            .with_fault(stall_all())
+            .with_clock(sim.clone()),
     );
     db.seed(ObjectId(0), Value::from_u64(0));
 
@@ -45,11 +52,17 @@ fn stalled_client_pins_vtnc_until_reaped() {
     assert_eq!(db.faults().injected(FaultPoint::StallAfterRegister), 1);
     assert_eq!(db.vc().lag(), 1, "the stalled registration pins vtnc");
 
-    // Too early: the registration has not expired yet.
+    // Too early: virtual time has not moved, so the registration cannot
+    // have expired — deterministically, not just on a fast machine.
     assert!(db.reap_stalled().is_empty());
     assert_eq!(db.vc().lag(), 1);
 
-    thread::sleep(TTL + Duration::from_millis(2));
+    // One tick short of the TTL: still alive.
+    sim.advance(TTL - Duration::from_millis(1));
+    assert!(db.reap_stalled().is_empty());
+    assert_eq!(db.vc().lag(), 1);
+
+    sim.advance(Duration::from_millis(2));
     let reaped = db.reap_stalled();
     assert_eq!(reaped.len(), 1);
     assert_eq!(db.vc().queue_len(), 0, "the stalled registration is gone");
@@ -75,11 +88,17 @@ fn stalled_client_pins_vtnc_until_reaped() {
 /// deliberate no-op.
 #[test]
 fn without_a_ttl_vtnc_freezes() {
-    let db = presets::vc_to(DbConfig::default().with_fault(stall_all()));
+    let sim = SimClock::new();
+    let db = presets::vc_to(
+        DbConfig::default()
+            .with_fault(stall_all())
+            .with_clock(sim.clone()),
+    );
     let _ = db.run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))]);
     assert_eq!(db.vc().lag(), 1);
 
-    thread::sleep(TTL + Duration::from_millis(2));
+    // However much time passes, nothing is ever considered stale.
+    sim.advance(TTL * 1000);
     assert!(
         db.reap_stalled().is_empty(),
         "no TTL: nothing is ever stale"
@@ -104,10 +123,17 @@ fn without_a_ttl_vtnc_freezes() {
 /// Full scenario with the background reaper thread: a slow transaction
 /// pins `vtnc`, committed data stays invisible to new readers until the
 /// reaper fires, and the slow transaction's own late commit is refused
-/// with `AbortReason::Reaped`.
+/// with `AbortReason::Reaped`. The reaper thread polls on real time, but
+/// the TTL it enforces is virtual: the registration expires exactly when
+/// the test advances the clock, never because the host was slow.
 #[test]
 fn background_reaper_restores_freshness_and_refuses_late_commit() {
-    let db = presets::vc_to(DbConfig::default().with_register_ttl(TTL));
+    let sim = SimClock::new();
+    let db = presets::vc_to(
+        DbConfig::default()
+            .with_register_ttl(TTL)
+            .with_clock(sim.clone()),
+    );
     db.seed(ObjectId(0), Value::from_u64(0));
     db.seed(ObjectId(1), Value::from_u64(0));
 
@@ -142,6 +168,14 @@ fn background_reaper_restores_freshness_and_refuses_late_commit() {
         }
 
         let reaper = db.spawn_reaper(Duration::from_millis(1));
+        // The reaper is already running, but virtual time stands still:
+        // it must not fire yet.
+        thread::sleep(Duration::from_millis(5));
+        assert!(db.vc().lag() >= 1, "reaper fired before the TTL expired");
+
+        // Expire the registration in virtual time; the reaper notices on
+        // its next (real-time) poll.
+        sim.advance(TTL + Duration::from_millis(2));
         let deadline = Instant::now() + Duration::from_secs(5);
         while db.vc().lag() != 0 {
             assert!(Instant::now() < deadline, "reaper thread never caught up");
@@ -180,16 +214,18 @@ fn background_reaper_restores_freshness_and_refuses_late_commit() {
 /// reaper has nothing to do. The modularity consequence, end to end.
 #[test]
 fn commit_time_registration_is_immune_to_stalls() {
+    let sim = SimClock::new();
     let db = presets::vc_2pl(
         DbConfig::default()
             .with_register_ttl(TTL)
-            .with_fault(stall_all()),
+            .with_fault(stall_all())
+            .with_clock(sim.clone()),
     );
     db.seed(ObjectId(0), Value::from_u64(0));
     let _ = db.run_read_write(&[OpSpec::Write(ObjectId(0), Value::from_u64(1))]);
     assert_eq!(db.faults().injected(FaultPoint::StallAfterRegister), 1);
     assert_eq!(db.vc().lag(), 0, "2PL registers at commit: nothing to pin");
-    thread::sleep(TTL + Duration::from_millis(2));
+    sim.advance(TTL + Duration::from_millis(2));
     assert!(db.reap_stalled().is_empty());
     assert_eq!(db.metrics().reaper_force_discards, 0);
 }
