@@ -16,6 +16,7 @@ pub mod e13_faults;
 pub mod e14_durability;
 pub mod e15_scalability;
 pub mod e16_obs;
+pub mod e17_overload;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -109,6 +110,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e16",
             title: "Observability — event/gauge/flight-recorder layer overhead",
             run: e16_obs::run,
+        },
+        Experiment {
+            id: "e17",
+            title: "Overload — admission control, goodput and tail latency across the knee",
+            run: e17_overload::run,
         },
     ]
 }

@@ -231,6 +231,22 @@ impl ConcurrencyControl for Adaptive {
         res
     }
 
+    fn begin_with(
+        &self,
+        ctx: &CcContext,
+        opts: &mvcc_core::TxnOptions,
+    ) -> Result<AdaptiveTxn, DbError> {
+        let mode = self.enter();
+        let res = match mode {
+            Mode::Optimistic => self.occ.begin_with(ctx, opts).map(AdaptiveTxn::Occ),
+            Mode::Locking => self.tpl.begin_with(ctx, opts).map(AdaptiveTxn::Tpl),
+        };
+        if res.is_err() {
+            self.exit();
+        }
+        res
+    }
+
     fn read(
         &self,
         ctx: &CcContext,

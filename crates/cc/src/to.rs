@@ -17,11 +17,14 @@
 //! transactions, so the waits-for relation follows the total order of
 //! transaction numbers.
 
-use mvcc_core::{AbortReason, CcContext, ConcurrencyControl, DbError, EventKind};
+use mvcc_core::{
+    AbortReason, CcContext, ConcurrencyControl, DbError, Deadline, EventKind, TxnOptions,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::store::WaitOutcome;
 use mvcc_storage::{PendingVersion, Value};
 use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 /// Multiversion timestamp ordering behind the version-control interface.
 #[derive(Default)]
@@ -37,6 +40,9 @@ pub struct ToTxn {
     writes: Vec<(ObjectId, Value)>,
     /// Whether the transaction has been aborted (VCdiscard already done).
     doomed: bool,
+    /// Deadline budget, when begun with one: every pending-write wait is
+    /// bounded by the remaining budget.
+    deadline: Option<Deadline>,
 }
 
 impl TimestampOrdering {
@@ -56,6 +62,31 @@ impl TimestampOrdering {
             }
             ctx.vc.discard(txn.tn);
             ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The wait bound for `txn`'s blocking reads/writes: the configured
+    /// timeout, clipped to the remaining deadline budget. `Err` when the
+    /// budget is already spent — the wait must not start at all.
+    fn wait_bound(&self, ctx: &CcContext, txn: &ToTxn) -> Result<Duration, DbError> {
+        match txn.deadline {
+            Some(d) => {
+                if d.expired(&*ctx.config.clock) {
+                    return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
+                }
+                Ok(d.bound(&*ctx.config.clock, ctx.config.read_wait_timeout))
+            }
+            None => Ok(ctx.config.read_wait_timeout),
+        }
+    }
+
+    /// Map a wait timeout to its abort reason: a wait clipped by the
+    /// deadline is a deadline miss, not storage contention.
+    fn timeout_reason(&self, ctx: &CcContext, txn: &ToTxn) -> AbortReason {
+        if txn.deadline.is_some_and(|d| d.expired(&*ctx.config.clock)) {
+            AbortReason::DeadlineExceeded
+        } else {
+            AbortReason::WaitTimeout
         }
     }
 }
@@ -78,7 +109,16 @@ impl ConcurrencyControl for TimestampOrdering {
             written: Vec::new(),
             writes: Vec::new(),
             doomed: false,
+            deadline: None,
         })
+    }
+
+    fn begin_with(&self, ctx: &CcContext, opts: &TxnOptions) -> Result<ToTxn, DbError> {
+        let mut txn = self.begin(ctx)?;
+        txn.deadline = opts
+            .deadline
+            .map(|budget| Deadline::within(&*ctx.config.clock, budget));
+        Ok(txn)
     }
 
     fn read(
@@ -88,35 +128,34 @@ impl ConcurrencyControl for TimestampOrdering {
         obj: ObjectId,
     ) -> Result<(u64, Value), DbError> {
         let tn = txn.tn;
+        let timeout = self.wait_bound(ctx, txn)?;
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
-        let result = ctx
-            .store
-            .wait_until(obj, ctx.config.read_wait_timeout, |c| {
-                // Own pending write shadows everything.
-                if let Some(p) = c.pending_by(TxnId(tn)) {
-                    return WaitOutcome::Ready((tn, p.value.clone()));
+        let result = ctx.store.wait_until(obj, timeout, |c| {
+            // Own pending write shadows everything.
+            if let Some(p) = c.pending_by(TxnId(tn)) {
+                return WaitOutcome::Ready((tn, p.value.clone()));
+            }
+            // Pending write by an older transaction: the version we
+            // must read may still materialize — wait (Fig 3: "may be
+            // delayed due to the pending writes as per TO protocol").
+            if c.has_pending_older_than(tn) {
+                if !blocked {
+                    blocked = true;
+                    m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.obs.emit(EventKind::Blocked, tn, obj.get());
                 }
-                // Pending write by an older transaction: the version we
-                // must read may still materialize — wait (Fig 3: "may be
-                // delayed due to the pending writes as per TO protocol").
-                if c.has_pending_older_than(tn) {
-                    if !blocked {
-                        blocked = true;
-                        m.rw_blocks.fetch_add(1, Ordering::Relaxed);
-                        ctx.obs.emit(EventKind::Blocked, tn, obj.get());
-                    }
-                    return WaitOutcome::Wait;
-                }
-                // r-ts(x) ← MAX(r-ts(x), tn(T))
-                c.update_read_ts(tn);
-                let v = c.at(tn).expect("initial version always present");
-                WaitOutcome::Ready((v.number, v.value.clone()))
-            });
+                return WaitOutcome::Wait;
+            }
+            // r-ts(x) ← MAX(r-ts(x), tn(T))
+            c.update_read_ts(tn);
+            let v = c.at(tn).expect("initial version always present");
+            WaitOutcome::Ready((v.number, v.value.clone()))
+        });
         match result {
             Ok(pair) => Ok(pair),
-            Err(_) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+            Err(_) => Err(DbError::Aborted(self.timeout_reason(ctx, txn))),
         }
     }
 
@@ -128,38 +167,35 @@ impl ConcurrencyControl for TimestampOrdering {
         value: Value,
     ) -> Result<(), DbError> {
         let tn = txn.tn;
+        let timeout = self.wait_bound(ctx, txn)?;
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
-        let decision = ctx
-            .store
-            .wait_until(obj, ctx.config.read_wait_timeout, |c| {
-                // Rewrite of our own pending version: always fine.
-                if c.pending_by(TxnId(tn)).is_some() {
-                    c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
-                    return WaitOutcome::Ready(Ok(()));
-                }
-                // Blocked behind an older pending write.
-                if c.has_pending_older_than(tn) {
-                    if !blocked {
-                        blocked = true;
-                        m.rw_blocks.fetch_add(1, Ordering::Relaxed);
-                        ctx.obs.emit(EventKind::Blocked, tn, obj.get());
-                    }
-                    return WaitOutcome::Wait;
-                }
-                // IF r-ts(x) > tn(T) OR w-ts(x) > tn(T) THEN abort(T)
-                if c.read_ts() > tn || c.write_ts() > tn {
-                    return WaitOutcome::Ready(Err(DbError::Aborted(
-                        AbortReason::TimestampConflict,
-                    )));
-                }
+        let decision = ctx.store.wait_until(obj, timeout, |c| {
+            // Rewrite of our own pending version: always fine.
+            if c.pending_by(TxnId(tn)).is_some() {
                 c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
-                WaitOutcome::Ready(Ok(()))
-            });
+                return WaitOutcome::Ready(Ok(()));
+            }
+            // Blocked behind an older pending write.
+            if c.has_pending_older_than(tn) {
+                if !blocked {
+                    blocked = true;
+                    m.rw_blocks.fetch_add(1, Ordering::Relaxed);
+                    ctx.obs.emit(EventKind::Blocked, tn, obj.get());
+                }
+                return WaitOutcome::Wait;
+            }
+            // IF r-ts(x) > tn(T) OR w-ts(x) > tn(T) THEN abort(T)
+            if c.read_ts() > tn || c.write_ts() > tn {
+                return WaitOutcome::Ready(Err(DbError::Aborted(AbortReason::TimestampConflict)));
+            }
+            c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
+            WaitOutcome::Ready(Ok(()))
+        });
         let outcome = match decision {
             Ok(inner) => inner,
-            Err(_) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+            Err(_) => Err(DbError::Aborted(self.timeout_reason(ctx, txn))),
         };
         match outcome {
             Ok(()) => {

@@ -22,7 +22,8 @@
 use crate::lock::{LockError, LockManager, LockMode};
 use mvcc_core::config::DeadlockPolicy;
 use mvcc_core::{
-    AbortReason, CcContext, ConcurrencyControl, DbError, DumpContext, EventKind, FlightTrigger,
+    AbortReason, CcContext, ConcurrencyControl, DbError, Deadline, DumpContext, EventKind,
+    FlightTrigger, TxnOptions,
 };
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{PendingVersion, Value};
@@ -45,6 +46,9 @@ pub struct TplTxn {
     written: Vec<ObjectId>,
     /// Write values (last per object), buffered for the commit log.
     writes: Vec<(ObjectId, Value)>,
+    /// Deadline budget, when begun with one: every lock wait is bounded
+    /// by the remaining budget, never just the configured timeout.
+    deadline: Option<Deadline>,
 }
 
 impl Default for TwoPhaseLocking {
@@ -86,11 +90,19 @@ impl TwoPhaseLocking {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let detect = ctx.config.deadlock == DeadlockPolicy::Detect;
+        // A deadline caps the wait at the remaining budget; an already
+        // expired budget never reaches the lock table at all.
+        let timeout = match txn.deadline {
+            Some(d) => {
+                if d.expired(&*ctx.config.clock) {
+                    return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
+                }
+                d.bound(&*ctx.config.clock, ctx.config.lock_wait_timeout)
+            }
+            None => ctx.config.lock_wait_timeout,
+        };
         let timer = ctx.obs.timer();
-        match self
-            .locks
-            .acquire(txn.token, obj, mode, ctx.config.lock_wait_timeout, detect)
-        {
+        match self.locks.acquire(txn.token, obj, mode, timeout, detect) {
             Ok(a) => {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
@@ -128,7 +140,14 @@ impl TwoPhaseLocking {
                 );
                 Err(DbError::Aborted(AbortReason::Deadlock))
             }
-            Err(LockError::Timeout) => Err(DbError::Aborted(AbortReason::WaitTimeout)),
+            Err(LockError::Timeout) => {
+                // A wait clipped by the deadline (rather than the plain
+                // lock timeout) is a deadline miss, not lock contention.
+                if txn.deadline.is_some_and(|d| d.expired(&*ctx.config.clock)) {
+                    return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
+                }
+                Err(DbError::Aborted(AbortReason::WaitTimeout))
+            }
         }
     }
 
@@ -157,7 +176,16 @@ impl ConcurrencyControl for TwoPhaseLocking {
             locked: HashSet::new(),
             written: Vec::new(),
             writes: Vec::new(),
+            deadline: None,
         })
+    }
+
+    fn begin_with(&self, ctx: &CcContext, opts: &TxnOptions) -> Result<TplTxn, DbError> {
+        let mut txn = self.begin(ctx)?;
+        txn.deadline = opts
+            .deadline
+            .map(|budget| Deadline::within(&*ctx.config.clock, budget));
+        Ok(txn)
     }
 
     fn read(

@@ -25,6 +25,7 @@ use crate::error::{AbortReason, DbError};
 use crate::fault::FaultInjector;
 use crate::metrics::Metrics;
 use crate::obs::{EventKind, Obs};
+use crate::pressure::{AdmissionController, TxnOptions};
 use crate::vc::VersionControl;
 use mvcc_model::ObjectId;
 use mvcc_storage::{MvStore, Value};
@@ -51,6 +52,9 @@ pub struct CcContext {
     /// Observability hub (events, phase latencies, flight recorder).
     /// Shared with [`Self::vc`]; disabled unless configured.
     pub obs: Arc<Obs>,
+    /// Admission controller (overload gate, degradation ladder). Costs
+    /// one relaxed load per begin when disabled (the default).
+    pub admission: Arc<AdmissionController>,
 }
 
 impl CcContext {
@@ -77,14 +81,31 @@ impl CcContext {
         // First attachment wins; share whichever hub the instance ends up
         // with so `ctx.obs` and the version-control emitter agree.
         let obs = vc.attach_obs(Arc::new(Obs::with_clock(&config.obs, config.clock.clone())));
+        let metrics = Arc::new(Metrics::new());
+        let admission = AdmissionController::new(
+            config.pressure.clone(),
+            config.clock.clone(),
+            Arc::clone(&metrics),
+            Arc::clone(&obs),
+        );
         CcContext {
             store,
             vc,
             config: Arc::new(config),
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             faults,
             wal: None,
             obs,
+            admission,
+        }
+    }
+
+    /// Feed the store's O(1) pressure signals into the admission
+    /// controller's degradation ladder. No-op when admission is disabled.
+    pub fn observe_pressure(&self) {
+        if self.admission.enabled() {
+            let p = self.store.pressure_stats();
+            self.admission.observe(p.live_bytes, p.gc_debt());
         }
     }
 
@@ -131,6 +152,15 @@ pub trait ConcurrencyControl: Send + Sync + 'static {
     /// `begin(T)` for a read-write transaction. Timestamp ordering
     /// registers with version control here.
     fn begin(&self, ctx: &CcContext) -> Result<Self::Txn, DbError>;
+
+    /// `begin(T)` with per-transaction options (tenant, deadline).
+    /// Protocols with blocking points override this to capture the
+    /// deadline and bound every wait by the remaining budget; the default
+    /// ignores the options (correct for protocols that never block, like
+    /// OCC — the engine still enforces the deadline at operation entry).
+    fn begin_with(&self, ctx: &CcContext, _opts: &TxnOptions) -> Result<Self::Txn, DbError> {
+        self.begin(ctx)
+    }
 
     /// `read(x)`: perform the protocol's synchronization and return the
     /// version read `(version number, value)`. May block (lock wait,

@@ -12,6 +12,7 @@ use crate::obs::{
     json_snapshot, prometheus_text, DumpContext, EventKind, FlightTrigger, GaugeCollector,
     GaugeSample, Obs, PhaseSnapshot,
 };
+use crate::pressure::{AdmissionController, Deadline, TxnOptions};
 use crate::retry::RetryPolicy;
 use crate::trace::Tracer;
 use crate::txn::{RoTxn, RwTxn, ANON_TRACE_BASE};
@@ -298,9 +299,39 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         Ok(LatestTxn::new(self.begin_read_write()?))
     }
 
-    /// Begin a read-write transaction under protocol `C`.
+    /// Begin a read-write transaction under protocol `C`. Equivalent to
+    /// [`begin_read_write_with`](Self::begin_read_write_with) with default
+    /// options — in particular, it passes through the admission gate, so
+    /// under overload it can be refused with a non-retryable
+    /// [`AbortReason::Shed`].
     pub fn begin_read_write(&self) -> Result<RwTxn<'_, C>, DbError> {
-        RwTxn::begin(&self.core, &self.cc)
+        self.begin_read_write_with(&TxnOptions::default())
+    }
+
+    /// Begin a read-write transaction with per-transaction options: a
+    /// tenant (for weighted admission quotas) and an optional deadline
+    /// budget, enforced at every subsequent blocking point. The call
+    /// first feeds the store's pressure signals into the degradation
+    /// ladder, then asks the admission controller for a permit; both are
+    /// a single relaxed load when admission is disabled (the default).
+    pub fn begin_read_write_with(&self, opts: &TxnOptions) -> Result<RwTxn<'_, C>, DbError> {
+        self.core.ctx.observe_pressure();
+        let permit = self.core.ctx.admission.admit_rw(opts)?;
+        RwTxn::begin_with(&self.core, &self.cc, opts, permit)
+    }
+
+    /// Begin a read-only transaction through the admission gate. The
+    /// paper's read-only path is infallible ([`begin_read_only`]
+    /// (Self::begin_read_only) stays so); this variant adds the one
+    /// refusal the degradation ladder ever applies to readers — at its
+    /// highest rung new snapshots are rejected with
+    /// [`AbortReason::MemoryPressure`] (old versions pinned by snapshots
+    /// are exactly what the ladder is trying to shed). Callers should
+    /// back off for [`AdmissionController::retry_after`] before retrying.
+    pub fn begin_read_only_admitted(&self, opts: &TxnOptions) -> Result<RoTxn<'_>, DbError> {
+        self.core.ctx.observe_pressure();
+        self.core.ctx.admission.admit_ro(opts)?;
+        Ok(self.begin_read_only())
     }
 
     /// Run a read-write transaction body with automatic commit and
@@ -352,6 +383,68 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         Err(last_err)
     }
 
+    /// [`run_rw_with`](Self::run_rw_with) under a shared deadline budget:
+    /// one absolute deadline is computed from `opts.deadline` up front and
+    /// every attempt — including its backoff sleep, which goes through the
+    /// injected (possibly virtual) clock — draws from it. Retrying stops
+    /// early when the remaining budget cannot fund the next backoff step
+    /// (see [`RetryPolicy::backoff_within`]), returning the last retryable
+    /// error rather than burning budget on an attempt that would begin
+    /// already expired. Without a deadline this is exactly `run_rw_with`.
+    pub fn run_rw_deadline<R>(
+        &self,
+        policy: &RetryPolicy,
+        opts: &TxnOptions,
+        mut body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
+    ) -> Result<(u64, R), DbError> {
+        let config = &self.core.ctx.config;
+        let deadline = opts
+            .deadline
+            .map(|budget| Deadline::within(&*config.clock, budget));
+        let mut jitter = policy.jitter_stream_with(config.rng.as_deref());
+        let mut last_err = DbError::Internal("run_rw_deadline: zero attempts".into());
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                record_retry(&self.core.ctx.metrics, &last_err);
+                let sleep = match deadline {
+                    Some(d) => {
+                        let remaining = d.remaining(&*config.clock);
+                        match policy.backoff_within(attempt - 1, &mut jitter, remaining) {
+                            Some(s) => s,
+                            None => return Err(last_err),
+                        }
+                    }
+                    None => policy.backoff_for(attempt - 1, &mut jitter),
+                };
+                if !sleep.is_zero() {
+                    config.clock.sleep(sleep);
+                }
+            }
+            // Each attempt carries what is left of the shared budget, so
+            // in-transaction blocking points see the runner's deadline,
+            // not a fresh per-attempt one.
+            let attempt_opts = match deadline {
+                Some(d) => opts.clone().with_deadline(d.remaining(&*config.clock)),
+                None => opts.clone(),
+            };
+            let mut txn = self.begin_read_write_with(&attempt_opts)?;
+            match body(&mut txn) {
+                Ok(r) => match txn.commit() {
+                    Ok(tn) => return Ok((tn, r)),
+                    Err(e) if e.is_retryable() => last_err = e,
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_retryable() => {
+                    drop(txn);
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
     // ---- administration ----------------------------------------------------
 
     /// Load an initial value for `obj` (becomes version 0, written by the
@@ -371,11 +464,13 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// Section 6 rule plus protection of in-flight snapshots.
     pub fn collect_garbage(&self) -> GcStats {
         let watermark = self.core.ro_registry.watermark(self.core.ctx.vc.vtnc());
-        let stats = self
-            .core
-            .ctx
-            .store
-            .collect_garbage_keep(watermark, self.core.ctx.config.gc_keep_versions);
+        // Under pressure the degradation ladder paces GC harder: each
+        // rung divides the keep-recent allowance (Normal 1×, Throttle 2×,
+        // Shed/RejectRo 4×), so a pass under overload reclaims versions a
+        // relaxed pass would have retained.
+        let boost = self.core.ctx.admission.level().gc_boost() as usize;
+        let keep = self.core.ctx.config.gc_keep_versions / boost.max(1);
+        let stats = self.core.ctx.store.collect_garbage_keep(watermark, keep);
         self.core.ctx.obs.emit(
             EventKind::GcPrune,
             stats.watermark,
@@ -468,6 +563,9 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 _ => sample.extra.push((name, value)),
             }
         }
+        if self.core.ctx.admission.enabled() {
+            sample.extra.extend(self.core.ctx.admission.gauges());
+        }
         sample
     }
 
@@ -503,6 +601,11 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// The fault injector (for experiments and tests).
     pub fn faults(&self) -> &Arc<FaultInjector> {
         &self.core.ctx.faults
+    }
+
+    /// The admission controller (overload gate, degradation ladder).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.core.ctx.admission
     }
 
     /// The write-ahead log handle, if this engine is durable.
@@ -907,6 +1010,89 @@ mod tests {
             .expect("GcPrune event recorded");
         assert_eq!(prune.id, stats.watermark);
         assert_eq!(prune.aux, stats.versions_pruned as u64);
+    }
+
+    #[test]
+    fn admission_gate_sheds_default_tenant_under_pressure() {
+        use crate::pressure::PressureConfig;
+        let cfg = DbConfig::default()
+            .with_pressure(PressureConfig::enabled().with_byte_watermarks(8, 16));
+        let db = MvDatabase::with_config(SerialCc::new(), cfg);
+        // Six seeded 8-byte versions put live bytes at 48 ≥ 2×16 → the
+        // RejectRo rung (seeding bypasses the gate we are about to trip).
+        for i in 0..6u64 {
+            db.seed(ObjectId(i), Value::from_u64(i));
+        }
+        db.core.ctx.observe_pressure();
+        assert_eq!(
+            db.admission().level(),
+            crate::pressure::PressureLevel::RejectRo
+        );
+        // The default tenant (weight 1 < shed_weight_below 2) is refused.
+        let err = match db.begin_read_write() {
+            Ok(_) => panic!("begin must be shed under pressure"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, DbError::Aborted(AbortReason::Shed)), "{err}");
+        // New RO snapshots are refused at the top rung, with a hint.
+        let opts = crate::pressure::TxnOptions::default();
+        let err = db.begin_read_only_admitted(&opts).unwrap_err();
+        assert!(
+            matches!(err, DbError::Aborted(AbortReason::MemoryPressure)),
+            "{err}"
+        );
+        assert!(db.admission().retry_after() > Duration::ZERO);
+        // The raw read-only path stays infallible regardless of pressure.
+        let mut r = db.begin_read_only();
+        assert!(r.read_u64(ObjectId(0)).unwrap().is_some());
+        r.finish();
+        assert!(db.metrics().shed_rw >= 1);
+        assert!(db.metrics().shed_ro >= 1);
+    }
+
+    #[test]
+    fn run_rw_deadline_stops_when_budget_cannot_fund_backoff() {
+        use crate::clock::SimClock;
+        use crate::pressure::TxnOptions;
+        let clock = SimClock::new();
+        let db = MvDatabase::with_config(
+            SerialCc::new(),
+            DbConfig::default().with_clock(clock.clone()),
+        );
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(10),
+            jitter: 0.0,
+            seed: 1,
+        };
+        // Budget funds exactly two 10ms backoffs (and no third attempt's).
+        let opts = TxnOptions::default().with_deadline(Duration::from_millis(25));
+        let mut attempts = 0u32;
+        let out: Result<(u64, ()), DbError> = db.run_rw_deadline(&policy, &opts, |_t| {
+            attempts += 1;
+            Err(DbError::Aborted(AbortReason::ValidationFailed))
+        });
+        assert!(matches!(
+            out,
+            Err(DbError::Aborted(AbortReason::ValidationFailed))
+        ));
+        assert_eq!(attempts, 3, "initial try + two funded retries");
+        assert_eq!(clock.elapsed_ns(), 20_000_000, "only funded sleeps ran");
+    }
+
+    #[test]
+    fn run_rw_deadline_without_deadline_matches_run_rw_with() {
+        let db = db();
+        let policy = RetryPolicy::no_backoff(4);
+        let opts = crate::pressure::TxnOptions::default();
+        let (tn, v) = db
+            .run_rw_deadline(&policy, &opts, |t| {
+                t.write(ObjectId(3), Value::from_u64(9))?;
+                Ok(9u64)
+            })
+            .unwrap();
+        assert_eq!((tn, v), (1, 9));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod obs;
+pub mod pressure;
 pub mod retry;
 pub mod trace;
 pub mod txn;
@@ -71,6 +72,10 @@ pub use obs::{
     DumpContext, EventKind, FlightTrigger, GaugeCollector, GaugeSample, Obs, ObsConfig,
     PhaseSnapshot, VcView,
 };
+pub use pressure::{
+    AdmissionController, AdmissionPermit, Deadline, PressureConfig, PressureLevel, TenantId,
+    TxnOptions, TxnOutcome,
+};
 pub use retry::RetryPolicy;
 pub use trace::Tracer;
 pub use txn::{RoTxn, RwTxn};
@@ -86,6 +91,7 @@ pub mod prelude {
     pub use crate::durability::{CheckpointSink, RecoveryStats};
     pub use crate::engine::{Engine, OpSpec, RoOutcome, RoRead, RwOutcome};
     pub use crate::error::{AbortReason, DbError};
+    pub use crate::pressure::{Deadline, PressureConfig, PressureLevel, TenantId, TxnOptions};
     pub use crate::txn::{RoTxn, RwTxn};
     pub use crate::vc::VersionControl;
     pub use mvcc_model::{ObjectId, TxnId};

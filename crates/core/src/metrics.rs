@@ -147,6 +147,22 @@ metrics! { ;
     /// Contended acquisitions of GC snapshot-registry slots (stays 0
     /// when slots ≥ worker threads).
     gc_slot_contention,
+    /// Read-write transactions admitted by the admission controller.
+    admitted_rw,
+    /// Read-only transactions admitted by the admission controller.
+    admitted_ro,
+    /// Read-write begins refused (token, AIMD limit, quota, or ladder).
+    shed_rw,
+    /// Read-only begins refused on the `RejectRo` ladder rung.
+    shed_ro,
+    /// Degradation-ladder rung transitions (either direction).
+    pressure_transitions,
+    /// Aborts caused by admission-control shedding.
+    aborts_shed,
+    /// Aborts caused by an expired deadline budget.
+    aborts_deadline,
+    /// Aborts caused by memory-pressure rejection.
+    aborts_mem_pressure,
 }
 
 #[cfg(test)]
@@ -182,10 +198,10 @@ mod tests {
     fn fields_cover_every_counter_in_order() {
         let m = Metrics::new();
         m.ro_begun.fetch_add(4, Ordering::Relaxed);
-        m.gc_slot_contention.fetch_add(9, Ordering::Relaxed);
+        m.aborts_mem_pressure.fetch_add(9, Ordering::Relaxed);
         let fields = m.snapshot().fields();
         assert_eq!(fields.first(), Some(&("ro_begun", 4)));
-        assert_eq!(fields.last(), Some(&("gc_slot_contention", 9)));
+        assert_eq!(fields.last(), Some(&("aborts_mem_pressure", 9)));
         // No duplicate names.
         let names: std::collections::HashSet<_> = fields.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), fields.len());

@@ -50,6 +50,16 @@ pub enum EventKind {
     ReaperFire = 10,
     /// `VCdiscard` dropped a registration (`id` = tn, `aux` = new vtnc).
     Discard = 11,
+    /// The admission controller admitted a read-write transaction
+    /// (`id` = tenant, `aux` = in-flight count). Sampled when a sample
+    /// shift is configured.
+    Admit = 12,
+    /// The admission controller refused a begin (`id` = tenant,
+    /// `aux` = [`abort_reason_code`] of the refusal). Sampled.
+    Shed = 13,
+    /// The degradation ladder changed rung (`id` = new level,
+    /// `aux` = previous level).
+    PressureChange = 14,
 }
 
 impl EventKind {
@@ -69,6 +79,9 @@ impl EventKind {
             9 => EventKind::GcPrune,
             10 => EventKind::ReaperFire,
             11 => EventKind::Discard,
+            12 => EventKind::Admit,
+            13 => EventKind::Shed,
+            14 => EventKind::PressureChange,
             _ => return None,
         })
     }
@@ -88,6 +101,9 @@ impl EventKind {
             EventKind::GcPrune => "gc_prune",
             EventKind::ReaperFire => "reaper_fire",
             EventKind::Discard => "discard",
+            EventKind::Admit => "admit",
+            EventKind::Shed => "shed",
+            EventKind::PressureChange => "pressure_change",
         }
     }
 }
@@ -103,6 +119,9 @@ pub fn abort_reason_code(r: &AbortReason) -> u64 {
         AbortReason::UserRequested => 6,
         AbortReason::Reaped => 7,
         AbortReason::LogFailed => 8,
+        AbortReason::Shed => 9,
+        AbortReason::DeadlineExceeded => 10,
+        AbortReason::MemoryPressure => 11,
     }
 }
 
@@ -117,6 +136,9 @@ pub fn abort_reason_name(code: u64) -> &'static str {
         6 => "user_requested",
         7 => "reaped",
         8 => "log_failed",
+        9 => "shed",
+        10 => "deadline_exceeded",
+        11 => "memory_pressure",
         _ => "unknown",
     }
 }
@@ -400,6 +422,9 @@ mod tests {
             EventKind::GcPrune,
             EventKind::ReaperFire,
             EventKind::Discard,
+            EventKind::Admit,
+            EventKind::Shed,
+            EventKind::PressureChange,
         ] {
             assert_eq!(EventKind::from_u8(k as u8), Some(k));
             assert!(!k.name().is_empty());

@@ -51,6 +51,11 @@ pub struct ObsConfig {
     /// How many trailing events each post-mortem includes. Zero selects
     /// the default (512).
     pub flight_events: usize,
+    /// Sampling tier for high-frequency gate events (admission, shed):
+    /// [`Obs::emit_sampled`] records 1 in `2^event_sample_shift` events.
+    /// Zero (the default) records every one. Keeps the overload ladder's
+    /// own instrumentation from adding to the overload it manages.
+    pub event_sample_shift: u8,
 }
 
 impl ObsConfig {
@@ -65,6 +70,12 @@ impl ObsConfig {
         self.flight_dir = Some(dir.into());
         self
     }
+
+    /// Record only 1 in `2^shift` sampled-tier events.
+    pub fn with_sample_shift(mut self, shift: u8) -> Self {
+        self.event_sample_shift = shift;
+        self
+    }
 }
 
 /// The per-engine observability hub: event bus + phase histograms +
@@ -76,6 +87,9 @@ pub struct Obs {
     phases: PhaseHistograms,
     recorder: FlightRecorder,
     clock: SharedClock,
+    /// Keep 1 event in `2^sample_shift` on the sampled tier.
+    sample_shift: u8,
+    sample_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Obs {
@@ -103,6 +117,8 @@ impl Obs {
             phases: PhaseHistograms::new(),
             recorder: FlightRecorder::new(cfg.flight_dir.clone(), window),
             clock,
+            sample_shift: cfg.event_sample_shift,
+            sample_seq: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -122,6 +138,28 @@ impl Obs {
     /// Emit an event (no-op when disabled).
     #[inline]
     pub fn emit(&self, kind: EventKind, id: u64, aux: u64) {
+        self.events.emit(kind, id, aux);
+    }
+
+    /// Emit a sampled-tier event: records 1 in `2^event_sample_shift`
+    /// calls (every call when the shift is 0). High-frequency gate sites
+    /// (admission, shed) use this so enabling events under overload does
+    /// not itself add a ring-buffer write per refused begin. The disabled
+    /// path stays one relaxed load; the *dropped* sampled path adds only
+    /// one relaxed `fetch_add`.
+    #[inline]
+    pub fn emit_sampled(&self, kind: EventKind, id: u64, aux: u64) {
+        if !self.on() {
+            return;
+        }
+        if self.sample_shift > 0 {
+            let n = self
+                .sample_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n & ((1u64 << self.sample_shift) - 1) != 0 {
+                return;
+            }
+        }
         self.events.emit(kind, id, aux);
     }
 
@@ -193,6 +231,23 @@ mod tests {
         let evs = obs.events().recent(8);
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].id, 42);
+    }
+
+    #[test]
+    fn sampled_tier_keeps_one_in_2_pow_shift() {
+        let obs = Obs::new(&ObsConfig::default().with_events(true).with_sample_shift(3));
+        for i in 0..64 {
+            obs.emit_sampled(EventKind::Shed, i, 0);
+        }
+        let evs = obs.events().recent(64);
+        assert_eq!(evs.len(), 8, "1 in 2^3 survives");
+        assert!(evs.iter().all(|e| e.id % 8 == 0));
+        // shift 0 records everything
+        let all = Obs::new(&ObsConfig::default().with_events(true));
+        for i in 0..10 {
+            all.emit_sampled(EventKind::Admit, i, 0);
+        }
+        assert_eq!(all.events().recent(64).len(), 10);
     }
 
     #[test]

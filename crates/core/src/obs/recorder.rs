@@ -25,6 +25,8 @@ pub enum FlightTrigger {
     Recovery,
     /// An engine invariant failed (e.g. `VersionControl::validate`).
     InvariantViolation,
+    /// Sustained overload tripped the degradation ladder into shedding.
+    Overload,
 }
 
 impl FlightTrigger {
@@ -35,6 +37,7 @@ impl FlightTrigger {
             FlightTrigger::ReaperFire => "reaper_fire",
             FlightTrigger::Recovery => "recovery",
             FlightTrigger::InvariantViolation => "invariant_violation",
+            FlightTrigger::Overload => "overload",
         }
     }
 }

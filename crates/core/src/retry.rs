@@ -86,6 +86,26 @@ impl RetryPolicy {
         let scale = 1.0 - self.jitter * jitter.next_unit();
         exp.mul_f64(scale.clamp(0.0, 1.0))
     }
+
+    /// Deadline-aware variant of [`backoff_for`](Self::backoff_for): the
+    /// sleep before retry number `attempt`, or `None` when the remaining
+    /// deadline budget cannot fund it. A sleep equal to the whole budget
+    /// is also refused — the retry it buys would begin with zero budget
+    /// and fail instantly, so the time is better returned to the caller.
+    /// Every sleep this method approves counts against the budget (the
+    /// runner sleeps on the injected clock, virtual or real).
+    pub fn backoff_within(
+        &self,
+        attempt: u32,
+        jitter: &mut JitterStream,
+        remaining: Duration,
+    ) -> Option<Duration> {
+        let sleep = self.backoff_for(attempt, jitter);
+        if sleep >= remaining {
+            return None;
+        }
+        Some(sleep)
+    }
 }
 
 /// Deterministic SplitMix64 stream for backoff jitter.
@@ -148,6 +168,33 @@ mod tests {
             assert!(b <= exp, "jittered sleep exceeds base");
             assert!(b >= exp.mul_f64(1.0 - p.jitter - 1e-9));
         }
+    }
+
+    #[test]
+    fn backoff_within_refuses_when_budget_spent() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut j = p.jitter_stream();
+        // 50µs base sleep against a 1ms budget: approved, unchanged.
+        assert_eq!(
+            p.backoff_within(0, &mut j, Duration::from_millis(1)),
+            Some(Duration::from_micros(50))
+        );
+        // Budget exactly equal to the sleep: refused (the funded retry
+        // would start already expired).
+        assert_eq!(p.backoff_within(0, &mut j, Duration::from_micros(50)), None);
+        // Budget below the sleep: refused.
+        assert_eq!(p.backoff_within(0, &mut j, Duration::from_micros(49)), None);
+        // Zero-sleep policies still stop once the budget hits zero.
+        let free = RetryPolicy::no_backoff(5);
+        let mut jf = free.jitter_stream();
+        assert_eq!(
+            free.backoff_within(0, &mut jf, Duration::from_nanos(1)),
+            Some(Duration::ZERO)
+        );
+        assert_eq!(free.backoff_within(0, &mut jf, Duration::ZERO), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::cc_api::{CcContext, ConcurrencyControl};
 use crate::db::DbCore;
 use crate::error::{AbortReason, DbError};
 use crate::obs::{abort_reason_code, EventKind};
+use crate::pressure::{AdmissionPermit, Deadline, TxnOptions, TxnOutcome};
 use crate::trace::TxnTrace;
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::Value;
@@ -140,11 +141,21 @@ pub struct RwTxn<'db, C: ConcurrencyControl> {
     /// Protocol actor id captured at begin, so lifecycle events can be
     /// stamped even after `state` has been consumed by commit/abort.
     obs_id: u64,
+    /// Absolute latency budget, checked at every operation entry (the
+    /// protocol additionally bounds its blocking waits by it).
+    deadline: Option<Deadline>,
+    /// Admission slot, released on drop; its outcome feeds the AIMD loop.
+    permit: Option<AdmissionPermit>,
 }
 
 impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
-    pub(crate) fn begin(core: &'db DbCore, cc: &'db C) -> Result<Self, DbError> {
-        let state = cc.begin(&core.ctx)?;
+    pub(crate) fn begin_with(
+        core: &'db DbCore,
+        cc: &'db C,
+        opts: &TxnOptions,
+        permit: Option<AdmissionPermit>,
+    ) -> Result<Self, DbError> {
+        let state = cc.begin_with(&core.ctx, opts)?;
         core.ctx.metrics.rw_begun.fetch_add(1, Ordering::Relaxed);
         let obs_id = if core.ctx.obs.on() {
             let id = cc.txn_obs_id(&state);
@@ -153,12 +164,17 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
         } else {
             0
         };
+        let deadline = opts
+            .deadline
+            .map(|budget| Deadline::within(&*core.ctx.config.clock, budget));
         Ok(RwTxn {
             core,
             cc,
             state: Some(state),
             trace: TxnTrace::new(),
             obs_id,
+            deadline,
+            permit,
         })
     }
 
@@ -166,10 +182,35 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
         &self.core.ctx
     }
 
+    /// The transaction's absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// Fail fast when the budget is gone: abort the protocol state and
+    /// surface `DeadlineExceeded`. Called at every operation entry so a
+    /// transaction that overran its budget inside one blocking point
+    /// cannot silently keep consuming resources in the next.
+    fn check_deadline(&mut self) -> Result<(), DbError> {
+        let Some(d) = self.deadline else {
+            return Ok(());
+        };
+        if !d.expired(&*self.core.ctx.config.clock) {
+            return Ok(());
+        }
+        let e = DbError::Aborted(AbortReason::DeadlineExceeded);
+        if let Some(state) = self.state.take() {
+            self.cc.abort(&self.core.ctx, state);
+        }
+        self.record_abort(&e);
+        Err(e)
+    }
+
     /// `read(x)` under the protocol's synchronization. An error means the
     /// transaction has been aborted by the protocol; the handle is then
     /// unusable except for dropping.
     pub fn read(&mut self, obj: ObjectId) -> Result<Value, DbError> {
+        self.check_deadline()?;
         let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
         match self.cc.read(&self.core.ctx, state, obj) {
             Ok((version, value)) => {
@@ -193,6 +234,7 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     /// transactions should prefer this to avoid lock-upgrade deadlocks
     /// under locking protocols.
     pub fn read_for_update(&mut self, obj: ObjectId) -> Result<Value, DbError> {
+        self.check_deadline()?;
         let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
         match self.cc.read_for_update(&self.core.ctx, state, obj) {
             Ok((version, value)) => {
@@ -208,6 +250,7 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
 
     /// `write(x)` under the protocol's synchronization.
     pub fn write(&mut self, obj: ObjectId, value: Value) -> Result<(), DbError> {
+        self.check_deadline()?;
         let state = self.state.as_mut().ok_or(DbError::TxnFinished)?;
         match self.cc.write(&self.core.ctx, state, obj, value) {
             Ok(()) => {
@@ -225,9 +268,15 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     /// control at the serialization point if it has not already), apply
     /// updates, and make them (eventually) visible. Returns `tn(T)`.
     pub fn commit(mut self) -> Result<u64, DbError> {
+        // Commit-entry deadline check: an expired transaction must not
+        // enter group commit / WAL / version-control completion.
+        self.check_deadline()?;
         let state = self.state.take().ok_or(DbError::TxnFinished)?;
         match self.cc.commit(&self.core.ctx, state) {
             Ok(tn) => {
+                if let Some(p) = self.permit.as_mut() {
+                    p.set_outcome(TxnOutcome::Committed);
+                }
                 self.ctx()
                     .metrics
                     .rw_committed
@@ -310,7 +359,22 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
             Some(AbortReason::LogFailed) => {
                 m.aborts_wal.fetch_add(1, Ordering::Relaxed);
             }
+            Some(AbortReason::Shed) => {
+                m.aborts_shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::DeadlineExceeded) => {
+                m.aborts_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(AbortReason::MemoryPressure) => {
+                m.aborts_mem_pressure.fetch_add(1, Ordering::Relaxed);
+            }
             None => {}
+        }
+        if let Some(p) = self.permit.as_mut() {
+            p.set_outcome(match e.abort_reason() {
+                Some(AbortReason::DeadlineExceeded) => TxnOutcome::DeadlineMiss,
+                _ => TxnOutcome::Aborted,
+            });
         }
         if let Some(tracer) = &self.core.tracer {
             let id = self.core.next_anon_trace_id();

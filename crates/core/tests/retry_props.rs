@@ -10,10 +10,17 @@
 //! * **attempt budget** — a permanently failing transaction body is
 //!   attempted exactly `max(1, max_attempts)` times, and the virtual
 //!   time spent sleeping equals the policy's own backoff schedule (the
-//!   sleeps go through the injected clock, nowhere else).
+//!   sleeps go through the injected clock, nowhere else);
+//! * **deadline budget** — `backoff_within` grants exactly the sleeps
+//!   the plain schedule would take and refuses precisely when the
+//!   remaining budget cannot fund them, and `run_rw_deadline` therefore
+//!   stops retrying the moment the next backoff would not fit — its
+//!   virtual sleeping always totals strictly less than the budget.
 
 use mvcc_core::cc_api::{CcContext, ConcurrencyControl};
-use mvcc_core::{AbortReason, DbConfig, DbError, MvDatabase, RetryPolicy, SimClock, SplitMixRng};
+use mvcc_core::{
+    AbortReason, DbConfig, DbError, MvDatabase, RetryPolicy, SimClock, SplitMixRng, TxnOptions,
+};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
 use proptest::prelude::*;
@@ -218,6 +225,86 @@ proptest! {
             "slept {}ns, policy schedule says {}ns",
             clock.elapsed_ns(),
             want.as_nanos()
+        );
+    }
+
+    /// `backoff_within` is `backoff_for` with a refusal clause: it
+    /// returns exactly the schedule's sleep when that sleep fits the
+    /// remaining budget, and `None` (never a truncated sleep) when it
+    /// does not. Zero-vs-zero refuses: a retry funded with nothing
+    /// would begin already expired.
+    #[test]
+    fn backoff_within_matches_schedule_and_budget(
+        base_us in 0u64..1_000,
+        extra_us in 0u64..100_000,
+        jitter_milli in 0u32..=1_000,
+        seed in any::<u64>(),
+        attempt in 0u32..24,
+        remaining_us in 0u64..200_000,
+    ) {
+        let p = policy(8, base_us, base_us + extra_us, jitter_milli, seed);
+        let remaining = Duration::from_micros(remaining_us);
+        // Fresh streams draw the same first value, so the two calls see
+        // identical jitter.
+        let want = p.backoff_for(attempt, &mut p.jitter_stream());
+        let got = p.backoff_within(attempt, &mut p.jitter_stream(), remaining);
+        if want >= remaining {
+            prop_assert_eq!(got, None, "sleep {want:?} does not fit {remaining:?}");
+        } else {
+            prop_assert_eq!(got, Some(want), "granted sleep must equal the schedule's");
+        }
+    }
+
+    /// `run_rw_deadline` against a permanently failing body: retrying
+    /// stops exactly when the next backoff no longer fits the remaining
+    /// budget, every granted sleep lands on the injected clock, and the
+    /// total virtual sleep stays strictly below the budget.
+    #[test]
+    fn deadline_runner_stops_when_budget_cannot_fund_backoff(
+        max_attempts in 1u32..12,
+        base_us in 0u64..500,
+        jitter_milli in 0u32..=1_000,
+        seed in any::<u64>(),
+        budget_us in 0u64..20_000,
+    ) {
+        let clock = SimClock::new();
+        let db = MvDatabase::with_config(
+            SerialCc,
+            DbConfig::default().with_clock(clock.clone()),
+        );
+        let p = policy(max_attempts, base_us, base_us * 64, jitter_milli, seed);
+        let budget = Duration::from_micros(budget_us);
+        let opts = TxnOptions::default().with_deadline(budget);
+
+        let mut attempts = 0u32;
+        let out: Result<(u64, ()), DbError> = db.run_rw_deadline(&p, &opts, |_t| {
+            attempts += 1;
+            Err(DbError::Aborted(AbortReason::ValidationFailed))
+        });
+        prop_assert!(out.is_err(), "a permanently failing body cannot succeed");
+
+        // Replay the policy's schedule against the budget: attempt n+1
+        // happens iff its backoff fits what the earlier sleeps left.
+        let mut j = p.jitter_stream();
+        let mut want_attempts = 1u32;
+        let mut slept = Duration::ZERO;
+        for attempt in 1..max_attempts.max(1) {
+            let sleep = p.backoff_for(attempt - 1, &mut j);
+            if sleep >= budget.saturating_sub(slept) {
+                break;
+            }
+            slept += sleep;
+            want_attempts += 1;
+        }
+        prop_assert_eq!(attempts, want_attempts, "early-stop point diverged");
+        prop_assert_eq!(
+            clock.elapsed_ns(),
+            slept.as_nanos() as u64,
+            "virtual sleep must equal the granted schedule"
+        );
+        prop_assert!(
+            slept < budget || budget.is_zero(),
+            "sleeping consumed the whole deadline budget"
         );
     }
 

@@ -23,7 +23,9 @@ use crate::gtn::Gtn;
 use crate::site::{Site, SiteId};
 use mvcc_core::clock::{real_clock, SharedClock, SharedRng};
 use mvcc_core::trace::TxnTrace;
-use mvcc_core::{AbortReason, DbError, FaultConfig, FaultInjector, FaultPoint, Tracer};
+use mvcc_core::{
+    AbortReason, DbError, Deadline, FaultConfig, FaultInjector, FaultPoint, Tracer, TxnOptions,
+};
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::Value;
 use parking_lot::Mutex;
@@ -372,7 +374,21 @@ impl Cluster {
             parts: BTreeMap::new(),
             trace: TxnTrace::new(),
             done: false,
+            deadline: None,
         }
+    }
+
+    /// Begin a distributed read-write transaction with per-transaction
+    /// options. A deadline budget bounds the whole transaction: reads,
+    /// writes, and two-phase commit all check it, and an expired budget
+    /// rolls the transaction back *before* the commit decision is logged
+    /// (never after — a logged decision is always driven to completion).
+    pub fn begin_rw_with(&self, opts: &TxnOptions) -> DistRwTxn<'_> {
+        let mut t = self.begin_rw();
+        t.deadline = opts
+            .deadline
+            .map(|budget| Deadline::within(&*self.clock, budget));
+        t
     }
 
     /// Begin a distributed read-only transaction.
@@ -477,11 +493,29 @@ pub struct DistRwTxn<'c> {
     parts: BTreeMap<SiteId, Participant>,
     trace: TxnTrace,
     done: bool,
+    /// Deadline budget, when begun with one (see
+    /// [`Cluster::begin_rw_with`]).
+    deadline: Option<Deadline>,
 }
 
 impl DistRwTxn<'_> {
+    /// Fail fast once the deadline budget is spent: roll back everywhere
+    /// and surface the miss. Called at every operation entry and before
+    /// each phase-1 prepare — never after the decision is logged.
+    fn check_deadline(&mut self) -> Result<(), DbError> {
+        if self
+            .deadline
+            .is_some_and(|d| d.expired(&*self.cluster.clock))
+        {
+            self.rollback();
+            return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
+        }
+        Ok(())
+    }
+
     /// Read `obj` at `site`.
     pub fn read(&mut self, site: SiteId, obj: ObjectId) -> Result<Value, DbError> {
+        self.check_deadline()?;
         self.cluster.msg_reliable();
         let s = self.cluster.site(site);
         match s.rw_read(self.token, obj) {
@@ -504,6 +538,7 @@ impl DistRwTxn<'_> {
 
     /// Write `obj` at `site`.
     pub fn write(&mut self, site: SiteId, obj: ObjectId, value: Value) -> Result<(), DbError> {
+        self.check_deadline()?;
         self.cluster.msg_reliable();
         let s = self.cluster.site(site);
         match s.rw_write(self.token, obj, value) {
@@ -537,6 +572,16 @@ impl DistRwTxn<'_> {
         // their conflicts were resolved by locks — so this prepare
         // always succeeds; the in-doubt window is still real for
         // visibility.)
+        // A spent deadline budget aborts here, while rollback is still
+        // sound; once the decision is logged below, the transaction is
+        // always driven to completion regardless of the deadline.
+        if self
+            .deadline
+            .is_some_and(|d| d.expired(&*self.cluster.clock))
+        {
+            self.rollback();
+            return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
+        }
         let mut proposals: BTreeMap<SiteId, Gtn> = BTreeMap::new();
         for (&site, part) in &self.parts {
             self.cluster.msg_reliable();
@@ -1022,6 +1067,30 @@ mod tests {
         r.finish();
         let h = c.trace_history().unwrap();
         assert!(mvsg::check_tn_order(&h).acyclic);
+    }
+
+    #[test]
+    fn spent_deadline_rolls_back_before_decision() {
+        use mvcc_core::SimClock;
+        let clock = SimClock::new();
+        let cfg = ClusterConfig::default().with_clock(clock.clone());
+        let c = Cluster::with_config(2, cfg);
+        let opts = TxnOptions::default().with_deadline(Duration::from_millis(5));
+        let mut t = c.begin_rw_with(&opts);
+        t.write(SiteId(1), obj(0), Value::from_u64(1)).unwrap();
+        clock.advance(Duration::from_millis(10));
+        let err = t.commit().unwrap_err();
+        assert_eq!(err, DbError::Aborted(AbortReason::DeadlineExceeded));
+        // No decision was logged, nothing became visible, and the locks
+        // are free again.
+        assert_eq!(c.site(SiteId(1)).vc().vtnc(), Gtn::ZERO);
+        assert_eq!(
+            c.site(SiteId(1)).store().read_latest(obj(0)).1,
+            Value::empty()
+        );
+        let mut t2 = c.begin_rw();
+        t2.write(SiteId(1), obj(0), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap();
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! Overload simulation: seeded schedules that push the real engine
+//! through the admission controller's degradation ladder and back.
+//!
+//! The harness reuses the single-node cooperative scheduler (one real
+//! thread, logical clients advanced one operation per seeded tick,
+//! virtual time) but shapes the workload as *overload*: a burst window
+//! in the middle of the run inflates every write payload and — when
+//! [`OverloadSpec::gc_stall`] is set — suspends garbage collection, so
+//! live-version bytes and GC debt climb deterministically across the
+//! configured watermarks. The run records every ladder transition the
+//! admission controller takes and checks the robustness properties the
+//! ladder promises:
+//!
+//! * **`no_silent_overrun`** — a transaction carrying a deadline budget
+//!   either commits within it or is refused/aborted with
+//!   `DeadlineExceeded`; no commit lands after its budget is spent.
+//! * **`burst_recovery`** — once the burst ends and GC drains the debt,
+//!   the ladder returns to `Normal` (shedding runs only).
+//! * **`ladder_descent`** — downward transitions move exactly one rung
+//!   at a time (the hysteresis contract; upward may jump).
+//! * **`ladder_hysteresis`** — the total transition count stays bounded:
+//!   a noisy boundary must not make the ladder oscillate.
+//! * **`tenant_fairness`** — under skewed quota weights the heavy
+//!   tenant is never starved: its admitted share stays at or above half
+//!   of `min(offered share, weight share)`, and at the `Shed` rung the
+//!   light tenants are the ones refused.
+//! * **`permit_leak`** — after every in-flight transaction drains, the
+//!   controller's in-flight gauge is back to zero (the RAII permit
+//!   released every slot).
+//!
+//! Everything derives from [`OverloadSpec::seed`]; two runs of one spec
+//! produce byte-identical canonical traces.
+
+use crate::report::{fnv1a, Violation};
+use crate::spec::Protocol;
+use mvcc_cc::{Optimistic, TimestampOrdering, TwoPhaseLocking};
+use mvcc_core::{
+    AbortReason, ConcurrencyControl, DbConfig, DbError, MvDatabase, PressureConfig, PressureLevel,
+    RwTxn, SimClock, SimRng, SplitMixRng, TenantId, TxnOptions,
+};
+use mvcc_model::ObjectId;
+use mvcc_storage::Value;
+use std::fmt;
+use std::time::Duration;
+
+/// Stream-splitting constant for the engine's jitter rng, distinct from
+/// the single-node harness stream so overload runs never alias it.
+const ENGINE_STREAM: u64 = 0x0DD5_0AD0_0DD5_0AD0;
+
+/// Cooldown ticks granted after the step budget for the ladder to
+/// descend back to `Normal` before the recovery oracle is checked.
+const COOLDOWN_TICKS: u64 = 400;
+
+/// Everything that determines one overload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSpec {
+    /// Master seed: scheduler, workload and jitter streams derive from it.
+    pub seed: u64,
+    /// Concurrency-control protocol under test.
+    pub protocol: Protocol,
+    /// Read-write client slots. Client `k` bills tenant `k % tenants`.
+    pub clients: usize,
+    /// Read-only client slots.
+    pub ro_clients: usize,
+    /// Number of tenants billed round-robin by the clients.
+    pub tenants: u32,
+    /// Quota weight of tenant 0 (the "heavy" tenant); all others keep
+    /// the default weight 1 and are shed first at the `Shed` rung.
+    pub heavy_tenant_weight: u32,
+    /// Completed transactions before the run checks terminal oracles.
+    pub steps: u64,
+    /// Workload keyspace size.
+    pub objects: u64,
+    /// Step at which the overload burst begins.
+    pub burst_from: u64,
+    /// Step at which the burst ends (exclusive).
+    pub burst_until: u64,
+    /// Write payload size during the burst (8 bytes outside it).
+    pub burst_value_bytes: usize,
+    /// Suspend garbage collection for the whole burst window, letting
+    /// GC debt pile up on top of the live-byte growth.
+    pub gc_stall: bool,
+    /// Run with the admission controller enabled. Off reproduces the
+    /// unprotected engine for goodput comparisons.
+    pub shedding: bool,
+    /// Per-transaction deadline budget handed to every begin.
+    pub deadline: Option<Duration>,
+    /// Live-byte watermarks `(low, high)` for the degradation ladder.
+    pub byte_watermarks: (u64, u64),
+    /// GC-debt watermarks `(low, high)`; `(0, 0)` disables the signal.
+    pub debt_watermarks: (u64, u64),
+}
+
+impl Default for OverloadSpec {
+    fn default() -> Self {
+        OverloadSpec {
+            seed: 1,
+            protocol: Protocol::TwoPl,
+            clients: 6,
+            ro_clients: 2,
+            tenants: 3,
+            heavy_tenant_weight: 4,
+            steps: 600,
+            objects: 8,
+            burst_from: 150,
+            burst_until: 300,
+            burst_value_bytes: 4096,
+            gc_stall: true,
+            shedding: true,
+            deadline: None,
+            byte_watermarks: (8_192, 65_536),
+            debt_watermarks: (0, 0),
+        }
+    }
+}
+
+impl fmt::Display for OverloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} proto={} clients={}+{}ro tenants={} steps={} burst=[{},{})x{}B \
+             gc_stall={} shedding={} deadline={:?}",
+            self.seed,
+            self.protocol,
+            self.clients,
+            self.ro_clients,
+            self.tenants,
+            self.steps,
+            self.burst_from,
+            self.burst_until,
+            self.burst_value_bytes,
+            self.gc_stall,
+            self.shedding,
+            self.deadline,
+        )
+    }
+}
+
+/// One degradation-ladder transition, in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderStep {
+    /// Scheduler tick at which the transition was observed.
+    pub tick: u64,
+    /// Virtual time of the observation, nanoseconds since run start.
+    pub t_ns: u64,
+    /// Rung before.
+    pub from: PressureLevel,
+    /// Rung after.
+    pub to: PressureLevel,
+}
+
+/// Everything one overload run produced.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// The spec that produced this run.
+    pub spec: OverloadSpec,
+    /// Completed transactions (any outcome).
+    pub steps_done: u64,
+    /// Scheduler ticks consumed (including the cooldown phase).
+    pub ticks: u64,
+    /// Committed read-write transactions.
+    pub commits: u64,
+    /// Retryable protocol aborts (conflicts, timeouts).
+    pub aborts: u64,
+    /// Read-write begins refused by the admission controller.
+    pub shed_rw: u64,
+    /// Read-only begins refused on the `RejectRo` rung.
+    pub shed_ro: u64,
+    /// Transactions aborted because their deadline budget expired.
+    pub deadline_aborts: u64,
+    /// Successful read-only reads.
+    pub ro_reads: u64,
+    /// Read-only transactions cut short (pruned version).
+    pub ro_aborts: u64,
+    /// Every ladder transition, in schedule order.
+    pub transitions: Vec<LadderStep>,
+    /// Highest rung the run reached.
+    pub max_level: PressureLevel,
+    /// Rung at the end of the cooldown phase.
+    pub final_level: PressureLevel,
+    /// Per-tenant `(tenant, admitted, shed)` counters, captured before
+    /// the cooldown probes run.
+    pub tenant_stats: Vec<(TenantId, u64, u64)>,
+    /// Oracle failures; empty means the run passed.
+    pub violations: Vec<Violation>,
+    /// Canonical deterministic trace: ladder transitions, tenant
+    /// counters and the run counters. Byte-identical across replays.
+    pub trace: String,
+    /// FNV-1a 64 hash of `trace`, hex.
+    pub fingerprint: String,
+}
+
+impl OverloadReport {
+    /// `true` when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line outcome summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | steps={} ticks={} commits={} aborts={} shed_rw={} shed_ro={} \
+             deadline_aborts={} max={} final={} transitions={} violations={} fp={}",
+            self.spec,
+            self.steps_done,
+            self.ticks,
+            self.commits,
+            self.aborts,
+            self.shed_rw,
+            self.shed_ro,
+            self.deadline_aborts,
+            self.max_level.name(),
+            self.final_level.name(),
+            self.transitions.len(),
+            self.violations.len(),
+            self.fingerprint,
+        )
+    }
+}
+
+/// Run one overload simulation to completion.
+pub fn run_overload(spec: &OverloadSpec) -> OverloadReport {
+    match spec.protocol {
+        Protocol::TwoPl => drive(spec, || TwoPhaseLocking::with_shards(16)),
+        Protocol::To => drive(spec, TimestampOrdering::new),
+        Protocol::Occ => drive(spec, Optimistic::new),
+    }
+}
+
+/// An in-flight read-write transaction owned by a logical client.
+struct RwFlight<'db, C: ConcurrencyControl> {
+    txn: RwTxn<'db, C>,
+    plan: Vec<ObjectId>,
+    pos: usize,
+    start_ns: u64,
+}
+
+fn pressure_config(spec: &OverloadSpec) -> PressureConfig {
+    if !spec.shedding {
+        return PressureConfig::default();
+    }
+    let mut cfg = PressureConfig::enabled()
+        .with_byte_watermarks(spec.byte_watermarks.0, spec.byte_watermarks.1)
+        .with_tenant_weight(TenantId(0), spec.heavy_tenant_weight.max(1));
+    if spec.debt_watermarks.1 > 0 {
+        cfg = cfg.with_gc_debt_watermarks(spec.debt_watermarks.0, spec.debt_watermarks.1);
+    }
+    // Light tenants carry an explicit weight so the quota denominator
+    // counts them; weight 1 sits below the shed threshold (2).
+    for t in 1..spec.tenants.max(1) {
+        cfg = cfg.with_tenant_weight(TenantId(t), 1);
+    }
+    cfg
+}
+
+fn drive<C, F>(spec: &OverloadSpec, mk: F) -> OverloadReport
+where
+    C: ConcurrencyControl,
+    F: Fn() -> C,
+{
+    let clock = SimClock::new();
+    let sched = SplitMixRng::new(spec.seed);
+    let mut cfg = DbConfig::default()
+        .with_clock(clock.clone())
+        .with_rng(SplitMixRng::shared(spec.seed ^ ENGINE_STREAM))
+        .with_pressure(pressure_config(spec));
+    cfg.lock_wait_timeout = Duration::ZERO;
+    cfg.read_wait_timeout = Duration::ZERO;
+    cfg.register_ttl = Some(Duration::from_millis(25));
+
+    let db = MvDatabase::with_config(mk(), cfg);
+    for o in 0..spec.objects {
+        db.seed(ObjectId(o), Value::from_u64(0));
+    }
+
+    let tenants = spec.tenants.max(1);
+    let opts_for = |client: usize, budget: Option<Duration>| -> TxnOptions {
+        let mut o = TxnOptions::default().with_tenant(TenantId(client as u32 % tenants));
+        if let Some(b) = budget {
+            o = o.with_deadline(b);
+        }
+        o
+    };
+
+    let mut rw_slots: Vec<Option<RwFlight<'_, C>>> =
+        (0..spec.clients.max(1)).map(|_| None).collect();
+    let mut ro_slots: Vec<Option<(mvcc_core::RoTxn<'_>, Vec<ObjectId>, usize)>> =
+        (0..spec.ro_clients).map(|_| None).collect();
+    let total = rw_slots.len() + ro_slots.len();
+
+    let mut steps_done = 0u64;
+    let mut ticks = 0u64;
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    let mut shed_rw = 0u64;
+    let mut shed_ro = 0u64;
+    let mut deadline_aborts = 0u64;
+    let mut ro_reads = 0u64;
+    let mut ro_aborts = 0u64;
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut transitions: Vec<LadderStep> = Vec::new();
+    let mut last_level = db.admission().level();
+    let mut max_level = last_level;
+
+    let in_burst = |step: u64| -> bool {
+        spec.burst_from < spec.burst_until && step >= spec.burst_from && step < spec.burst_until
+    };
+
+    let max_ticks = spec.steps.saturating_mul(300).max(10_000);
+    while steps_done < spec.steps && ticks < max_ticks {
+        ticks += 1;
+        let burst = in_burst(steps_done);
+
+        let k = sched.next_below(total as u64) as usize;
+        if k < rw_slots.len() {
+            let slot = &mut rw_slots[k];
+            match slot.take() {
+                None => match db.begin_read_write_with(&opts_for(k, spec.deadline)) {
+                    Ok(txn) => {
+                        let n = 1 + sched.next_below(3);
+                        let mut plan = Vec::new();
+                        for _ in 0..n {
+                            let o = ObjectId(sched.next_below(spec.objects.max(1)));
+                            if !plan.contains(&o) {
+                                plan.push(o);
+                            }
+                        }
+                        *slot = Some(RwFlight {
+                            txn,
+                            plan,
+                            pos: 0,
+                            start_ns: clock.elapsed_ns(),
+                        });
+                    }
+                    Err(DbError::Aborted(AbortReason::Shed)) => {
+                        shed_rw += 1;
+                        steps_done += 1;
+                        if db.admission().retry_after() == Duration::ZERO {
+                            violations.push(Violation {
+                                oracle: "retry_after_hint",
+                                detail: "shed begin got a zero retry-after hint".into(),
+                            });
+                        }
+                    }
+                    Err(DbError::Aborted(AbortReason::DeadlineExceeded)) => {
+                        deadline_aborts += 1;
+                        steps_done += 1;
+                    }
+                    Err(e) => {
+                        violations.push(Violation {
+                            oracle: "engine_error",
+                            detail: format!("rw begin failed: {e}"),
+                        });
+                        steps_done += 1;
+                    }
+                },
+                Some(mut f) => {
+                    if f.pos < f.plan.len() {
+                        let obj = f.plan[f.pos];
+                        let value = if burst {
+                            Value::from_bytes(vec![0x5a_u8; spec.burst_value_bytes.max(8)])
+                        } else {
+                            Value::from_u64(steps_done)
+                        };
+                        let res = f
+                            .txn
+                            .read_for_update(obj)
+                            .and_then(|_| f.txn.write(obj, value));
+                        match res {
+                            Ok(()) => {
+                                f.pos += 1;
+                                *slot = Some(f);
+                            }
+                            Err(DbError::Aborted(AbortReason::DeadlineExceeded)) => {
+                                f.txn.abort();
+                                deadline_aborts += 1;
+                                steps_done += 1;
+                            }
+                            Err(e)
+                                if e.is_retryable()
+                                    || matches!(e, DbError::VersionPruned { .. }) =>
+                            {
+                                f.txn.abort();
+                                aborts += 1;
+                                steps_done += 1;
+                            }
+                            Err(e) => {
+                                violations.push(Violation {
+                                    oracle: "engine_error",
+                                    detail: format!("rw op on {obj:?} failed: {e}"),
+                                });
+                                steps_done += 1;
+                            }
+                        }
+                    } else {
+                        let started = f.start_ns;
+                        match f.txn.commit() {
+                            Ok(_tn) => {
+                                commits += 1;
+                                steps_done += 1;
+                                if let Some(budget) = spec.deadline {
+                                    let elapsed = clock.elapsed_ns().saturating_sub(started);
+                                    if elapsed > budget.as_nanos() as u64 {
+                                        violations.push(Violation {
+                                            oracle: "no_silent_overrun",
+                                            detail: format!(
+                                                "commit landed {elapsed}ns after begin, \
+                                                 budget was {}ns",
+                                                budget.as_nanos()
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                            Err(DbError::Aborted(AbortReason::DeadlineExceeded)) => {
+                                deadline_aborts += 1;
+                                steps_done += 1;
+                            }
+                            Err(e) if e.is_retryable() => {
+                                aborts += 1;
+                                steps_done += 1;
+                            }
+                            Err(e) => {
+                                violations.push(Violation {
+                                    oracle: "engine_error",
+                                    detail: format!("commit failed: {e}"),
+                                });
+                                steps_done += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            let slot = &mut ro_slots[k - rw_slots.len()];
+            match slot.take() {
+                None => match db.begin_read_only_admitted(&opts_for(k, None)) {
+                    Ok(txn) => {
+                        let n = 1 + sched.next_below(4);
+                        let mut plan = Vec::new();
+                        for _ in 0..n {
+                            let o = ObjectId(sched.next_below(spec.objects.max(1)));
+                            if !plan.contains(&o) {
+                                plan.push(o);
+                            }
+                        }
+                        *slot = Some((txn, plan, 0));
+                    }
+                    Err(DbError::Aborted(AbortReason::MemoryPressure)) => {
+                        shed_ro += 1;
+                        steps_done += 1;
+                    }
+                    Err(e) => {
+                        violations.push(Violation {
+                            oracle: "engine_error",
+                            detail: format!("ro begin failed: {e}"),
+                        });
+                        steps_done += 1;
+                    }
+                },
+                Some((mut txn, plan, mut pos)) => {
+                    if pos < plan.len() {
+                        let obj = plan[pos];
+                        match txn.read_u64(obj) {
+                            Ok(_) => {
+                                ro_reads += 1;
+                                pos += 1;
+                                *slot = Some((txn, plan, pos));
+                            }
+                            Err(e)
+                                if e.is_retryable()
+                                    || matches!(e, DbError::VersionPruned { .. }) =>
+                            {
+                                txn.finish();
+                                ro_aborts += 1;
+                                steps_done += 1;
+                            }
+                            Err(e) => {
+                                violations.push(Violation {
+                                    oracle: "engine_error",
+                                    detail: format!("ro read of {obj:?} failed: {e}"),
+                                });
+                                steps_done += 1;
+                            }
+                        }
+                    } else {
+                        txn.finish();
+                        steps_done += 1;
+                    }
+                }
+            }
+        }
+
+        // Maintenance draws: virtual time and GC. GC pauses inside the
+        // burst when the spec stalls it, and runs more often when the
+        // ladder asks for a pacing boost.
+        if sched.next_below(6) == 0 {
+            clock.advance(Duration::from_millis(1 + sched.next_below(8)));
+        }
+        let gc_stalled = spec.gc_stall && burst;
+        let boost = db.admission().level().gc_boost() as u64;
+        if !gc_stalled && sched.next_below((32 / boost).max(1)) == 0 {
+            db.collect_garbage();
+        }
+
+        let lvl = db.admission().level();
+        if lvl != last_level {
+            transitions.push(LadderStep {
+                tick: ticks,
+                t_ns: clock.elapsed_ns(),
+                from: last_level,
+                to: lvl,
+            });
+            last_level = lvl;
+            max_level = max_level.max(lvl);
+        }
+    }
+
+    // Drain whatever is still in flight so every admission permit is
+    // released before the gauges are inspected.
+    for f in rw_slots.drain(..).flatten() {
+        f.txn.abort();
+    }
+    for (txn, ..) in ro_slots.drain(..).flatten() {
+        txn.finish();
+    }
+    let tenant_stats: Vec<(TenantId, u64, u64)> = db
+        .admission()
+        .tenant_stats()
+        .into_iter()
+        .map(|(t, admitted, shed, _in_flight)| (t, admitted, shed))
+        .collect();
+
+    // Cooldown: with the burst over, drain GC debt and keep feeding the
+    // controller observations (each begin observes) until the ladder is
+    // back at Normal or the budget runs out. Probes bill the heavy
+    // tenant so they pass the shed rung; their begins are aborted
+    // immediately and never count as workload.
+    let mut cooldown = 0u64;
+    while spec.shedding
+        && cooldown < COOLDOWN_TICKS
+        && db.admission().level() != PressureLevel::Normal
+    {
+        cooldown += 1;
+        ticks += 1;
+        clock.advance(Duration::from_millis(1));
+        db.collect_garbage();
+        if let Ok(t) = db.begin_read_write_with(&TxnOptions::default().with_tenant(TenantId(0))) {
+            t.abort();
+        }
+        let lvl = db.admission().level();
+        if lvl != last_level {
+            transitions.push(LadderStep {
+                tick: ticks,
+                t_ns: clock.elapsed_ns(),
+                from: last_level,
+                to: lvl,
+            });
+            last_level = lvl;
+        }
+    }
+    let final_level = db.admission().level();
+
+    check_oracles(
+        spec,
+        &db.metrics(),
+        db.admission().in_flight(),
+        &transitions,
+        &tenant_stats,
+        max_level,
+        final_level,
+        commits,
+        &mut violations,
+    );
+
+    // --- Canonical trace --------------------------------------------------
+    let mut trace = String::new();
+    trace.push_str("== ladder ==\n");
+    for t in &transitions {
+        trace.push_str(&format!(
+            "tick{} t{} {} -> {}\n",
+            t.tick,
+            t.t_ns,
+            t.from.name(),
+            t.to.name()
+        ));
+    }
+    trace.push_str("== tenants ==\n");
+    for (t, admitted, shed) in &tenant_stats {
+        trace.push_str(&format!("t{} admitted={admitted} shed={shed}\n", t.0));
+    }
+    trace.push_str(&format!(
+        "== counters ==\nsteps={steps_done} commits={commits} aborts={aborts} shed_rw={shed_rw} \
+         shed_ro={shed_ro} deadline_aborts={deadline_aborts} ro_reads={ro_reads} \
+         ro_aborts={ro_aborts} max={} final={}\n",
+        max_level.name(),
+        final_level.name()
+    ));
+    let fingerprint = format!("{:016x}", fnv1a(trace.as_bytes()));
+
+    OverloadReport {
+        spec: spec.clone(),
+        steps_done,
+        ticks,
+        commits,
+        aborts,
+        shed_rw,
+        shed_ro,
+        deadline_aborts,
+        ro_reads,
+        ro_aborts,
+        transitions,
+        max_level,
+        final_level,
+        tenant_stats,
+        violations,
+        trace,
+        fingerprint,
+    }
+}
+
+/// Terminal oracle checks; every failure lands in `violations`.
+#[allow(clippy::too_many_arguments)]
+fn check_oracles(
+    spec: &OverloadSpec,
+    metrics: &mvcc_core::MetricsSnapshot,
+    in_flight: u64,
+    transitions: &[LadderStep],
+    tenant_stats: &[(TenantId, u64, u64)],
+    max_level: PressureLevel,
+    final_level: PressureLevel,
+    commits: u64,
+    violations: &mut Vec<Violation>,
+) {
+    if commits == 0 {
+        violations.push(Violation {
+            oracle: "liveness",
+            detail: "the run committed nothing at all".into(),
+        });
+    }
+    if in_flight != 0 {
+        violations.push(Violation {
+            oracle: "permit_leak",
+            detail: format!("{in_flight} admission slots still held after drain"),
+        });
+    }
+    for t in transitions {
+        if (t.to as u8) < (t.from as u8) && (t.from as u8) - (t.to as u8) != 1 {
+            violations.push(Violation {
+                oracle: "ladder_descent",
+                detail: format!(
+                    "tick {}: descended {} -> {} (must step one rung at a time)",
+                    t.tick,
+                    t.from.name(),
+                    t.to.name()
+                ),
+            });
+        }
+    }
+    // One climb + one descent per burst, with generous slack; an
+    // oscillating ladder produces dozens.
+    if metrics.pressure_transitions > 12 {
+        violations.push(Violation {
+            oracle: "ladder_hysteresis",
+            detail: format!(
+                "{} ladder transitions for a single burst — the hysteresis band is not holding",
+                metrics.pressure_transitions
+            ),
+        });
+    }
+    if spec.shedding {
+        if final_level != PressureLevel::Normal {
+            violations.push(Violation {
+                oracle: "burst_recovery",
+                detail: format!(
+                    "ladder still at {} after the cooldown budget",
+                    final_level.name()
+                ),
+            });
+        }
+        if max_level >= PressureLevel::Shed {
+            let heavy = tenant_stats
+                .iter()
+                .find(|(t, ..)| *t == TenantId(0))
+                .map(|&(_, a, s)| (a, s))
+                .unwrap_or((0, 0));
+            let total_admitted: u64 = tenant_stats.iter().map(|&(_, a, _)| a).sum();
+            let light_shed: u64 = tenant_stats
+                .iter()
+                .filter(|(t, ..)| *t != TenantId(0))
+                .map(|&(_, _, s)| s)
+                .sum();
+            if heavy.0 == 0 {
+                violations.push(Violation {
+                    oracle: "tenant_fairness",
+                    detail: "heavy tenant was starved: zero admissions".into(),
+                });
+            }
+            if light_shed == 0 {
+                violations.push(Violation {
+                    oracle: "tenant_fairness",
+                    detail: "reached the shed rung but no light tenant was ever refused".into(),
+                });
+            }
+            // The heavy tenant's admitted share must be at least half of
+            // min(its offered share, its weight share).
+            let offered = offered_share(spec);
+            let weight = spec.heavy_tenant_weight.max(1) as f64
+                / (spec.heavy_tenant_weight.max(1) as f64 + (spec.tenants.max(1) - 1) as f64);
+            let floor = offered.min(weight) / 2.0;
+            if total_admitted > 0 && (heavy.0 as f64) < floor * total_admitted as f64 {
+                violations.push(Violation {
+                    oracle: "tenant_fairness",
+                    detail: format!(
+                        "heavy tenant admitted {}/{} — below its {:.0}% floor",
+                        heavy.0,
+                        total_admitted,
+                        floor * 100.0
+                    ),
+                });
+            }
+        }
+    } else {
+        if metrics.shed_rw != 0 || metrics.shed_ro != 0 {
+            violations.push(Violation {
+                oracle: "admission_disabled",
+                detail: format!(
+                    "admission off but {} rw / {} ro begins were refused",
+                    metrics.shed_rw, metrics.shed_ro
+                ),
+            });
+        }
+        if !transitions.is_empty() {
+            violations.push(Violation {
+                oracle: "admission_disabled",
+                detail: format!(
+                    "admission off but the ladder moved {} times",
+                    transitions.len()
+                ),
+            });
+        }
+    }
+}
+
+/// Fraction of the client slots billed to the heavy tenant.
+fn offered_share(spec: &OverloadSpec) -> f64 {
+    let clients = spec.clients.max(1);
+    let tenants = spec.tenants.max(1) as usize;
+    let heavy_clients = clients.div_ceil(tenants);
+    heavy_clients as f64 / clients as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_a_real_burst() {
+        let s = OverloadSpec::default();
+        assert!(s.burst_from < s.burst_until);
+        assert!(s.burst_until < s.steps, "needs post-burst steps to recover");
+        assert!(s.byte_watermarks.0 < s.byte_watermarks.1);
+    }
+
+    #[test]
+    fn offered_share_counts_round_robin_assignment() {
+        let s = OverloadSpec {
+            clients: 6,
+            tenants: 3,
+            ..OverloadSpec::default()
+        };
+        assert!((offered_share(&s) - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

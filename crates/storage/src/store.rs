@@ -16,6 +16,7 @@ use crate::VersionNo;
 use mvcc_model::ObjectId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Result of one poll inside [`MvStore::wait_until`].
@@ -52,6 +53,68 @@ struct Shard {
     cv: Condvar,
 }
 
+/// O(1) pressure signals maintained incrementally by every chain access
+/// (vs [`MvStore::stats`], which walks every shard). These feed the
+/// admission controller's degradation ladder, so they must stay cheap
+/// enough to sample on every `begin`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Payload bytes held live across all chains (committed + pending).
+    pub live_bytes: u64,
+    /// Committed versions across all chains (including initial versions).
+    pub committed_versions: u64,
+    /// Pending (uncommitted) versions across all chains.
+    pub pending_versions: u64,
+    /// Materialized objects.
+    pub objects: u64,
+}
+
+impl PressureStats {
+    /// GC debt: versions above the one-per-object floor — an upper bound
+    /// on what a sweep at the current watermark could reclaim. (The exact
+    /// reclaimable count depends on the watermark; this maintained
+    /// approximation is what lets the gauge stay O(1).)
+    pub fn gc_debt(&self) -> u64 {
+        self.committed_versions.saturating_sub(self.objects)
+    }
+}
+
+/// Incrementally-maintained store counters behind [`PressureStats`].
+#[derive(Default)]
+struct Counters {
+    live_bytes: AtomicU64,
+    committed: AtomicU64,
+    pending: AtomicU64,
+    objects: AtomicU64,
+}
+
+impl Counters {
+    /// Apply before/after deltas from one chain mutation. Wrapping add of
+    /// a two's-complement-encoded signed delta; the aggregate can never
+    /// go negative because every subtraction was preceded by the matching
+    /// addition under the same shard lock.
+    fn apply(&self, before: (usize, usize, usize), chain: &VersionChain) {
+        let (b0, c0, p0) = before;
+        let d = |a: &AtomicU64, from: usize, to: usize| {
+            if from != to {
+                a.fetch_add((to as u64).wrapping_sub(from as u64), Ordering::Relaxed);
+            }
+        };
+        d(&self.live_bytes, b0, chain.payload_bytes());
+        d(&self.committed, c0, chain.committed_len());
+        d(&self.pending, p0, chain.pending_len());
+    }
+}
+
+/// Snapshot a chain's counter inputs before a mutation.
+fn chain_counts(chain: &VersionChain) -> (usize, usize, usize) {
+    (
+        chain.payload_bytes(),
+        chain.committed_len(),
+        chain.pending_len(),
+    )
+}
+
 /// Sharded map of object → version chain.
 ///
 /// ```
@@ -69,6 +132,7 @@ struct Shard {
 /// ```
 pub struct MvStore {
     shards: Box<[Shard]>,
+    counters: Counters,
 }
 
 impl std::fmt::Debug for MvStore {
@@ -103,7 +167,10 @@ impl MvStore {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        MvStore { shards }
+        MvStore {
+            shards,
+            counters: Counters::default(),
+        }
     }
 
     fn shard(&self, obj: ObjectId) -> &Shard {
@@ -116,7 +183,25 @@ impl MvStore {
     pub fn with<R>(&self, obj: ObjectId, f: impl FnOnce(&mut VersionChain) -> R) -> R {
         let shard = self.shard(obj);
         let mut map = shard.map.lock();
-        f(map.entry(obj).or_default())
+        let chain = self.entry(&mut map, obj);
+        let before = chain_counts(chain);
+        let r = f(chain);
+        self.counters.apply(before, chain);
+        r
+    }
+
+    /// Materialize `obj`'s chain, counting first-touch creation (one
+    /// object, one initial version) into the pressure counters.
+    fn entry<'m>(
+        &self,
+        map: &'m mut HashMap<ObjectId, VersionChain>,
+        obj: ObjectId,
+    ) -> &'m mut VersionChain {
+        map.entry(obj).or_insert_with(|| {
+            self.counters.objects.fetch_add(1, Ordering::Relaxed);
+            self.counters.committed.fetch_add(1, Ordering::Relaxed);
+            VersionChain::new()
+        })
     }
 
     /// Repeatedly run `f` until it returns [`WaitOutcome::Ready`], sleeping
@@ -132,9 +217,18 @@ impl MvStore {
         // Zero-timeout fail-fast: poll once, never park. Deterministic
         // simulation configures every wait bound as zero so virtual
         // deadlines are never handed to a real condvar.
+        // Each poll may mutate the chain (TO reads bump r-ts, writes
+        // install pendings), so every invocation is delta-tracked.
+        let mut poll = |map: &mut HashMap<ObjectId, VersionChain>| {
+            let chain = self.entry(map, obj);
+            let before = chain_counts(chain);
+            let out = f(chain);
+            self.counters.apply(before, chain);
+            out
+        };
         if timeout.is_zero() {
             let mut map = shard.map.lock();
-            return match f(map.entry(obj).or_default()) {
+            return match poll(&mut map) {
                 WaitOutcome::Ready(r) => Ok(r),
                 _ => Err(WaitTimeout { waited: timeout }),
             };
@@ -142,13 +236,13 @@ impl MvStore {
         let deadline = Instant::now() + timeout;
         let mut map = shard.map.lock();
         loop {
-            if let WaitOutcome::Ready(r) = f(map.entry(obj).or_default()) {
+            if let WaitOutcome::Ready(r) = poll(&mut map) {
                 return Ok(r);
             }
             if shard.cv.wait_until(&mut map, deadline).timed_out() {
                 // Final re-check: the condition may have become true in the
                 // race between the last poll and the timeout.
-                if let WaitOutcome::Ready(r) = f(map.entry(obj).or_default()) {
+                if let WaitOutcome::Ready(r) = poll(&mut map) {
                     return Ok(r);
                 }
                 return Err(WaitTimeout { waited: timeout });
@@ -225,13 +319,26 @@ impl MvStore {
             let mut map = shard.map.lock();
             for chain in map.values_mut() {
                 stats.chains_examined += 1;
+                let before = chain_counts(chain);
                 let removed = chain.prune_keep_recent(watermark, keep);
+                self.counters.apply(before, chain);
                 stats.versions_pruned += removed;
                 stats.versions_retained += chain.committed_len();
             }
         }
         stats.watermark = watermark;
         stats
+    }
+
+    /// O(1) snapshot of the maintained pressure counters — cheap enough
+    /// for the admission controller to sample on every `begin`.
+    pub fn pressure_stats(&self) -> PressureStats {
+        PressureStats {
+            live_bytes: self.counters.live_bytes.load(Ordering::Relaxed),
+            committed_versions: self.counters.committed.load(Ordering::Relaxed),
+            pending_versions: self.counters.pending.load(Ordering::Relaxed),
+            objects: self.counters.objects.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -294,6 +401,51 @@ mod tests {
         assert_eq!(st.committed_versions, 3); // two initials + one insert
         assert_eq!(st.pending_versions, 1);
         assert_eq!(st.payload_bytes, 11);
+    }
+
+    /// The O(1) maintained pressure counters must agree with the full
+    /// walk after every kind of store access, including GC.
+    #[test]
+    fn pressure_stats_track_full_walk() {
+        let s = MvStore::with_shards(4);
+        let check = |s: &MvStore| {
+            let walk = s.stats();
+            let fast = s.pressure_stats();
+            assert_eq!(fast.live_bytes, walk.payload_bytes as u64);
+            assert_eq!(fast.committed_versions, walk.committed_versions as u64);
+            assert_eq!(fast.pending_versions, walk.pending_versions as u64);
+            assert_eq!(fast.objects, walk.objects as u64);
+        };
+        check(&s);
+        s.seed(obj(1), Value::from_str("seed-value"));
+        for o in 0..6u64 {
+            s.with(obj(o), |c| {
+                for n in 1..=4 {
+                    c.insert_committed(n, Value::from_u64(n)).unwrap();
+                }
+            });
+            check(&s);
+        }
+        s.with(obj(2), |c| {
+            c.install_pending(PendingVersion::phi(TxnId(9), Value::from_str("pending")))
+        });
+        check(&s);
+        s.with(obj(2), |c| {
+            c.discard_pending(TxnId(9));
+        });
+        check(&s);
+        // wait_until's polls are delta-tracked too
+        s.wait_until(obj(3), Duration::ZERO, |c| {
+            c.install_pending(PendingVersion::stamped(TxnId(5), 9, Value::from_u64(9)));
+            WaitOutcome::Ready(())
+        })
+        .unwrap();
+        check(&s);
+        let debt_before = s.pressure_stats().gc_debt();
+        assert!(debt_before > 0);
+        s.collect_garbage(4);
+        check(&s);
+        assert!(s.pressure_stats().gc_debt() < debt_before);
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl Table {
 /// an all-zero snapshot yields an empty table.
 pub fn abort_breakdown(m: &MetricsSnapshot) -> Table {
     let mut t = Table::new(["abort reason", "aborts", "retries"]);
-    let rows: [(&str, u64, u64); 7] = [
+    let rows: [(&str, u64, u64); 10] = [
         ("ts-conflict", m.aborts_ts_conflict, m.retries_ts_conflict),
         ("deadlock", m.aborts_deadlock, m.retries_deadlock),
         ("validation", m.aborts_validation, m.retries_validation),
@@ -91,6 +91,10 @@ pub fn abort_breakdown(m: &MetricsSnapshot) -> Table {
         ("baseline-conflict", m.aborts_baseline, m.retries_baseline),
         ("reaped", m.aborts_reaped, m.retries_reaped),
         ("user-requested", m.aborts_user, 0),
+        // Overload refusals are non-retryable by default: no retry column.
+        ("shed", m.aborts_shed, 0),
+        ("deadline-exceeded", m.aborts_deadline, 0),
+        ("memory-pressure", m.aborts_mem_pressure, 0),
     ];
     for (reason, aborts, retries) in rows {
         if aborts > 0 || retries > 0 {
@@ -195,12 +199,18 @@ mod tests {
         m.retries_deadlock = 2;
         m.retries_reaped = 1;
         m.reaper_force_discards = 4;
+        m.aborts_shed = 5;
+        m.aborts_deadline = 6;
+        m.aborts_mem_pressure = 7;
         let t = abort_breakdown(&m);
-        assert_eq!(t.len(), 3);
+        assert_eq!(t.len(), 6);
         let s = t.render();
         assert!(s.contains("deadlock"));
         assert!(s.contains("reaped"));
         assert!(s.contains("force-discards"));
+        assert!(s.contains("shed"));
+        assert!(s.contains("deadline-exceeded"));
+        assert!(s.contains("memory-pressure"));
         assert!(!s.contains("validation"));
     }
 }

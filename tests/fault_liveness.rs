@@ -209,6 +209,52 @@ fn background_reaper_restores_freshness_and_refuses_late_commit() {
     assert_eq!(db.metrics().aborts_reaped, 1);
 }
 
+/// Table-driven audit of [`AbortReason`] retryability, covering **every**
+/// variant. Retrying is only sound when a fresh attempt can observe a
+/// different interleaving (conflicts, timeouts); it is actively harmful
+/// for durability failures (the disk is still full), overload refusals
+/// (immediate retry feeds the overload the shed exists to relieve), and
+/// deadline misses (the budget is gone). Pinning each variant here means
+/// adding a new one forces a conscious decision: `AbortReason::ALL` and
+/// this table must both grow, and a mismatch in either direction fails.
+#[test]
+fn abort_reason_retryability_audit_covers_every_variant() {
+    let expected: &[(AbortReason, bool)] = &[
+        (AbortReason::TimestampConflict, true),
+        (AbortReason::Deadlock, true),
+        (AbortReason::ValidationFailed, true),
+        (AbortReason::WaitTimeout, true),
+        (AbortReason::BaselineConflict, true),
+        (AbortReason::Reaped, true),
+        (AbortReason::UserRequested, false),
+        (AbortReason::LogFailed, false),
+        (AbortReason::Shed, false),
+        (AbortReason::DeadlineExceeded, false),
+        (AbortReason::MemoryPressure, false),
+    ];
+    assert_eq!(
+        expected.len(),
+        AbortReason::ALL.len(),
+        "audit table out of sync with AbortReason::ALL"
+    );
+    for reason in AbortReason::ALL {
+        let row = expected
+            .iter()
+            .find(|(r, _)| *r == reason)
+            .unwrap_or_else(|| panic!("no audit row for {reason:?}"));
+        let err = DbError::Aborted(reason);
+        assert_eq!(
+            err.is_retryable(),
+            row.1,
+            "{reason:?}: expected retryable={}, got {}",
+            row.1,
+            err.is_retryable()
+        );
+    }
+    // Non-abort errors are never retryable.
+    assert!(!DbError::Internal("x".into()).is_retryable());
+}
+
 /// Under protocols that register at commit (2PL here), a stalled client
 /// never reaches version control at all — vtnc cannot be pinned and the
 /// reaper has nothing to do. The modularity consequence, end to end.
