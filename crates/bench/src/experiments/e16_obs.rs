@@ -7,9 +7,13 @@
 //! instrumentation fires most (hotspot/write-heavy, 16 threads, the E15
 //! headline cell):
 //!
-//! * **enabled overhead** — committed throughput with events off vs on,
-//!   interleaved A/B repeats (off, on, off, on, …) with medians, so
-//!   machine drift cancels instead of biasing one side;
+//! * **enabled overhead** — committed throughput with events off vs on
+//!   (buffered per-thread rings, default sampling tier) vs on with the
+//!   legacy direct seqlock publish, interleaved A/B/C repeats so machine
+//!   drift cancels instead of biasing one side. Every run discards a
+//!   warmup window before measuring, and each off/on pair also yields a
+//!   paired overhead sample, from which a 95% confidence half-width
+//!   (`enabled_overhead_ci_pct`) accompanies the median overhead;
 //! * **disabled overhead** — the shipped default has the checks compiled
 //!   in, so the pre-obs baseline cannot be rebuilt at run time. Two
 //!   complementary estimates bound it instead: an *analytic* bound
@@ -23,7 +27,6 @@
 //! `$BENCH_OUT_DIR` (or the current directory) — CI's obs-smoke job and
 //! the acceptance check parse it.
 
-use crate::scaled_ms;
 use mvcc_cc::presets;
 use mvcc_core::{ConcurrencyControl, DbConfig, Engine, EventKind, MvDatabase, Obs, ObsConfig};
 use mvcc_workload::report::{fmt_rate, Table};
@@ -36,12 +39,52 @@ use std::time::Instant;
 /// write-heavy, saturating closed loop.
 const THREADS: usize = 16;
 
-/// Interleaved off/on measurement pairs.
+/// Interleaved off/on/legacy measurement triples. Full mode buys extra
+/// triples: whole-cell throughput can drift 20%+ between runs on a
+/// shared host, and the paired-delta median needs enough triples to
+/// absorb the disturbed ones.
 fn repeats(fast: bool) -> usize {
     if fast {
-        3
+        9
     } else {
-        7
+        13
+    }
+}
+
+/// Measured steady-state window. Long enough even in quick mode for the
+/// A/A floor to sit under the effect being measured — the original 30 ms
+/// quick window put vc+2pl's run-to-run noise at ~29%.
+/// Quick mode favors *more, shorter* paired windows: host interference
+/// drifts at second scale, so adjacent short windows inside one triple
+/// see the same conditions and their delta stays clean, while the
+/// median over many triples absorbs the occasional disturbed one.
+fn window(fast: bool) -> std::time::Duration {
+    std::time::Duration::from_millis(if fast { 250 } else { 1500 })
+}
+
+/// Discarded warmup ahead of every measured window: fills caches and
+/// settles the allocator, lock tables and GC cadence first.
+fn warmup(fast: bool) -> std::time::Duration {
+    std::time::Duration::from_millis(if fast { 100 } else { 400 })
+}
+
+/// Two-sided 95% Student-t critical value for `n` paired samples
+/// (df = n − 1); enough of the table for the repeat counts used here.
+fn t95(n: usize) -> f64 {
+    match n {
+        0..=2 => 12.706,
+        3 => 4.303,
+        4 => 3.182,
+        5 => 2.776,
+        6 => 2.571,
+        7 => 2.447,
+        8 => 2.365,
+        9 => 2.306,
+        10 => 2.262,
+        11 => 2.228,
+        12 => 2.201,
+        13 => 2.179,
+        _ => 2.145,
     }
 }
 
@@ -67,8 +110,19 @@ pub struct Record {
     pub off_txn_per_sec: f64,
     /// Median committed txn/s with events + phase recording enabled.
     pub on_txn_per_sec: f64,
-    /// Throughput cost of enabling events: `(off − on) / off × 100`.
+    /// Throughput cost of enabling events: the median over interleaved
+    /// pairs of `(off − on) / off × 100` (paired, so host drift between
+    /// repeats cancels instead of polluting the estimate).
     pub enabled_overhead_pct: f64,
+    /// 95% confidence half-width of the paired per-repeat overhead
+    /// samples. The measured overhead is real only if it exceeds this.
+    pub enabled_overhead_ci_pct: f64,
+    /// Median committed txn/s with events on through the legacy direct
+    /// seqlock publish (the pre-buffer path, kept as the A/B arm).
+    pub legacy_on_txn_per_sec: f64,
+    /// Throughput cost of the legacy publish: median of the paired
+    /// `(off − legacy) / off × 100` deltas.
+    pub legacy_overhead_pct: f64,
     /// Instrumentation points executed per committed transaction
     /// (events emitted + phase samples, measured on an enabled run).
     pub points_per_txn: f64,
@@ -98,15 +152,28 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn run_cell(engine: &dyn Engine, fast: bool) -> driver::RunReport {
+fn run_cell(engine: &dyn Engine, fast: bool, warm: bool) -> driver::RunReport {
     let spec = spec();
     driver::seed_zeroes(engine, spec.n_objects);
+    // GC cadence is fixed (not scaled): scaling it to 5 ms in quick mode
+    // made GC churn a first-order noise source in its own measurement.
+    let gc = Some(std::time::Duration::from_millis(50));
+    if warm {
+        let warm_cfg = DriverConfig {
+            threads: THREADS,
+            duration: warmup(fast),
+            max_retries: 5000,
+            gc_every: gc,
+            ..Default::default()
+        };
+        driver::run(engine, &spec, &warm_cfg);
+    }
     engine.reset_metrics();
     let cfg = DriverConfig {
         threads: THREADS,
-        duration: scaled_ms(fast, 300),
+        duration: window(fast),
         max_retries: 5000,
-        gc_every: Some(scaled_ms(fast, 50)),
+        gc_every: gc,
         ..Default::default()
     };
     driver::run(engine, &spec, &cfg)
@@ -126,7 +193,7 @@ fn build(protocol: &str, cfg: DbConfig) -> Box<dyn Engine> {
 /// samples (each phase sample also pays a timer check on entry, counted
 /// as a second point).
 fn points_per_txn<P: ConcurrencyControl>(db: &MvDatabase<P>, fast: bool) -> f64 {
-    let report = run_cell(db, fast);
+    let report = run_cell(db, fast, false);
     let txns = (report.ro_committed + report.rw_committed).max(1);
     let events = db.obs().events().emitted();
     let phases = db.phase_latencies();
@@ -138,12 +205,39 @@ fn measure_protocol(protocol: &str, check_ns: f64, fast: bool) -> Record {
     let n = repeats(fast);
     let mut off = Vec::with_capacity(n);
     let mut on = Vec::with_capacity(n);
-    // Interleave off/on so slow drift (thermal, neighbors) cancels.
-    for _ in 0..n {
-        let engine = build(protocol, DbConfig::default());
-        off.push(run_cell(engine.as_ref(), fast).throughput());
-        let engine = build(protocol, DbConfig::default().with_events());
-        on.push(run_cell(engine.as_ref(), fast).throughput());
+    let mut legacy = Vec::with_capacity(n);
+    // Interleave off/on/legacy triples, alternating the order within
+    // each triple: monotone drift across a triple (allocator growth,
+    // host throttling) would otherwise bias whichever arm always ran
+    // last. Every run discards its warmup window.
+    let run_arm = |arm: &str| -> f64 {
+        let cfg = match arm {
+            "off" => DbConfig::default(),
+            "on" => DbConfig::default().with_events(),
+            "legacy" => {
+                let mut cfg = DbConfig::default().with_events();
+                cfg.obs.direct_publish = true;
+                cfg
+            }
+            other => panic!("unknown arm {other}"),
+        };
+        let engine = build(protocol, cfg);
+        run_cell(engine.as_ref(), fast, true).throughput()
+    };
+    for i in 0..n {
+        let order: [&str; 3] = if i % 2 == 0 {
+            ["off", "on", "legacy"]
+        } else {
+            ["legacy", "on", "off"]
+        };
+        for arm in order {
+            let tput = run_arm(arm);
+            match arm {
+                "off" => off.push(tput),
+                "on" => on.push(tput),
+                _ => legacy.push(tput),
+            }
+        }
     }
 
     let points = match protocol {
@@ -153,21 +247,53 @@ fn measure_protocol(protocol: &str, check_ns: f64, fast: bool) -> Record {
         other => panic!("unknown protocol {other}"),
     };
 
+    // Paired per-repeat overheads: each off/on pair ran inside one
+    // triple, so slow drift mostly cancels within a pair. The reported
+    // overhead is the *median of the paired deltas* — on a drifting
+    // host, the difference of independent medians measures the drift,
+    // not the effect — and the spread of the pairs gives the 95%
+    // confidence half-width.
+    let mut paired: Vec<f64> = off
+        .iter()
+        .zip(&on)
+        .filter(|(o, _)| **o > 0.0)
+        .map(|(o, e)| (o - e) / o * 100.0)
+        .collect();
+    let enabled_overhead_ci_pct = if paired.len() >= 2 {
+        let mean = paired.iter().sum::<f64>() / paired.len() as f64;
+        let var =
+            paired.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (paired.len() - 1) as f64;
+        t95(paired.len()) * (var / paired.len() as f64).sqrt()
+    } else {
+        0.0
+    };
+    let enabled_overhead_pct = if paired.is_empty() {
+        0.0
+    } else {
+        median(&mut paired)
+    };
+    let mut paired_legacy: Vec<f64> = off
+        .iter()
+        .zip(&legacy)
+        .filter(|(o, _)| **o > 0.0)
+        .map(|(o, l)| (o - l) / o * 100.0)
+        .collect();
+    let legacy_overhead_pct = if paired_legacy.is_empty() {
+        0.0
+    } else {
+        median(&mut paired_legacy)
+    };
+
     // A/A halves of the off samples before consuming them for the median.
     let mut evens: Vec<f64> = off.iter().step_by(2).copied().collect();
     let mut odds: Vec<f64> = off.iter().skip(1).step_by(2).copied().collect();
     let off_med = median(&mut off);
     let on_med = median(&mut on);
+    let legacy_med = median(&mut legacy);
     let aa_noise_pct = if odds.is_empty() || off_med <= 0.0 {
         0.0
     } else {
         (median(&mut evens) - median(&mut odds)).abs() / off_med * 100.0
-    };
-
-    let enabled_overhead_pct = if off_med > 0.0 {
-        (off_med - on_med) / off_med * 100.0
-    } else {
-        0.0
     };
     // Per-transaction engine time in the saturating closed loop: all
     // THREADS workers are inside the engine, so each committed
@@ -184,6 +310,9 @@ fn measure_protocol(protocol: &str, check_ns: f64, fast: bool) -> Record {
         off_txn_per_sec: off_med,
         on_txn_per_sec: on_med,
         enabled_overhead_pct,
+        enabled_overhead_ci_pct,
+        legacy_on_txn_per_sec: legacy_med,
+        legacy_overhead_pct,
         points_per_txn: points,
         disabled_overhead_pct,
         aa_noise_pct,
@@ -202,15 +331,21 @@ pub fn collect(fast: bool) -> (String, f64, Vec<Record>) {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "hotspot/write-heavy (n=128, rw 95%), {THREADS} threads, {} interleaved off/on pairs;\n\
+        "hotspot/write-heavy (n=128, rw 95%), {THREADS} threads, {} interleaved \
+         off/on/legacy triples;\nwindow {} ms after {} ms discarded warmup; \
          one disabled-path check (relaxed load + branch): {check_ns:.2} ns\n",
         repeats(fast),
+        window(fast).as_millis(),
+        warmup(fast).as_millis(),
     );
     let mut table = Table::new([
         "protocol",
         "events off",
-        "events on",
+        "on (buffered)",
         "on-cost",
+        "95% CI",
+        "on (legacy)",
+        "legacy-cost",
         "points/txn",
         "off-cost (bound)",
         "A/A noise",
@@ -221,6 +356,9 @@ pub fn collect(fast: bool) -> (String, f64, Vec<Record>) {
             fmt_rate(r.off_txn_per_sec),
             fmt_rate(r.on_txn_per_sec),
             format!("{:.2}%", r.enabled_overhead_pct),
+            format!("±{:.2}%", r.enabled_overhead_ci_pct),
+            fmt_rate(r.legacy_on_txn_per_sec),
+            format!("{:.2}%", r.legacy_overhead_pct),
             format!("{:.1}", r.points_per_txn),
             format!("{:.4}%", r.disabled_overhead_pct),
             format!("{:.2}%", r.aa_noise_pct),
@@ -228,15 +366,18 @@ pub fn collect(fast: bool) -> (String, f64, Vec<Record>) {
     }
     out.push_str(&table.render());
     out.push_str(
-        "\nreading: \"off-cost\" is the analytic bound on what the compiled-in (but\n\
+        "\nreading: \"on-cost\" is the measured price of the shipped enabled path\n\
+         (per-thread ring claim at the default sampling tier, batch-drained to\n\
+         the bus), with a 95% confidence half-width from the paired repeats;\n\
+         \"legacy-cost\" is the same workload through the old direct seqlock\n\
+         publish on every emit — the A/B arm the buffered path replaced.\n\
+         \"off-cost\" is the analytic bound on what the compiled-in (but\n\
          disabled) instrumentation costs vs the pre-obs baseline — instrumentation\n\
          points per committed transaction times the measured per-check cost, as a\n\
          share of per-transaction engine time. It sits orders of magnitude below\n\
          the 2% budget and below the A/A noise floor of the measurement itself,\n\
          so the run-to-run medians cannot distinguish the disabled build from a\n\
-         build with no instrumentation at all. \"on-cost\" is the measured price\n\
-         of turning events + phase timing on (ring-buffer claim + seqlock write\n\
-         plus two Instant::now per timed phase).\n",
+         build with no instrumentation at all.\n",
     );
     (out, check_ns, records)
 }
@@ -271,6 +412,8 @@ pub fn render_json(fast: bool, check_ns: f64, records: &[Record]) -> String {
     let _ = writeln!(out, "  \"workload\": \"hotspot/write-heavy\",");
     let _ = writeln!(out, "  \"threads\": {THREADS},");
     let _ = writeln!(out, "  \"repeats\": {},", repeats(fast));
+    let _ = writeln!(out, "  \"window_ms\": {},", window(fast).as_millis());
+    let _ = writeln!(out, "  \"warmup_ms\": {},", warmup(fast).as_millis());
     let _ = writeln!(out, "  \"disabled_check_ns\": {check_ns:.3},");
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -278,12 +421,17 @@ pub fn render_json(fast: bool, check_ns: f64, records: &[Record]) -> String {
             out,
             "    {{\"protocol\": \"{}\", \"off_txn_per_sec\": {:.1}, \
              \"on_txn_per_sec\": {:.1}, \"enabled_overhead_pct\": {:.3}, \
+             \"enabled_overhead_ci_pct\": {:.3}, \
+             \"legacy_on_txn_per_sec\": {:.1}, \"legacy_overhead_pct\": {:.3}, \
              \"points_per_txn\": {:.2}, \"disabled_overhead_pct\": {:.5}, \
              \"aa_noise_pct\": {:.3}}}{}",
             json_escape(&r.protocol),
             r.off_txn_per_sec,
             r.on_txn_per_sec,
             r.enabled_overhead_pct,
+            r.enabled_overhead_ci_pct,
+            r.legacy_on_txn_per_sec,
+            r.legacy_overhead_pct,
             r.points_per_txn,
             r.disabled_overhead_pct,
             r.aa_noise_pct,
@@ -337,6 +485,16 @@ mod tests {
                 "{}: enabled run recorded nothing",
                 r.protocol
             );
+            assert!(
+                r.legacy_on_txn_per_sec > 0.0,
+                "{}: no legacy-arm throughput",
+                r.protocol
+            );
+            assert!(
+                r.enabled_overhead_ci_pct >= 0.0,
+                "{}: negative CI width",
+                r.protocol
+            );
             // The analytic bound is deterministic (unlike the throughput
             // medians on a loaded single-core CI host): a handful of
             // ~1 ns checks against microseconds of per-txn engine time.
@@ -351,6 +509,9 @@ mod tests {
         assert!(json.contains("\"experiment\": \"e16_obs_overhead\""));
         assert!(json.contains("\"disabled_overhead_pct\""));
         assert!(json.contains("\"enabled_overhead_pct\""));
+        assert!(json.contains("\"enabled_overhead_ci_pct\""));
+        assert!(json.contains("\"legacy_on_txn_per_sec\""));
+        assert!(json.contains("\"window_ms\""));
         assert!(json.contains("\"vc+occ\""));
     }
 }

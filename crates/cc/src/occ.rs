@@ -95,6 +95,8 @@ impl ConcurrencyControl for Optimistic {
 
     fn commit(&self, ctx: &CcContext, txn: OccTxn) -> Result<u64, DbError> {
         let m = &ctx.metrics;
+        // Speculative trace leaf spanning the validation critical section.
+        let mut span = mvcc_core::obs::trace::leaf("validate");
         let _crit = self.validation.lock();
 
         // Backward validation: every read must still be current.
@@ -105,6 +107,10 @@ impl ConcurrencyControl for Optimistic {
                 // id 0: the loser has no transaction number (it never
                 // registers); aux names the conflicting object.
                 ctx.obs.emit(EventKind::Validate, 0, obj.get());
+                if let Some(mut span) = span {
+                    span.attr("failed_object", obj.get());
+                    span.finish();
+                }
                 return Err(DbError::Aborted(AbortReason::ValidationFailed));
             }
         }
@@ -112,8 +118,11 @@ impl ConcurrencyControl for Optimistic {
         // Serial order fixed here: register inside the critical section.
         let tn = ctx.vc.register();
         m.vc_register_calls.fetch_add(1, Ordering::Relaxed);
-        ctx.obs
-            .emit(EventKind::Validate, tn, txn.read_set.len() as u64);
+        if let Some(mut span) = span.take() {
+            span.attr("tn", tn);
+            span.attr("read_set", txn.read_set.len() as u64);
+            span.finish();
+        }
         // Claim before writing (reaper discipline). The claim cannot
         // realistically fail — register and claim run back-to-back under
         // the validation lock — but the contract is uniform.
@@ -144,6 +153,10 @@ impl ConcurrencyControl for Optimistic {
         }
 
         drop(_crit);
+        // Deferred past the lock drop: a notification emit must never
+        // extend the validation critical section.
+        ctx.obs
+            .emit(EventKind::Validate, tn, txn.read_set.len() as u64);
         ctx.vc.complete(tn);
         m.vc_complete_calls.fetch_add(1, Ordering::Relaxed);
         Ok(tn)

@@ -132,6 +132,8 @@ impl ConcurrencyControl for TimestampOrdering {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
+        // Speculative trace leaf, finished only when the read blocked.
+        let span = mvcc_core::obs::trace::leaf("blocked");
         let result = ctx.store.wait_until(obj, timeout, |c| {
             // Own pending write shadows everything.
             if let Some(p) = c.pending_by(TxnId(tn)) {
@@ -153,6 +155,12 @@ impl ConcurrencyControl for TimestampOrdering {
             let v = c.at(tn).expect("initial version always present");
             WaitOutcome::Ready((v.number, v.value.clone()))
         });
+        if blocked {
+            if let Some(mut span) = span {
+                span.attr("object", obj.get());
+                span.finish();
+            }
+        }
         match result {
             Ok(pair) => Ok(pair),
             Err(_) => Err(DbError::Aborted(self.timeout_reason(ctx, txn))),
@@ -171,6 +179,8 @@ impl ConcurrencyControl for TimestampOrdering {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
+        // Speculative trace leaf, finished only when the write blocked.
+        let span = mvcc_core::obs::trace::leaf("blocked");
         let decision = ctx.store.wait_until(obj, timeout, |c| {
             // Rewrite of our own pending version: always fine.
             if c.pending_by(TxnId(tn)).is_some() {
@@ -193,6 +203,12 @@ impl ConcurrencyControl for TimestampOrdering {
             c.install_pending(PendingVersion::stamped(TxnId(tn), tn, value.clone()));
             WaitOutcome::Ready(Ok(()))
         });
+        if blocked {
+            if let Some(mut span) = span {
+                span.attr("object", obj.get());
+                span.finish();
+            }
+        }
         let outcome = match decision {
             Ok(inner) => inner,
             Err(_) => Err(DbError::Aborted(self.timeout_reason(ctx, txn))),

@@ -102,6 +102,9 @@ impl TwoPhaseLocking {
             None => ctx.config.lock_wait_timeout,
         };
         let timer = ctx.obs.timer();
+        // Speculative trace leaf: finished only when the acquire actually
+        // waited, discarded on the uncontended fast path.
+        let span = mvcc_core::obs::trace::leaf("lock_wait");
         match self.locks.acquire(txn.token, obj, mode, timeout, detect) {
             Ok(a) => {
                 if a.waited {
@@ -109,6 +112,10 @@ impl TwoPhaseLocking {
                     if let Some(started) = timer {
                         ctx.obs.phases().lock_wait.record(ctx.obs.since(started));
                         ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
+                    }
+                    if let Some(mut span) = span {
+                        span.attr("object", obj.get());
+                        span.finish();
                     }
                 }
                 if a.waited || a.contended {
@@ -119,9 +126,15 @@ impl TwoPhaseLocking {
             }
             Err(LockError::Deadlock) => {
                 // The fatal request never returns with `waited`, so record
-                // it explicitly — the victim's timeline must show the lock
-                // wait that closed the cycle.
-                ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
+                // it explicitly — and unsampled: the victim's timeline
+                // must show the lock wait that closed the cycle.
+                ctx.obs
+                    .emit_always(EventKind::LockWait, txn.token, obj.get());
+                if let Some(mut span) = span {
+                    span.attr("object", obj.get());
+                    span.attr("deadlock", 1);
+                    span.finish();
+                }
                 // Victimization is the flight-recorder moment: capture the
                 // waits-for graph as it stood when the cycle closed (the
                 // victim's own edges are already cleared by the manager).
@@ -136,6 +149,9 @@ impl TwoPhaseLocking {
                         ),
                         waits_for: Some(self.locks.waits_for_snapshot()),
                         vc: Some(ctx.vc.view()),
+                        // Joins this post-mortem to the victim's span tree
+                        // when the victim is being traced.
+                        trace_id: mvcc_core::obs::trace::current_trace_id(),
                     },
                 );
                 Err(DbError::Aborted(AbortReason::Deadlock))

@@ -79,8 +79,14 @@ impl CcContext {
             None => FaultInjector::new(config.fault.clone()),
         });
         // First attachment wins; share whichever hub the instance ends up
-        // with so `ctx.obs` and the version-control emitter agree.
-        let obs = vc.attach_obs(Arc::new(Obs::with_clock(&config.obs, config.clock.clone())));
+        // with so `ctx.obs` and the version-control emitter agree. The
+        // injected rng (if any) drives sampling decisions, which is what
+        // keeps simulated traces byte-stable per seed.
+        let obs = vc.attach_obs(Arc::new(Obs::with_parts(
+            &config.obs,
+            config.clock.clone(),
+            config.rng.clone(),
+        )));
         let metrics = Arc::new(Metrics::new());
         let admission = AdmissionController::new(
             config.pressure.clone(),
@@ -122,15 +128,26 @@ impl CcContext {
         let Some(wal) = &self.wal else {
             return Ok(());
         };
-        let timer = self.obs.timer();
+        // Sampled phase timer (the per-kind counter stays exact) plus a
+        // trace leaf when the committing thread is being traced.
+        let timer = self.obs.phase_timer(EventKind::WalAppend);
+        let span = crate::obs::trace::leaf("wal_append");
         let res = wal
             .append(tn, writes)
             .map_err(|_| DbError::Aborted(AbortReason::LogFailed));
         if let Some(started) = timer {
             self.obs.phases().wal_append.record(self.obs.since(started));
             if let Ok(info) = &res {
-                self.obs.emit(EventKind::WalAppend, tn, info.bytes as u64);
+                self.obs
+                    .publish(EventKind::WalAppend, tn, info.bytes as u64);
             }
+        }
+        if let Some(mut span) = span {
+            span.attr("tn", tn);
+            if let Ok(info) = &res {
+                span.attr("bytes", info.bytes as u64);
+            }
+            span.finish();
         }
         res.map(|_| ())
     }

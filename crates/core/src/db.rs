@@ -189,6 +189,7 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 ),
                 waits_for: None,
                 vc: Some(db.core.ctx.vc.view()),
+                trace_id: None,
             },
         );
         Ok((db, stats))
@@ -355,6 +356,16 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         mut body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
     ) -> Result<(u64, R), DbError> {
         let config = &self.core.ctx.config;
+        let obs = &self.core.ctx.obs;
+        // Sample the trace decision once per *run*, not per attempt, so a
+        // sampled transaction's retries land in one span tree.
+        let run_trace = obs.span_sampled().then(|| crate::obs::TraceCtx {
+            trace_id: obs.tracer().auto_id(),
+        });
+        let run_opts = match run_trace {
+            Some(t) => TxnOptions::default().with_trace(t),
+            None => TxnOptions::default(),
+        };
         let mut jitter = policy.jitter_stream_with(config.rng.as_deref());
         let mut last_err = DbError::Internal("run_rw: zero attempts".into());
         let attempts = policy.max_attempts.max(1);
@@ -363,10 +374,10 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 record_retry(&self.core.ctx.metrics, &last_err);
                 let sleep = policy.backoff_for(attempt - 1, &mut jitter);
                 if !sleep.is_zero() {
-                    config.clock.sleep(sleep);
+                    self.sleep_traced(sleep, run_trace, attempt);
                 }
             }
-            let mut txn = self.begin_read_write()?;
+            let mut txn = self.begin_read_write_with(&run_opts)?;
             match body(&mut txn) {
                 Ok(r) => match txn.commit() {
                     Ok(tn) => return Ok((tn, r)),
@@ -398,9 +409,17 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         mut body: impl FnMut(&mut RwTxn<'_, C>) -> Result<R, DbError>,
     ) -> Result<(u64, R), DbError> {
         let config = &self.core.ctx.config;
+        let obs = &self.core.ctx.obs;
         let deadline = opts
             .deadline
             .map(|budget| Deadline::within(&*config.clock, budget));
+        // Explicit trace on the options wins; otherwise sample once for
+        // the whole run so retries share one span tree.
+        let run_trace = opts.trace.or_else(|| {
+            obs.span_sampled().then(|| crate::obs::TraceCtx {
+                trace_id: obs.tracer().auto_id(),
+            })
+        });
         let mut jitter = policy.jitter_stream_with(config.rng.as_deref());
         let mut last_err = DbError::Internal("run_rw_deadline: zero attempts".into());
         let attempts = policy.max_attempts.max(1);
@@ -418,16 +437,17 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                     None => policy.backoff_for(attempt - 1, &mut jitter),
                 };
                 if !sleep.is_zero() {
-                    config.clock.sleep(sleep);
+                    self.sleep_traced(sleep, run_trace, attempt);
                 }
             }
             // Each attempt carries what is left of the shared budget, so
             // in-transaction blocking points see the runner's deadline,
             // not a fresh per-attempt one.
-            let attempt_opts = match deadline {
+            let mut attempt_opts = match deadline {
                 Some(d) => opts.clone().with_deadline(d.remaining(&*config.clock)),
                 None => opts.clone(),
             };
+            attempt_opts.trace = run_trace;
             let mut txn = self.begin_read_write_with(&attempt_opts)?;
             match body(&mut txn) {
                 Ok(r) => match txn.commit() {
@@ -443,6 +463,25 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             }
         }
         Err(last_err)
+    }
+
+    /// Sleep on the engine clock, recording a `backoff` span under the
+    /// run's trace root when one is active.
+    fn sleep_traced(&self, sleep: Duration, run_trace: Option<crate::obs::TraceCtx>, attempt: u32) {
+        let span = run_trace.map(|tc| {
+            let t = self.core.ctx.obs.tracer().activate(tc.trace_id);
+            let start_ns = t.now_ns();
+            (t, start_ns)
+        });
+        self.core.ctx.config.clock.sleep(sleep);
+        if let Some((t, start_ns)) = span {
+            t.record_closed(
+                crate::obs::trace::ROOT_SPAN,
+                "backoff",
+                start_ns,
+                vec![("attempt", attempt as u64)],
+            );
+        }
     }
 
     // ---- administration ----------------------------------------------------
@@ -501,6 +540,7 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                     detail: format!("stall reaper force-discarded tns {reaped:?}"),
                     waits_for: self.cc.waits_for_snapshot(),
                     vc: Some(self.core.ctx.vc.view()),
+                    trace_id: None,
                 },
             );
         }
@@ -578,24 +618,56 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         GaugeCollector::spawn(interval, Arc::new(move || db.sample_gauges()))
     }
 
-    /// Render counters, a fresh gauge sample, and phase latencies in the
-    /// Prometheus text exposition format.
+    /// Render counters, a fresh gauge sample, phase latency histograms,
+    /// and per-kind event counts in the Prometheus text exposition
+    /// format (conformant: HELP/TYPE headers, cumulative `le` buckets).
     pub fn prometheus_text(&self) -> String {
         prometheus_text(
             &self.metrics(),
             Some(&self.sample_gauges()),
             Some(&self.phase_latencies()),
+            Some(&self.core.ctx.obs.event_counts()),
         )
     }
 
-    /// Render counters, a fresh gauge sample, and phase latencies as one
-    /// JSON object.
+    /// Render counters, a fresh gauge sample, phase latencies, and event
+    /// counts as one JSON object.
     pub fn metrics_json(&self) -> String {
         json_snapshot(
             &self.metrics(),
             Some(&self.sample_gauges()),
             Some(&self.phase_latencies()),
+            Some(&self.core.ctx.obs.event_counts()),
         )
+    }
+
+    /// Start an explicit end-to-end trace. Pass the returned context via
+    /// [`TxnOptions::with_trace`] (every attempt, wait, WAL append, and
+    /// VCQueue residency lands in one span tree), then export it with
+    /// [`trace_chrome_json`](Self::trace_chrome_json) or
+    /// [`trace_otlp_json`](Self::trace_otlp_json).
+    pub fn start_trace(&self) -> crate::obs::TraceCtx {
+        self.core.ctx.obs.tracer().start()
+    }
+
+    /// Snapshot a trace's span tree (explicit or auto-sampled), if it is
+    /// still resident in the registry.
+    pub fn trace_snapshot(&self, trace_id: u64) -> Option<crate::obs::TraceSnapshot> {
+        self.core.ctx.obs.tracer().snapshot(trace_id)
+    }
+
+    /// Render a trace as Chrome `trace_event` JSON — load it in
+    /// `chrome://tracing` or Perfetto. `None` if the trace is unknown.
+    pub fn trace_chrome_json(&self, trace_id: u64) -> Option<String> {
+        self.trace_snapshot(trace_id)
+            .map(|t| crate::obs::chrome_trace_json(&t))
+    }
+
+    /// Render a trace as compact OTLP-like JSON. `None` if the trace is
+    /// unknown.
+    pub fn trace_otlp_json(&self, trace_id: u64) -> Option<String> {
+        self.trace_snapshot(trace_id)
+            .map(|t| crate::obs::otlp_trace_json(&t))
     }
 
     /// The fault injector (for experiments and tests).
@@ -708,6 +780,7 @@ impl ReaperHandle {
                             detail: format!("background reaper force-discarded tns {reaped:?}"),
                             waits_for: None,
                             vc: Some(vc.view()),
+                            trace_id: None,
                         },
                     );
                 }

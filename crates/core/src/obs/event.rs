@@ -18,7 +18,27 @@
 use crate::clock::{real_clock, SharedClock};
 use crate::error::AbortReason;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Number of event kinds (array size for per-kind counters).
+pub const KIND_COUNT: usize = 16;
+
+/// Which rung of the sampling ladder an event kind sits on.
+///
+/// * `Counter` — only the per-kind counter is bumped; no ring write ever.
+/// * `Sampled` — counted always, published 1 in `2^event_sample_shift`.
+/// * `Always` — counted and published on every emit (rare, load-bearing
+///   events: aborts, GC, reaper, shed, pressure transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Counter only; never published to the ring.
+    Counter,
+    /// Counted always; published 1 in `2^event_sample_shift`.
+    Sampled,
+    /// Counted and published unconditionally.
+    Always,
+}
 
 /// What happened. Encoded as one byte inside a packed slot word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +80,10 @@ pub enum EventKind {
     /// The degradation ladder changed rung (`id` = new level,
     /// `aux` = previous level).
     PressureChange = 14,
+    /// A read-only snapshot read completed (`id` = snapshot tn,
+    /// `aux` = object). Sampled — RO reads are the highest-frequency
+    /// instrumentation point in the engine.
+    RoRead = 15,
 }
 
 impl EventKind {
@@ -82,8 +106,34 @@ impl EventKind {
             12 => EventKind::Admit,
             13 => EventKind::Shed,
             14 => EventKind::PressureChange,
+            15 => EventKind::RoRead,
             _ => return None,
         })
+    }
+
+    /// Default sampling tier. Lifecycle events that fire once (or more)
+    /// per transaction are `Sampled`; rare, diagnosis-critical events are
+    /// `Always`. No kind defaults to `Counter`, but [`crate::obs::Obs`]
+    /// treats a sample shift of 255 as "counters only" for any kind.
+    pub fn tier(self) -> Tier {
+        match self {
+            EventKind::Begin
+            | EventKind::Register
+            | EventKind::LockWait
+            | EventKind::Blocked
+            | EventKind::Validate
+            | EventKind::WalAppend
+            | EventKind::Complete
+            | EventKind::VtncAdvance
+            | EventKind::Admit
+            | EventKind::RoRead => Tier::Sampled,
+            EventKind::Abort
+            | EventKind::GcPrune
+            | EventKind::ReaperFire
+            | EventKind::Discard
+            | EventKind::Shed
+            | EventKind::PressureChange => Tier::Always,
+        }
     }
 
     /// Stable lower-snake name used in post-mortem JSON.
@@ -104,7 +154,30 @@ impl EventKind {
             EventKind::Admit => "admit",
             EventKind::Shed => "shed",
             EventKind::PressureChange => "pressure_change",
+            EventKind::RoRead => "ro_read",
         }
+    }
+
+    /// All kinds, in numeric order (used by exporters and counters).
+    pub fn all() -> [EventKind; KIND_COUNT] {
+        [
+            EventKind::Begin,
+            EventKind::Register,
+            EventKind::LockWait,
+            EventKind::Blocked,
+            EventKind::Validate,
+            EventKind::WalAppend,
+            EventKind::Complete,
+            EventKind::Abort,
+            EventKind::VtncAdvance,
+            EventKind::GcPrune,
+            EventKind::ReaperFire,
+            EventKind::Discard,
+            EventKind::Admit,
+            EventKind::Shed,
+            EventKind::PressureChange,
+            EventKind::RoRead,
+        ]
     }
 }
 
@@ -173,7 +246,7 @@ struct Slot {
 }
 
 /// Monotonic per-thread ordinal (std's `ThreadId::as_u64` is unstable).
-fn thread_ordinal() -> u64 {
+pub(crate) fn thread_ordinal() -> u64 {
     use std::cell::Cell;
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {
@@ -202,6 +275,10 @@ pub struct EventBus {
     /// simulated clock, event timestamps are virtual — which is what
     /// makes a replayed run's trace byte-equal.
     clock: SharedClock,
+    /// Per-thread buffer registry feeding this bus (buffered publish
+    /// mode). Readers flush it before snapshotting so `recent` and
+    /// `emitted` reflect everything emitted so far.
+    buffers: Option<Arc<super::buffer::BufferRegistry>>,
 }
 
 impl std::fmt::Debug for EventBus {
@@ -233,6 +310,30 @@ impl EventBus {
             slots: slots.into_boxed_slice(),
             base: clock.now(),
             clock,
+            buffers: None,
+        }
+    }
+
+    /// Attach the per-thread buffer registry whose events drain into this
+    /// bus (called once at [`super::Obs`] construction).
+    pub(crate) fn attach_buffers(&mut self, registry: Arc<super::buffer::BufferRegistry>) {
+        self.buffers = Some(registry);
+    }
+
+    /// Nanoseconds since bus creation on the bus clock — the timestamp
+    /// domain of every event's `t_ns`.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.clock
+            .now()
+            .saturating_duration_since(self.base)
+            .as_nanos() as u64
+    }
+
+    /// Flush any undrained per-thread buffers into the ring.
+    pub fn drain(&self) {
+        if let Some(b) = &self.buffers {
+            b.drain_into(self);
         }
     }
 
@@ -253,8 +354,10 @@ impl EventBus {
         self.slots.len()
     }
 
-    /// Total events ever emitted (including overwritten ones).
+    /// Total events ever published into the ring (including overwritten
+    /// ones). Flushes pending per-thread buffers first.
     pub fn emitted(&self) -> u64 {
+        self.drain();
         self.head.load(Ordering::Relaxed)
     }
 
@@ -270,19 +373,21 @@ impl EventBus {
     /// Record an event regardless of the enabled flag (flight-recorder
     /// trigger sites use this so the triggering event itself is captured).
     pub fn emit_always(&self, kind: EventKind, id: u64, aux: u64) {
+        self.publish_raw(self.now_ns(), kind, thread_ordinal(), id, aux);
+    }
+
+    /// Publish an already-stamped event into the ring. The direct-publish
+    /// path stamps here and now; the buffer drainer republishes events
+    /// with the timestamp and thread captured at emit time.
+    pub(crate) fn publish_raw(&self, t_ns: u64, kind: EventKind, thread: u64, id: u64, aux: u64) {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & self.mask) as usize];
         let seq = ticket.wrapping_add(1);
         // Seqlock write: start first, payload, done last (Release so a
         // reader that sees `done == seq` also sees the payload stores).
         slot.start.store(seq, Ordering::Release);
-        let t_ns = self
-            .clock
-            .now()
-            .saturating_duration_since(self.base)
-            .as_nanos() as u64;
         slot.t_ns.store(t_ns, Ordering::Relaxed);
-        let packed = (thread_ordinal() << 8) | kind as u64;
+        let packed = (thread << 8) | kind as u64;
         slot.kind_thread.store(packed, Ordering::Relaxed);
         slot.id.store(id, Ordering::Relaxed);
         slot.aux.store(aux, Ordering::Relaxed);
@@ -315,9 +420,11 @@ impl EventBus {
         })
     }
 
-    /// Snapshot the most recent `n` events, oldest first. Slots that are
-    /// mid-write or already lapped are skipped (best-effort by design).
+    /// Snapshot the most recent `n` events, oldest first. Flushes pending
+    /// per-thread buffers first; slots that are mid-write or already
+    /// lapped are skipped (best-effort by design).
     pub fn recent(&self, n: usize) -> Vec<Event> {
+        self.drain();
         let head = self.head.load(Ordering::Acquire);
         let n = (n as u64).min(head).min(self.slots.len() as u64);
         let mut out = Vec::with_capacity(n as usize);
@@ -409,26 +516,29 @@ mod tests {
 
     #[test]
     fn kind_roundtrip_and_names() {
-        for k in [
-            EventKind::Begin,
-            EventKind::Register,
-            EventKind::LockWait,
-            EventKind::Blocked,
-            EventKind::Validate,
-            EventKind::WalAppend,
-            EventKind::Complete,
-            EventKind::Abort,
-            EventKind::VtncAdvance,
-            EventKind::GcPrune,
-            EventKind::ReaperFire,
-            EventKind::Discard,
-            EventKind::Admit,
-            EventKind::Shed,
-            EventKind::PressureChange,
-        ] {
+        for (i, k) in EventKind::all().into_iter().enumerate() {
+            assert_eq!(k as usize, i, "EventKind::all() must be numeric order");
             assert_eq!(EventKind::from_u8(k as u8), Some(k));
             assert!(!k.name().is_empty());
         }
+        assert_eq!(EventKind::from_u8(KIND_COUNT as u8), None);
         assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn tier_table_covers_every_kind() {
+        // Rare diagnosis-critical kinds publish always; per-txn lifecycle
+        // kinds are sampled. (No kind is counter-only by default.)
+        for k in EventKind::all() {
+            match k {
+                EventKind::Abort
+                | EventKind::GcPrune
+                | EventKind::ReaperFire
+                | EventKind::Discard
+                | EventKind::Shed
+                | EventKind::PressureChange => assert_eq!(k.tier(), Tier::Always),
+                _ => assert_eq!(k.tier(), Tier::Sampled),
+            }
+        }
     }
 }

@@ -1,16 +1,36 @@
-//! Metrics exporters: Prometheus text format and JSON snapshots.
+//! Exporters: Prometheus text, JSON snapshots, and trace JSON.
 //!
-//! Both emitters are pure functions over snapshots — counters from
-//! [`MetricsSnapshot::fields`], gauges from [`GaugeSample::fields`], and
-//! per-phase latency summaries from [`PhaseSnapshot`] — so they can run
-//! from a reporter hook, a test, or an end-of-run dump without touching
-//! engine internals. JSON is hand-rolled: the workspace's vendored serde
-//! shim is a no-op.
+//! All emitters are pure functions over snapshots — counters from
+//! [`MetricsSnapshot::fields`], gauges from [`GaugeSample::fields`],
+//! per-phase latency histograms from [`PhaseSnapshot`], per-kind event
+//! counts from [`EventCounts`], and span trees from [`TraceSnapshot`] —
+//! so they can run from a reporter hook, a test, or an end-of-run dump
+//! without touching engine internals. JSON is hand-rolled: the
+//! workspace's vendored serde shim is a no-op.
+//!
+//! The Prometheus output is conformant text exposition: every family has
+//! `# HELP`/`# TYPE`, and phase latencies are true histograms with
+//! cumulative `le` buckets ending in `+Inf` (equal to `_count`).
+//! [`parse_exposition`] is a strict validator used by the round-trip
+//! tests and CI.
 
+use super::event::{EventKind, KIND_COUNT};
 use super::gauges::GaugeSample;
 use super::phases::PhaseSnapshot;
+use super::trace::TraceSnapshot;
 use crate::metrics::MetricsSnapshot;
 use mvcc_storage::Histogram;
+
+/// Per-kind event counters plus buffer accounting, for exporters.
+#[derive(Debug, Clone, Default)]
+pub struct EventCounts {
+    /// Exact emit count per kind (counter tier, sampling-independent).
+    pub counts: [u64; KIND_COUNT],
+    /// Events lost to per-thread buffer overflow (exact).
+    pub dropped: u64,
+    /// Events published into the global ring (post-sampling).
+    pub published: u64,
+}
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -29,23 +49,39 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-fn phase_quantiles(h: &Histogram) -> [(f64, u64); 3] {
-    [
-        (0.5, h.p50().as_nanos() as u64),
-        (0.99, h.p99().as_nanos() as u64),
-        (1.0, h.max().as_nanos() as u64),
-    ]
+/// Append one phase histogram as a conformant Prometheus histogram:
+/// cumulative `le` buckets (inclusive upper bounds from the log₂
+/// bucketing) up to the highest occupied bucket, then `+Inf`, `_sum`,
+/// `_count`.
+fn push_histogram(out: &mut String, base: &str, h: &Histogram) {
+    out.push_str(&format!(
+        "# HELP {base} engine phase latency (ns)\n# TYPE {base} histogram\n"
+    ));
+    let counts = h.bucket_counts();
+    let highest = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(highest + 1) {
+        cum += c;
+        out.push_str(&format!(
+            "{base}_bucket{{le=\"{}\"}} {cum}\n",
+            Histogram::bucket_upper_bound(i)
+        ));
+    }
+    out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{base}_sum {}\n", h.sum_ns()));
+    out.push_str(&format!("{base}_count {}\n", h.count()));
 }
 
 /// Render everything in the Prometheus text exposition format
 /// (`# HELP`/`# TYPE` headers, `mvdb_`-prefixed metric names, phase
-/// latencies as native-histogram-free summaries).
+/// latencies as cumulative-bucket histograms, per-kind event counters).
 pub fn prometheus_text(
     metrics: &MetricsSnapshot,
     gauges: Option<&GaugeSample>,
     phases: Option<&PhaseSnapshot>,
+    events: Option<&EventCounts>,
 ) -> String {
-    let mut out = String::with_capacity(4096);
+    let mut out = String::with_capacity(8192);
     for (name, value) in metrics.fields() {
         out.push_str(&format!(
             "# HELP mvdb_{name} engine counter\n# TYPE mvdb_{name} counter\nmvdb_{name} {value}\n"
@@ -58,28 +94,213 @@ pub fn prometheus_text(
             ));
         }
     }
+    if let Some(e) = events {
+        out.push_str(
+            "# HELP mvdb_events_total events emitted per kind (exact, sampling-independent)\n\
+             # TYPE mvdb_events_total counter\n",
+        );
+        for kind in EventKind::all() {
+            out.push_str(&format!(
+                "mvdb_events_total{{kind=\"{}\"}} {}\n",
+                kind.name(),
+                e.counts[kind as usize]
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP mvdb_events_published_total events published into the ring (post-sampling)\n\
+             # TYPE mvdb_events_published_total counter\n\
+             mvdb_events_published_total {}\n",
+            e.published
+        ));
+        out.push_str(&format!(
+            "# HELP mvdb_events_dropped_total events lost to buffer overflow (exact)\n\
+             # TYPE mvdb_events_dropped_total counter\n\
+             mvdb_events_dropped_total {}\n",
+            e.dropped
+        ));
+    }
     if let Some(p) = phases {
         for (phase, h) in p.phases() {
-            let base = format!("mvdb_phase_{phase}_ns");
-            out.push_str(&format!(
-                "# HELP {base} engine phase latency (ns)\n# TYPE {base} summary\n"
-            ));
-            for (q, v) in phase_quantiles(h) {
-                out.push_str(&format!("{base}{{quantile=\"{q}\"}} {v}\n"));
-            }
-            out.push_str(&format!("{base}_sum {}\n", h.sum_ns()));
-            out.push_str(&format!("{base}_count {}\n", h.count()));
+            push_histogram(&mut out, &format!("mvdb_phase_{phase}_ns"), h);
         }
     }
     out
 }
 
+/// Strictly validate Prometheus text exposition, as produced by
+/// [`prometheus_text`]. Checks line syntax, metric/label name charsets,
+/// numeric values, `# TYPE` present before a family's first sample, and
+/// histogram conformance (cumulative non-decreasing buckets ending in a
+/// `+Inf` bucket equal to `_count`). Returns the number of sample lines.
+pub fn parse_exposition(text: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    // family name -> declared type
+    let mut types: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    // histogram family -> (bucket cumulative counts in order, count value)
+    type HistState = (Vec<(String, f64)>, Option<f64>);
+    let mut hists: std::collections::BTreeMap<String, HistState> =
+        std::collections::BTreeMap::new();
+    let mut samples = 0usize;
+
+    let family_of = |name: &str, types: &std::collections::BTreeMap<String, String>| -> String {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(stripped) = name.strip_suffix(suffix) {
+                if let Some(t) = types.get(stripped) {
+                    if t == "histogram" || t == "summary" {
+                        return stripped.to_string();
+                    }
+                }
+            }
+        }
+        name.to_string()
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut it = rest.splitn(3, ' ');
+            let keyword = it.next().unwrap_or("");
+            let name = it.next().unwrap_or("");
+            let payload = it.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: bad metric name in HELP: {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: bad metric name in TYPE: {name:?}"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&payload) {
+                        return Err(format!("line {n}: unknown TYPE {payload:?}"));
+                    }
+                    if types
+                        .insert(name.to_string(), payload.to_string())
+                        .is_some()
+                    {
+                        return Err(format!("line {n}: duplicate TYPE for {name}"));
+                    }
+                }
+                _ => return Err(format!("line {n}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {n}: comment must start with '# '"));
+        }
+        // Sample line: name[{labels}] value
+        let (ident, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: no value: {line:?}"))?;
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: bad value {v:?}"))?,
+        };
+        let (name, labels) = match ident.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+                (name, Some(labels))
+            }
+            None => (ident, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        let mut le: Option<String> = None;
+        if let Some(labels) = labels {
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {n}: bad label pair {pair:?}"))?;
+                if !valid_name(k) {
+                    return Err(format!("line {n}: bad label name {k:?}"));
+                }
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {n}: unquoted label value {v:?}"))?;
+                if k == "le" {
+                    le = Some(v.to_string());
+                }
+            }
+        }
+        let family = family_of(name, &types);
+        let declared = types
+            .get(&family)
+            .ok_or_else(|| format!("line {n}: sample {name} before its # TYPE"))?;
+        if declared == "histogram" {
+            let entry = hists.entry(family.clone()).or_default();
+            if name.ends_with("_bucket") {
+                let le = le.ok_or_else(|| format!("line {n}: histogram bucket without le"))?;
+                entry.0.push((le, value));
+            } else if name.ends_with("_count") {
+                entry.1 = Some(value);
+            }
+        }
+        samples += 1;
+    }
+    for (family, (buckets, count)) in &hists {
+        if buckets.is_empty() {
+            return Err(format!("histogram {family} has no buckets"));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut prev_bound = f64::NEG_INFINITY;
+        for (le, cum) in buckets {
+            let bound: f64 = match le.as_str() {
+                "+Inf" => f64::INFINITY,
+                v => v
+                    .parse()
+                    .map_err(|_| format!("histogram {family}: bad le {v:?}"))?,
+            };
+            if bound <= prev_bound {
+                return Err(format!("histogram {family}: le ladder not increasing"));
+            }
+            if *cum < prev {
+                return Err(format!("histogram {family}: buckets not cumulative"));
+            }
+            prev = *cum;
+            prev_bound = bound;
+        }
+        let (last_le, last_cum) = buckets.last().unwrap();
+        if last_le != "+Inf" {
+            return Err(format!("histogram {family}: missing +Inf bucket"));
+        }
+        match count {
+            Some(c) if c == last_cum => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {last_cum} != _count {c}"
+                ))
+            }
+            None => return Err(format!("histogram {family}: missing _count")),
+        }
+    }
+    Ok(samples)
+}
+
 /// Render everything as one JSON object:
-/// `{"counters":{...},"gauges":{...}|null,"phases":{...}|null}`.
+/// `{"counters":{...},"gauges":{...}|null,"phases":{...}|null,"events":{...}|null}`.
 pub fn json_snapshot(
     metrics: &MetricsSnapshot,
     gauges: Option<&GaugeSample>,
     phases: Option<&PhaseSnapshot>,
+    events: Option<&EventCounts>,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"counters\": {");
@@ -124,7 +345,116 @@ pub fn json_snapshot(
         }
         None => out.push_str("null"),
     }
+    out.push_str(",\n  \"events\": ");
+    match events {
+        Some(e) => {
+            out.push('{');
+            out.push_str("\n    \"counts\": {");
+            for (i, kind) in EventKind::all().into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      \"{}\": {}",
+                    kind.name(),
+                    e.counts[kind as usize]
+                ));
+            }
+            out.push_str(&format!(
+                "\n    }},\n    \"published\": {},\n    \"dropped\": {}\n  }}",
+                e.published, e.dropped
+            ));
+        }
+        None => out.push_str("null"),
+    }
     out.push_str("\n}\n");
+    out
+}
+
+/// Render a trace as Chrome `trace_event` JSON (open in
+/// `chrome://tracing` or Perfetto): one complete (`ph:"X"`) event per
+/// span, timestamps in microseconds, span tree in `args`.
+pub fn chrome_trace_json(trace: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ts_us = s.start_ns / 1000;
+        let ts_frac = s.start_ns % 1000;
+        let dur_ns = s.end_ns.saturating_sub(s.start_ns);
+        let dur_us = dur_ns / 1000;
+        let dur_frac = dur_ns % 1000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"mvdb\",\"ph\":\"X\",\"ts\":{ts_us}.{ts_frac:03},\
+             \"dur\":{dur_us}.{dur_frac:03},\"pid\":1,\"tid\":{},\"args\":{{\
+             \"trace_id\":{},\"span_id\":{},\"parent\":{}",
+            json_escape(s.name),
+            s.thread,
+            trace.trace_id,
+            s.span_id,
+            s.parent
+        ));
+        for (k, v) in &s.attrs {
+            // The fixed arg keys win: a colliding span attr (the root
+            // span carries `trace_id`) would produce duplicate JSON keys.
+            if matches!(*k, "trace_id" | "span_id" | "parent") {
+                continue;
+            }
+            out.push_str(&format!(",\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str(&format!(
+        "\n],\"metadata\":{{\"trace_id\":{},\"dropped_spans\":{}}}}}\n",
+        trace.trace_id, trace.dropped_spans
+    ));
+    out
+}
+
+/// Render a trace as compact OTLP-like JSON (the shape of an OTLP/HTTP
+/// `ExportTraceServiceRequest` body, with hex-encoded ids and int
+/// attributes).
+pub fn otlp_trace_json(trace: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(
+        "{\"resourceSpans\":[{\"resource\":{\"attributes\":[{\"key\":\"service.name\",\
+         \"value\":{\"stringValue\":\"mvdb\"}}]},\"scopeSpans\":[{\"scope\":\
+         {\"name\":\"mvdb.obs\"},\"spans\":[\n",
+    );
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let parent = if s.parent == 0 {
+            String::new()
+        } else {
+            format!("{:016x}", s.parent)
+        };
+        out.push_str(&format!(
+            "{{\"traceId\":\"{:032x}\",\"spanId\":\"{:016x}\",\"parentSpanId\":\"{parent}\",\
+             \"name\":\"{}\",\"kind\":1,\"startTimeUnixNano\":\"{}\",\"endTimeUnixNano\":\"{}\",\
+             \"attributes\":[",
+            trace.trace_id,
+            s.span_id,
+            json_escape(s.name),
+            s.start_ns,
+            s.end_ns
+        ));
+        out.push_str(&format!(
+            "{{\"key\":\"thread\",\"value\":{{\"intValue\":\"{}\"}}}}",
+            s.thread
+        ));
+        for (k, v) in &s.attrs {
+            out.push_str(&format!(
+                ",{{\"key\":\"{}\",\"value\":{{\"intValue\":\"{v}\"}}}}",
+                json_escape(k)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}]}]}\n");
     out
 }
 
@@ -132,6 +462,7 @@ pub fn json_snapshot(
 mod tests {
     use super::*;
     use crate::metrics::Metrics;
+    use crate::obs::trace::{Span, ROOT_SPAN};
     use std::sync::atomic::Ordering;
     use std::time::Duration;
 
@@ -142,23 +473,43 @@ mod tests {
         assert_eq!(json_escape("plain"), "plain");
     }
 
+    fn sample_events() -> EventCounts {
+        let mut e = EventCounts::default();
+        e.counts[EventKind::Begin as usize] = 12;
+        e.counts[EventKind::Abort as usize] = 3;
+        e.published = 7;
+        e.dropped = 1;
+        e
+    }
+
     #[test]
-    fn prometheus_text_has_all_sections() {
+    fn prometheus_text_has_all_sections_and_validates() {
         let m = Metrics::new();
         m.rw_committed.fetch_add(5, Ordering::Relaxed);
         let phases = super::super::phases::PhaseHistograms::new();
         phases.wal_append.record(Duration::from_micros(3));
+        phases.wal_append.record(Duration::from_micros(90));
         let gauges = GaugeSample {
             live_versions: 11,
             ..Default::default()
         };
-        let text = prometheus_text(&m.snapshot(), Some(&gauges), Some(&phases.snapshot()));
+        let text = prometheus_text(
+            &m.snapshot(),
+            Some(&gauges),
+            Some(&phases.snapshot()),
+            Some(&sample_events()),
+        );
         assert!(text.contains("mvdb_rw_committed 5"));
         assert!(text.contains("# TYPE mvdb_rw_committed counter"));
         assert!(text.contains("mvdb_gauge_live_versions 11"));
         assert!(text.contains("# TYPE mvdb_gauge_live_versions gauge"));
-        assert!(text.contains("mvdb_phase_wal_append_ns_count 1"));
-        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("# TYPE mvdb_phase_wal_append_ns histogram"));
+        assert!(text.contains("mvdb_phase_wal_append_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mvdb_phase_wal_append_ns_count 2"));
+        assert!(text.contains("mvdb_events_total{kind=\"begin\"} 12"));
+        assert!(text.contains("mvdb_events_dropped_total 1"));
+        let samples = parse_exposition(&text).expect("conformant exposition");
+        assert!(samples > 10);
         // Every non-comment line is `name{labels}? value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let mut parts = line.rsplitn(2, ' ');
@@ -169,17 +520,123 @@ mod tests {
     }
 
     #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let phases = super::super::phases::PhaseHistograms::new();
+        for us in [1u64, 1, 2, 50, 800] {
+            phases.ro_read.record(Duration::from_micros(us));
+        }
+        let m = Metrics::new();
+        let text = prometheus_text(&m.snapshot(), None, Some(&phases.snapshot()), None);
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("mvdb_phase_ro_read_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.len() >= 2);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+        assert_eq!(*buckets.last().unwrap(), 5, "+Inf bucket == count");
+        parse_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn parser_rejects_malformed_exposition() {
+        for (bad, why) in [
+            ("mvdb_x 1\n", "sample before TYPE"),
+            ("# TYPE mvdb_x counter\nmvdb_x one\n", "non-numeric value"),
+            ("# TYPE mvdb_x counter\nmvdb_x{le=0} 1\n", "unquoted label"),
+            ("# TYPE mvdb_x counter\nmvdb_x{le=\"0\" 1\n", "unterminated labels"),
+            ("# TYPE mvdb_x banana\nmvdb_x 1\n", "unknown type"),
+            ("#TYPE mvdb_x counter\n", "malformed comment"),
+            (
+                "# TYPE mvdb_x histogram\nmvdb_x_bucket{le=\"1\"} 2\nmvdb_x_bucket{le=\"+Inf\"} 1\nmvdb_x_count 1\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE mvdb_x histogram\nmvdb_x_bucket{le=\"1\"} 1\nmvdb_x_count 1\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE mvdb_x histogram\nmvdb_x_bucket{le=\"+Inf\"} 2\nmvdb_x_count 1\n",
+                "+Inf != count",
+            ),
+        ] {
+            assert!(parse_exposition(bad).is_err(), "accepted malformed: {why}");
+        }
+    }
+
+    #[test]
     fn json_snapshot_shape() {
         let m = Metrics::new();
         m.ro_begun.fetch_add(2, Ordering::Relaxed);
-        let text = json_snapshot(&m.snapshot(), None, None);
+        let text = json_snapshot(&m.snapshot(), None, None, Some(&sample_events()));
         assert!(text.contains("\"counters\""));
         assert!(text.contains("\"ro_begun\": 2"));
         assert!(text.contains("\"gauges\": null"));
         assert!(text.contains("\"phases\": null"));
+        assert!(text.contains("\"begin\": 12"));
+        assert!(text.contains("\"dropped\": 1"));
         // Balanced braces (cheap well-formedness check without serde).
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    fn sample_trace() -> TraceSnapshot {
+        TraceSnapshot {
+            trace_id: 5,
+            spans: vec![
+                Span {
+                    span_id: ROOT_SPAN,
+                    parent: 0,
+                    name: "txn",
+                    start_ns: 1_000,
+                    end_ns: 9_500,
+                    thread: 0,
+                    attrs: vec![("trace_id", 5)],
+                },
+                Span {
+                    span_id: 2,
+                    parent: ROOT_SPAN,
+                    name: "attempt",
+                    start_ns: 1_200,
+                    end_ns: 9_500,
+                    thread: 3,
+                    attrs: vec![("committed", 1)],
+                },
+                Span {
+                    span_id: 3,
+                    parent: 2,
+                    name: "lock_wait",
+                    start_ns: 2_000,
+                    end_ns: 4_000,
+                    thread: 3,
+                    attrs: vec![("object", 7)],
+                },
+            ],
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_json_is_balanced_and_complete() {
+        let text = chrome_trace_json(&sample_trace());
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"lock_wait\""));
+        assert!(text.contains("\"ts\":1.200"), "µs with ns fraction");
+        assert!(text.contains("\"object\":7"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn otlp_trace_json_encodes_ids_as_hex() {
+        let text = otlp_trace_json(&sample_trace());
+        assert!(text.contains("\"resourceSpans\""));
+        assert!(text.contains(&format!("\"traceId\":\"{:032x}\"", 5)));
+        assert!(text.contains(&format!("\"spanId\":\"{:016x}\"", 3)));
+        assert!(text.contains("\"parentSpanId\":\"\""), "root has no parent");
+        assert!(text.contains("{\"key\":\"object\",\"value\":{\"intValue\":\"7\"}}"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

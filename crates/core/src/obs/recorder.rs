@@ -54,6 +54,9 @@ pub struct DumpContext {
     pub waits_for: Option<Vec<(u64, Vec<u64>)>>,
     /// Version-control state at trigger time.
     pub vc: Option<VcView>,
+    /// Transaction-trace id active on the triggering thread, if any —
+    /// lets tooling join a post-mortem to the victim's span tree.
+    pub trace_id: Option<u64>,
 }
 
 /// The recorder itself: a directory, a window size, and a dump counter.
@@ -148,6 +151,10 @@ fn render_dump(trigger: FlightTrigger, events: &[Event], ctx: &DumpContext) -> S
         Some(v) => out.push_str(&format!("  \"victim\": {v},\n")),
         None => out.push_str("  \"victim\": null,\n"),
     }
+    match ctx.trace_id {
+        Some(t) => out.push_str(&format!("  \"trace_id\": {t},\n")),
+        None => out.push_str("  \"trace_id\": null,\n"),
+    }
     match &ctx.vc {
         Some(vc) => {
             out.push_str(&format!(
@@ -237,6 +244,7 @@ mod tests {
             victim: Some(7),
             detail: "victim \"7\" in 2-cycle".into(),
             waits_for: Some(vec![(7, vec![9]), (9, vec![7])]),
+            trace_id: Some(3),
             vc: Some(VcView {
                 tnc: 3,
                 vtnc: 1,
@@ -249,6 +257,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"trigger\": \"deadlock\""));
         assert!(text.contains("\"victim\": 7"));
+        assert!(text.contains("\"trace_id\": 3"));
         assert!(text.contains("\"reason\":\"deadlock\""));
         assert!(text.contains("{\"waiter\":7,\"holders\":[9]}"));
         assert!(text.contains("\"vtnc_lag\":2"));

@@ -50,6 +50,10 @@ pub struct TxnOptions {
     /// blocking waits, and retries. `None` means unbounded (the
     /// pre-overload-control behavior).
     pub deadline: Option<Duration>,
+    /// End-to-end trace to join (from
+    /// [`MvDatabase::start_trace`](crate::db::MvDatabase::start_trace)).
+    /// `None` leaves tracing to the spans-tier sampler.
+    pub trace: Option<crate::obs::TraceCtx>,
 }
 
 impl TxnOptions {
@@ -62,6 +66,12 @@ impl TxnOptions {
     /// Give the transaction `budget` of total latency.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Join an explicit end-to-end trace.
+    pub fn with_trace(mut self, trace: crate::obs::TraceCtx) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -470,6 +480,7 @@ impl AdmissionController {
                     ),
                     waits_for: None,
                     vc: None,
+                    trace_id: None,
                 },
             );
         }

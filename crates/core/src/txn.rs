@@ -14,6 +14,7 @@
 use crate::cc_api::{CcContext, ConcurrencyControl};
 use crate::db::DbCore;
 use crate::error::{AbortReason, DbError};
+use crate::obs::trace::{self, AttemptGuard};
 use crate::obs::{abort_reason_code, EventKind};
 use crate::pressure::{AdmissionPermit, Deadline, TxnOptions, TxnOutcome};
 use crate::trace::TxnTrace;
@@ -69,11 +70,14 @@ impl<'db> RoTxn<'db> {
     /// was read (= the creator's transaction number).
     pub fn read_versioned(&mut self, obj: ObjectId) -> Result<(u64, Value), DbError> {
         let m = &self.core.ctx.metrics;
-        let timer = self.core.ctx.obs.timer();
+        // Sampled phase timer: the per-kind counter advances on every
+        // read, but only surviving samples read the clock and publish.
+        let timer = self.core.ctx.obs.phase_timer(EventKind::RoRead);
         let read = self.core.ctx.store.read_at(obj, self.sn);
         if let Some(started) = timer {
             let obs = &self.core.ctx.obs;
             obs.phases().ro_read.record(obs.since(started));
+            obs.publish(EventKind::RoRead, obj.0, self.sn);
         }
         match read {
             Some((version, value)) => {
@@ -146,6 +150,11 @@ pub struct RwTxn<'db, C: ConcurrencyControl> {
     deadline: Option<Deadline>,
     /// Admission slot, released on drop; its outcome feeds the AIMD loop.
     permit: Option<AdmissionPermit>,
+    /// End-to-end trace attempt (explicit via [`TxnOptions::with_trace`]
+    /// or spans-tier sampled). While held, instrumented sites deeper in
+    /// the engine parent their spans on it through the thread-local
+    /// frame; dropping it records the `attempt` span.
+    tspan: Option<AttemptGuard>,
 }
 
 impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
@@ -155,6 +164,18 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
         opts: &TxnOptions,
         permit: Option<AdmissionPermit>,
     ) -> Result<Self, DbError> {
+        // Open the trace frame *before* the protocol's begin, so a
+        // protocol that registers with version control at begin gets its
+        // VCQueue residency span parented correctly.
+        let obs = &core.ctx.obs;
+        let tspan = match opts.trace {
+            Some(t) => Some(trace::attempt(obs.tracer().activate(t.trace_id))),
+            None if obs.span_sampled() => {
+                let id = obs.tracer().auto_id();
+                Some(trace::attempt(obs.tracer().activate(id)))
+            }
+            None => None,
+        };
         let state = cc.begin_with(&core.ctx, opts)?;
         core.ctx.metrics.rw_begun.fetch_add(1, Ordering::Relaxed);
         let obs_id = if core.ctx.obs.on() {
@@ -175,7 +196,13 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
             obs_id,
             deadline,
             permit,
+            tspan,
         })
+    }
+
+    /// The end-to-end trace id this transaction reports into, if any.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.tspan.as_ref().map(|g| g.trace().trace_id())
     }
 
     fn ctx(&self) -> &CcContext {
@@ -277,6 +304,10 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
                 if let Some(p) = self.permit.as_mut() {
                     p.set_outcome(TxnOutcome::Committed);
                 }
+                if let Some(g) = self.tspan.as_mut() {
+                    g.attr("committed", 1);
+                    g.attr("tn", tn);
+                }
                 self.ctx()
                     .metrics
                     .rw_committed
@@ -327,12 +358,19 @@ impl<'db, C: ConcurrencyControl> RwTxn<'db, C> {
     }
 
     fn record_abort(&mut self, e: &DbError) {
-        let m = &self.ctx().metrics;
+        // Borrow through the 'db reference (not &self) so the trace-span
+        // attr writes below can take &mut self.tspan concurrently.
+        let m = &self.core.ctx.metrics;
         m.rw_aborted.fetch_add(1, Ordering::Relaxed);
         if let Some(reason) = e.abort_reason() {
-            self.ctx()
+            self.core
+                .ctx
                 .obs
                 .emit(EventKind::Abort, self.obs_id, abort_reason_code(&reason));
+            if let Some(g) = self.tspan.as_mut() {
+                g.attr("committed", 0);
+                g.attr("abort_reason", abort_reason_code(&reason));
+            }
         }
         match e.abort_reason() {
             Some(AbortReason::TimestampConflict) => {

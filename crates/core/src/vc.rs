@@ -209,13 +209,20 @@ impl VersionControl {
     /// 2PL, validation under OCC).
     pub fn register(&self) -> u64 {
         let obs = self.obs_on();
+        // The register→complete residency histogram is a sampled phase
+        // like the other hot-path histograms: an unsampled registration
+        // skips the stamp — and its clock read, which would otherwise sit
+        // inside this lock (and, under OCC, inside the validation
+        // critical section) — entirely. Reaper deadlines still stamp
+        // every entry, so `head_age` stays exact for reaper users.
+        let stamp = obs.is_some_and(|o| o.phase_sample());
         let tn = {
             let mut inner = self.inner();
             let tn = inner.tnc;
             inner.tnc += 1;
             // Read the clock only when someone consumes the stamp (the
             // reaper's deadline or the register→complete histogram).
-            let now = (inner.register_ttl.is_some() || obs.is_some()).then(|| self.now());
+            let now = (inner.register_ttl.is_some() || stamp).then(|| self.now());
             let deadline = match (inner.register_ttl, now) {
                 (Some(ttl), Some(now)) => Some(now + ttl),
                 _ => None,
@@ -226,6 +233,10 @@ impl VersionControl {
         if let Some(o) = obs {
             o.emit(EventKind::Register, tn, 0);
         }
+        // Open the VCQueue-residency span when the calling thread is
+        // tracing (one TLS read otherwise). Closed by complete/discard/
+        // reap — possibly from another thread.
+        crate::obs::trace::vc_register(tn);
         tn
     }
 
@@ -265,6 +276,7 @@ impl VersionControl {
                 if advanced {
                     o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
                 }
+                o.tracer().close_vc_any(tn, 1);
             }
         }
         removed
@@ -306,6 +318,9 @@ impl VersionControl {
             if let Some(o) = self.obs_on() {
                 let vtnc = self.vtnc.load(Ordering::Acquire);
                 o.emit(EventKind::ReaperFire, reaped.len() as u64, vtnc);
+                for &tn in &reaped {
+                    o.tracer().close_vc_any(tn, 2);
+                }
             }
         }
         reaped
@@ -323,6 +338,9 @@ impl VersionControl {
         let (advanced, vtnc_before, registered_at) = {
             let mut inner = self.inner();
             let vtnc_before = self.vtnc.load(Ordering::Acquire);
+            // Only registrations whose stamp survived the sampling draw
+            // (see `register`) carry a timestamp; the rest skip the
+            // clock read and histogram record below entirely.
             let registered_at = if obs.is_some() {
                 inner.queue.registered_at(tn)
             } else {
@@ -346,6 +364,7 @@ impl VersionControl {
             if advanced {
                 o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
             }
+            o.tracer().close_vc_any(tn, 0);
         }
         vtnc
     }
@@ -668,7 +687,10 @@ mod tests {
     fn obs_events_and_phase_histogram() {
         use crate::obs::{EventKind as K, Obs, ObsConfig};
         let vc = VersionControl::new();
-        let obs = vc.attach_obs(Arc::new(Obs::new(&ObsConfig::default().with_events(true))));
+        // shift 0: capture every event so the exact sequence is assertable
+        let obs = vc.attach_obs(Arc::new(Obs::new(
+            &ObsConfig::default().with_events(true).with_sample_shift(0),
+        )));
         let t1 = vc.register();
         let t2 = vc.register();
         vc.complete(t2); // head still active → no advance

@@ -22,6 +22,7 @@
 use crate::gtn::Gtn;
 use crate::site::{Site, SiteId};
 use mvcc_core::clock::{real_clock, SharedClock, SharedRng};
+use mvcc_core::obs::{SpanRegistry, TraceCtx, TraceSnapshot};
 use mvcc_core::trace::TxnTrace;
 use mvcc_core::{
     AbortReason, DbError, Deadline, FaultConfig, FaultInjector, FaultPoint, Tracer, TxnOptions,
@@ -212,6 +213,9 @@ pub struct Cluster {
     decisions: Mutex<BTreeMap<u64, Decision>>,
     /// HomeSite read-only transactions that fell back to GlobalMin.
     ro_fallbacks: AtomicU64,
+    /// End-to-end transaction traces. Cluster-owned (not per-site) so the
+    /// prepare/decide/commit legs of one 2PC land in a single span tree.
+    spans: SpanRegistry,
 }
 
 impl Cluster {
@@ -257,6 +261,7 @@ impl Cluster {
             },
             decisions: Mutex::new(BTreeMap::new()),
             ro_fallbacks: AtomicU64::new(0),
+            spans: SpanRegistry::new(Arc::clone(&cfg.clock)),
         }
     }
 
@@ -295,6 +300,35 @@ impl Cluster {
     /// How many HomeSite read-only transactions fell back to GlobalMin.
     pub fn ro_fallbacks(&self) -> u64 {
         self.ro_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Start an end-to-end trace; pass the returned context on
+    /// [`TxnOptions::with_trace`] to [`Cluster::begin_rw_with`]. The 2PC
+    /// prepare, decision and per-site commit legs of that transaction are
+    /// recorded as spans under one root.
+    pub fn start_trace(&self) -> TraceCtx {
+        self.spans.start()
+    }
+
+    /// Export a finished copy of a trace's span tree (`None` if unknown
+    /// or evicted).
+    pub fn trace_snapshot(&self, trace_id: u64) -> Option<TraceSnapshot> {
+        self.spans.snapshot(trace_id)
+    }
+
+    /// A trace as Chrome `trace_event` JSON (load in `chrome://tracing`
+    /// or Perfetto).
+    pub fn trace_chrome_json(&self, trace_id: u64) -> Option<String> {
+        Some(mvcc_core::obs::chrome_trace_json(
+            &self.spans.snapshot(trace_id)?,
+        ))
+    }
+
+    /// A trace as compact OTLP-style JSON.
+    pub fn trace_otlp_json(&self, trace_id: u64) -> Option<String> {
+        Some(mvcc_core::obs::otlp_trace_json(
+            &self.spans.snapshot(trace_id)?,
+        ))
     }
 
     /// Sample every site's visibility watermark and the Lamport-time skew
@@ -375,6 +409,7 @@ impl Cluster {
             trace: TxnTrace::new(),
             done: false,
             deadline: None,
+            trace_id: None,
         }
     }
 
@@ -388,6 +423,7 @@ impl Cluster {
         t.deadline = opts
             .deadline
             .map(|budget| Deadline::within(&*self.clock, budget));
+        t.trace_id = opts.trace.map(|ctx| ctx.trace_id);
         t
     }
 
@@ -496,6 +532,9 @@ pub struct DistRwTxn<'c> {
     /// Deadline budget, when begun with one (see
     /// [`Cluster::begin_rw_with`]).
     deadline: Option<Deadline>,
+    /// End-to-end trace this transaction belongs to, when begun with a
+    /// [`TraceCtx`] on its options.
+    trace_id: Option<u64>,
 }
 
 impl DistRwTxn<'_> {
@@ -582,6 +621,8 @@ impl DistRwTxn<'_> {
             self.rollback();
             return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
         }
+        let spans = &self.cluster.spans;
+        let prepare_start = self.trace_id.map(|_| spans.now_ns());
         let mut proposals: BTreeMap<SiteId, Gtn> = BTreeMap::new();
         for (&site, part) in &self.parts {
             self.cluster.msg_reliable();
@@ -599,17 +640,43 @@ impl DistRwTxn<'_> {
             self.cluster.msg_reliable();
             self.cluster.site(SiteId(1)).prepare(self.token, &[], &[])
         });
+        if let (Some(id), Some(start)) = (self.trace_id, prepare_start) {
+            spans.record_root_span(
+                id,
+                "2pc_prepare",
+                start,
+                vec![
+                    ("sites", self.parts.len().max(1) as u64),
+                    ("fin_time", fin.time()),
+                ],
+            );
+        }
         // Decision point: the commit record must be durable BEFORE any
         // phase-2 message leaves, or presumed abort would be unsound.
+        let decide_start = self.trace_id.map(|_| spans.now_ns());
         self.cluster
             .decisions
             .lock()
             .insert(self.token, Decision::Commit(fin));
+        if let (Some(id), Some(start)) = (self.trace_id, decide_start) {
+            spans.record_root_span(id, "2pc_decide", start, vec![("committed", 1)]);
+        }
         if self.parts.is_empty() {
+            let leg_start = self.trace_id.map(|_| spans.now_ns());
+            let mut deliveries = 0u64;
             for _ in 0..self.cluster.msg_one_way() {
                 self.cluster
                     .site(SiteId(1))
                     .commit(self.token, fin, fin, &[], &[])?;
+                deliveries += 1;
+            }
+            if let (Some(id), Some(start)) = (self.trace_id, leg_start) {
+                spans.record_root_span(
+                    id,
+                    "2pc_commit_leg",
+                    start,
+                    vec![("site", 1), ("deliveries", deliveries)],
+                );
             }
             self.done = true;
             self.flush(fin, true);
@@ -620,10 +687,23 @@ impl DistRwTxn<'_> {
         // duplicate is absorbed by its idempotence filter.
         for (&site, part) in &self.parts {
             let p = proposals[&site];
+            let leg_start = self.trace_id.map(|_| spans.now_ns());
+            let mut deliveries = 0u64;
             for _ in 0..self.cluster.msg_one_way() {
                 self.cluster
                     .site(site)
                     .commit(self.token, p, fin, &part.locked, &part.written)?;
+                deliveries += 1;
+            }
+            // `deliveries = 0` in the exported trace is exactly the
+            // "participant left in doubt" signature operators hunt for.
+            if let (Some(id), Some(start)) = (self.trace_id, leg_start) {
+                spans.record_root_span(
+                    id,
+                    "2pc_commit_leg",
+                    start,
+                    vec![("site", site.0 as u64), ("deliveries", deliveries)],
+                );
             }
         }
         self.done = true;
@@ -641,6 +721,7 @@ impl DistRwTxn<'_> {
         if self.done {
             return;
         }
+        let abort_start = self.trace_id.map(|_| self.cluster.spans.now_ns());
         // Aborts ride the reliable channel: there is no decision to
         // lose, and the log entry lets a racing resolver agree.
         self.cluster
@@ -652,6 +733,14 @@ impl DistRwTxn<'_> {
             self.cluster
                 .site(site)
                 .rollback(self.token, None, &part.locked, &part.written);
+        }
+        if let (Some(id), Some(start)) = (self.trace_id, abort_start) {
+            self.cluster.spans.record_root_span(
+                id,
+                "2pc_abort",
+                start,
+                vec![("sites", self.parts.len() as u64)],
+            );
         }
         self.done = true;
         let anon = (1 << 63) | self.cluster.next_anon.fetch_add(1, Ordering::Relaxed);

@@ -17,7 +17,7 @@
 
 use crate::report::{fnv1a, RunReport, Violation};
 use crate::spec::{Sabotage, SimSpec};
-use mvcc_core::{DbError, SimClock, SimRng, SplitMixRng};
+use mvcc_core::{DbError, SimClock, SimRng, SplitMixRng, TxnOptions};
 use mvcc_dist::{Cluster, ClusterConfig, DistRoTxn, DistRwTxn, RoMode, SiteId};
 use mvcc_model::ObjectId;
 use mvcc_storage::Value;
@@ -86,6 +86,7 @@ pub fn run_cluster(spec: &SimSpec) -> RunReport {
     let mut resolved_commit = 0u64;
     let mut resolved_abort = 0u64;
     let mut violations: Vec<Violation> = Vec::new();
+    let mut traced: Vec<u64> = Vec::new();
 
     let pick_pair = |sched: &SplitMixRng| {
         (
@@ -102,7 +103,17 @@ pub fn run_cluster(spec: &SimSpec) -> RunReport {
             let slot = &mut rw_slots[k];
             match slot.take() {
                 None => {
-                    let txn = cluster.begin_rw();
+                    // 1 in 4 distributed transactions carry a trace
+                    // context; the draw comes from the scheduler stream,
+                    // so a replay traces exactly the same transactions
+                    // and their 2PC span trees replay byte for byte.
+                    let txn = if sched.next_below(4) == 0 {
+                        let ctx = cluster.start_trace();
+                        traced.push(ctx.trace_id);
+                        cluster.begin_rw_with(&TxnOptions::default().with_trace(ctx))
+                    } else {
+                        cluster.begin_rw()
+                    };
                     let n = 1 + sched.next_below(3);
                     let mut plan = Vec::new();
                     for _ in 0..n {
@@ -319,6 +330,30 @@ pub fn run_cluster(spec: &SimSpec) -> RunReport {
 
     // --- Canonical trace --------------------------------------------------
     let mut trace = String::new();
+    // 2PC span trees of every sampled transaction, replayed byte for
+    // byte with the seed (thread ordinals normalized by first sight).
+    let mut thread_norm: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    trace.push_str("== spans ==\n");
+    for &id in &traced {
+        let Some(snap) = cluster.trace_snapshot(id) else {
+            continue;
+        };
+        if let Err(e) = snap.validate() {
+            violations.push(Violation {
+                oracle: "trace_tree",
+                detail: format!("trace {id}: {e}"),
+            });
+        }
+        for s in &snap.spans {
+            let next = thread_norm.len() as u64;
+            let th = *thread_norm.entry(s.thread).or_insert(next);
+            let attrs: String = s.attrs.iter().map(|(k, v)| format!(" {k}={v}")).collect();
+            trace.push_str(&format!(
+                "tr{} sp{} p{} {} [{}..{}] th{th}{attrs}\n",
+                id, s.span_id, s.parent, s.name, s.start_ns, s.end_ns
+            ));
+        }
+    }
     trace.push_str("== history ==\n");
     trace.push_str(&format!("{hist}"));
     trace.push_str(&format!(

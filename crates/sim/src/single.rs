@@ -28,7 +28,7 @@ use crate::spec::{Protocol, Sabotage, SimSpec};
 use mvcc_cc::{Optimistic, TimestampOrdering, TwoPhaseLocking};
 use mvcc_core::{
     AbortReason, ConcurrencyControl, DbConfig, DbError, FaultPoint, MvDatabase, ObsConfig, RoTxn,
-    RwTxn, SimClock, SimRng, SplitMixRng,
+    RwTxn, SimClock, SimRng, SplitMixRng, TxnOptions,
 };
 use mvcc_model::ObjectId;
 use mvcc_storage::wal::MemWal;
@@ -96,6 +96,11 @@ where
     cfg.obs = ObsConfig::default();
     cfg.obs.events = true;
     cfg.obs.event_capacity = 1 << 14;
+    // Trace 1 in 4 read-write transactions end to end. The sampling
+    // decision draws from the injected engine rng, so a replay traces
+    // exactly the same transactions and the span trees land in the
+    // canonical trace byte for byte.
+    cfg.obs.span_sample_shift = 2;
     let event_cap = cfg.obs.event_capacity;
 
     let mem = MemWal::new();
@@ -123,6 +128,7 @@ where
     let mut ro_aborts = 0u64;
     let mut violations: Vec<Violation> = Vec::new();
     let mut rogue_done = false;
+    let mut traced: Vec<u64> = Vec::new();
 
     let max_ticks = spec.steps.saturating_mul(300).max(10_000);
     while steps_done < spec.steps && ticks < max_ticks {
@@ -140,28 +146,39 @@ where
         if k < rw_slots.len() {
             let slot = &mut rw_slots[k];
             match slot.take() {
-                None => match db.begin_read_write() {
-                    Ok(txn) => {
-                        let n = 1 + sched.next_below(3);
-                        let mut plan = Vec::new();
-                        for _ in 0..n {
-                            let o = ObjectId(sched.next_below(spec.objects.max(1)));
-                            if !plan.contains(&o) {
-                                plan.push(o);
+                None => {
+                    // Sampled transactions carry an explicit trace context
+                    // so their whole lifecycle lands in one span tree.
+                    let opts = if db.obs().span_sampled() {
+                        let ctx = db.start_trace();
+                        traced.push(ctx.trace_id);
+                        TxnOptions::default().with_trace(ctx)
+                    } else {
+                        TxnOptions::default()
+                    };
+                    match db.begin_read_write_with(&opts) {
+                        Ok(txn) => {
+                            let n = 1 + sched.next_below(3);
+                            let mut plan = Vec::new();
+                            for _ in 0..n {
+                                let o = ObjectId(sched.next_below(spec.objects.max(1)));
+                                if !plan.contains(&o) {
+                                    plan.push(o);
+                                }
                             }
+                            *slot = Some(RwFlight {
+                                txn,
+                                plan,
+                                pos: 0,
+                                wrote: Vec::new(),
+                            });
                         }
-                        *slot = Some(RwFlight {
-                            txn,
-                            plan,
-                            pos: 0,
-                            wrote: Vec::new(),
-                        });
+                        Err(_) => {
+                            aborts += 1;
+                            steps_done += 1;
+                        }
                     }
-                    Err(_) => {
-                        aborts += 1;
-                        steps_done += 1;
-                    }
-                },
+                }
                 Some(mut f) => {
                     if db.faults().fire(FaultPoint::StallAfterRegister) {
                         // The client vanishes mid-transaction: protocol
@@ -371,6 +388,31 @@ where
             e.id,
             e.aux
         ));
+    }
+    // Span trees of every sampled transaction are part of the canonical
+    // trace: a replay must reproduce not just the event stream but the
+    // exact shape, timing and attributes of each trace. Evicted traces
+    // (past the registry cap) are skipped identically on replay.
+    trace.push_str("== spans ==\n");
+    for &id in &traced {
+        let Some(snap) = db.trace_snapshot(id) else {
+            continue;
+        };
+        if let Err(e) = snap.validate() {
+            violations.push(Violation {
+                oracle: "trace_tree",
+                detail: format!("trace {id}: {e}"),
+            });
+        }
+        for s in &snap.spans {
+            let next = thread_norm.len() as u64;
+            let th = *thread_norm.entry(s.thread).or_insert(next);
+            let attrs: String = s.attrs.iter().map(|(k, v)| format!(" {k}={v}")).collect();
+            trace.push_str(&format!(
+                "tr{} sp{} p{} {} [{}..{}] th{th}{attrs}\n",
+                id, s.span_id, s.parent, s.name, s.start_ns, s.end_ns
+            ));
+        }
     }
     trace.push_str("== history ==\n");
     trace.push_str(&format!("{hist}"));

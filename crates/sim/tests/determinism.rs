@@ -41,6 +41,46 @@ fn same_seed_replays_byte_equal_cluster() {
 }
 
 #[test]
+fn traced_transactions_replay_byte_equal_and_well_formed() {
+    // Tracing is on in every sim run (1 in 4 rw transactions, sampled
+    // from the injected rng), and the sampled span trees are part of the
+    // canonical trace — so byte-equality here proves seed replay stays
+    // stable *with tracing enabled*, per-span timing and attributes
+    // included. Well-formedness is checked inside the run by the
+    // `trace_tree` oracle; here we also prove spans actually exist.
+    for mode in Mode::ALL {
+        for faults in [FaultProfile::None, FaultProfile::Heavy] {
+            let spec = SimSpec {
+                seed: 0xBEEF,
+                mode,
+                faults,
+                ..SimSpec::default()
+            };
+            let a = run_spec(&spec);
+            let b = run_spec(&spec);
+            let spans = a
+                .trace
+                .lines()
+                .skip_while(|l| *l != "== spans ==")
+                .skip(1)
+                .take_while(|l| !l.starts_with("== "))
+                .count();
+            assert!(spans > 0, "{spec}: no span tree reached the trace");
+            assert!(
+                !a.violations.iter().any(|v| v.oracle == "trace_tree"),
+                "{spec}: malformed span tree: {:?}",
+                a.violations
+            );
+            assert_eq!(
+                a.trace, b.trace,
+                "{spec}: traced replay diverged (fingerprints {} vs {})",
+                a.fingerprint, b.fingerprint
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_produce_different_schedules() {
     let a = run_spec(&SimSpec {
         seed: 1,

@@ -88,6 +88,23 @@ impl Histogram {
         self.count
     }
 
+    /// Per-bucket sample counts. Bucket 0 holds only zero-duration
+    /// samples; bucket `i ≥ 1` holds samples in `[2^(i-1), 2^i - 1]`
+    /// nanoseconds (see [`Histogram::bucket_upper_bound`]). Exporters use
+    /// this to render cumulative Prometheus histogram buckets.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Inclusive upper bound, in nanoseconds, of bucket `i`.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (((1u128 << i.min(64)) - 1).min(u64::MAX as u128)) as u64
+        }
+    }
+
     /// Sum of all samples in nanoseconds.
     pub fn sum_ns(&self) -> u128 {
         self.sum_ns
@@ -365,6 +382,24 @@ mod tests {
         assert_eq!(s.max(), p.max());
         assert_eq!(s.mean(), p.mean());
         assert_eq!(s.p99(), p.p99());
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_axis() {
+        // Every sample lands in the bucket whose bound range covers it.
+        for ns in [0u64, 1, 2, 63, 64, 100, 1_000_000, u64::MAX / 2] {
+            let mut h = Histogram::new();
+            h.record(Duration::from_nanos(ns));
+            let i = h.bucket_counts().iter().position(|&c| c == 1).unwrap();
+            assert!(ns <= Histogram::bucket_upper_bound(i), "ns={ns} i={i}");
+            if i > 0 {
+                assert!(ns > Histogram::bucket_upper_bound(i - 1), "ns={ns} i={i}");
+            }
+        }
+        // Bounds are strictly increasing (valid Prometheus `le` ladder).
+        for i in 1..64 {
+            assert!(Histogram::bucket_upper_bound(i) > Histogram::bucket_upper_bound(i - 1));
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Trace one slow transaction end to end.
+//!
+//! ```sh
+//! cargo run --release --example trace_slow_txn > trace.json
+//! ```
+//!
+//! Starts an engine with events on, parks a writer on a hot object so a
+//! traced transfer has to sit in `lock_wait`, and dumps the resulting
+//! span tree as Chrome `trace_event` JSON on stdout — load `trace.json`
+//! in `chrome://tracing` or <https://ui.perfetto.dev>. A human-readable
+//! span listing goes to stderr so stdout stays valid JSON.
+
+use mvdb::cc::presets;
+use mvdb::core::prelude::*;
+use mvdb::core::RetryPolicy;
+use std::time::Duration;
+
+fn main() -> Result<(), DbError> {
+    let db = presets::vc_2pl(DbConfig::default().with_events());
+    let hot = ObjectId(0);
+    let other = ObjectId(1);
+    db.seed(hot, Value::from_u64(100));
+    db.seed(other, Value::from_u64(50));
+
+    std::thread::scope(|s| {
+        // Park a writer on the hot object: the traced transfer below
+        // must wait (or abort and retry) until this commit releases it.
+        let holder = &db;
+        s.spawn(move || {
+            let mut txn = holder.begin_read_write().unwrap();
+            let v = txn.read_for_update(hot).unwrap().as_u64().unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            txn.write(hot, Value::from_u64(v + 1)).unwrap();
+            txn.commit().unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(2));
+
+        // An explicit trace context: every attempt, lock wait, VCQueue
+        // residency, WAL append, and retry backoff of this run lands in
+        // one span tree, even across aborts.
+        let ctx = db.start_trace();
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.5,
+            seed: 7,
+        };
+        let opts = TxnOptions::default().with_trace(ctx);
+        let (tn, ()) = db.run_rw_deadline(&policy, &opts, |t| {
+            let v = t.read_for_update(hot)?.as_u64().unwrap();
+            t.write(hot, Value::from_u64(v - 30))?;
+            let o = t.read_u64(other)?.unwrap();
+            t.write(other, Value::from_u64(o + 30))
+        })?;
+
+        let snap = db.trace_snapshot(ctx.trace_id).expect("trace resident");
+        eprintln!(
+            "committed tn {tn}; trace {} captured {} spans:",
+            ctx.trace_id,
+            snap.spans.len()
+        );
+        for sp in &snap.spans {
+            let attrs: String = sp.attrs.iter().map(|(k, v)| format!(" {k}={v}")).collect();
+            eprintln!(
+                "  {:>12}  [{:>9}..{:>9}] ns{attrs}",
+                sp.name, sp.start_ns, sp.end_ns
+            );
+        }
+        println!(
+            "{}",
+            db.trace_chrome_json(ctx.trace_id).expect("trace resident")
+        );
+        Ok(())
+    })
+}

@@ -332,3 +332,157 @@ fn abort_reason_counters_partition_rw_aborted() {
         );
     }
 }
+
+// ---- counter exactness under sampling tiers ---------------------------
+
+/// Drive a small contended increment workload and return
+/// `(metrics, event counts)` at quiescence.
+fn sampled_churn<C: mvdb::core::ConcurrencyControl>(
+    db: mvdb::core::MvDatabase<C>,
+) -> (mvdb::core::MetricsSnapshot, mvdb::core::obs::EventCounts) {
+    let obj = ObjectId(0);
+    db.seed(obj, Value::from_u64(0));
+    thread::scope(|scope| {
+        for t in 0..2u64 {
+            let db = &db;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t + 31);
+                for i in 0..40u64 {
+                    if i % 8 == 7 {
+                        // explicit abort: exercises VCdiscard
+                        if let Ok(mut txn) = db.begin_read_write() {
+                            let _ = txn.write(obj, Value::from_u64(999));
+                            txn.abort();
+                        }
+                    } else {
+                        let _ = db.run_rw(200, |txn| {
+                            let v = txn.read_u64(obj)?.unwrap();
+                            txn.write(obj, Value::from_u64(v + 1))
+                        });
+                    }
+                    if rng.random_bool(0.05) {
+                        thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    (db.metrics(), db.obs().event_counts())
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// The per-kind event counters are EXACT regardless of the sampling
+    /// tier configuration: sampling only thins what is *published* to the
+    /// bus, never what is *counted*. The paper's registration-balance
+    /// invariant must therefore hold on the event counters at every
+    /// `(event_shift, span_shift)` — and agree with the engine metrics.
+    #[test]
+    fn counter_invariants_hold_under_sampled_tiers(
+        event_shift in 0u8..7,
+        span_shift in 0u8..13,
+        proto in 0u8..3,
+    ) {
+        use mvdb::core::obs::{EventKind, ObsConfig};
+        let cfg = DbConfig::default().with_obs(
+            ObsConfig::default()
+                .with_events(true)
+                .with_sample_shift(event_shift)
+                .with_span_sample_shift(span_shift),
+        );
+        let (m, ec) = match proto {
+            0 => sampled_churn(presets::vc_2pl(cfg)),
+            1 => sampled_churn(presets::vc_to(cfg)),
+            _ => sampled_churn(presets::vc_occ(cfg)),
+        };
+        // Metric-level balance (the existing quiescence invariant)...
+        proptest::prop_assert_eq!(
+            m.vc_register_calls,
+            m.vc_complete_calls + m.vc_discard_calls
+        );
+        // ...and the same balance on the always-exact event counters.
+        let reg = ec.counts[EventKind::Register as usize];
+        let done = ec.counts[EventKind::Complete as usize]
+            + ec.counts[EventKind::Discard as usize];
+        proptest::prop_assert_eq!(reg, done, "event counters must balance");
+        proptest::prop_assert_eq!(
+            reg, m.vc_register_calls,
+            "event counter and metric must agree exactly under sampling"
+        );
+        proptest::prop_assert!(m.rw_committed > 0);
+        // What reached the bus is at most what was counted, and at the
+        // keep-everything shift nothing may be lost to sampling (only to
+        // ring overflow, which the dropped counter accounts for exactly).
+        let total: u64 = ec.counts.iter().sum();
+        proptest::prop_assert!(ec.published + ec.dropped <= total);
+    }
+}
+
+/// Ring overflow is accounted exactly: with the drainer paused, emitting
+/// more events than one thread's buffer holds drops the excess — and
+/// `published + dropped` equals the number emitted, while the per-kind
+/// counter never loses a single event.
+#[test]
+fn ring_overflow_dropped_counter_is_exact() {
+    use mvdb::core::clock::real_clock;
+    use mvdb::core::obs::{EventKind, Obs, ObsConfig};
+    const EMITS: u64 = 200;
+    let obs = Obs::with_clock(
+        &ObsConfig::default()
+            .with_events(true)
+            .with_sample_shift(0)
+            .with_thread_buffer(64),
+        real_clock(),
+    );
+    {
+        let _pause = obs.pause_drain();
+        for i in 0..EMITS {
+            obs.emit(EventKind::Begin, i, 0);
+        }
+        let dropped = obs.dropped();
+        assert!(dropped > 0, "64-slot ring cannot hold {EMITS} events");
+        assert_eq!(obs.count(EventKind::Begin), EMITS, "counter stays exact");
+        // Everything still buffered + everything dropped = every emit.
+        let ec = obs.event_counts();
+        assert_eq!(ec.dropped, dropped);
+    }
+    obs.drain();
+    let ec = obs.event_counts();
+    assert_eq!(
+        ec.published + ec.dropped,
+        EMITS,
+        "published and dropped must partition the emitted events"
+    );
+    assert_eq!(ec.counts[EventKind::Begin as usize], EMITS);
+}
+
+/// A thread that exits with an undrained buffer loses nothing: its ring
+/// is retired, the next drain publishes the events, and the empty ring is
+/// pruned afterwards.
+#[test]
+fn thread_exit_with_undrained_buffer_loses_no_events() {
+    use mvdb::core::clock::real_clock;
+    use mvdb::core::obs::{EventKind, Obs, ObsConfig};
+    let obs = Obs::with_clock(
+        &ObsConfig::default().with_events(true).with_sample_shift(0),
+        real_clock(),
+    );
+    {
+        let _pause = obs.pause_drain();
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..10u64 {
+                    obs.emit(EventKind::Complete, i, 0);
+                }
+                // exits here with all 10 events still buffered
+            });
+        });
+        assert_eq!(obs.event_counts().published, 0, "drainer was paused");
+    }
+    obs.drain();
+    let ec = obs.event_counts();
+    assert_eq!(ec.published, 10, "retired ring must still be drained");
+    assert_eq!(ec.dropped, 0);
+    assert_eq!(ec.counts[EventKind::Complete as usize], 10);
+}

@@ -143,17 +143,19 @@ fn forced_deadlock_writes_postmortem() {
 fn reaper_force_discard_writes_postmortem() {
     const TTL: Duration = Duration::from_millis(20);
     let dir = flight_dir("reaper");
-    let db = presets::vc_to(
-        DbConfig::default()
-            .with_events()
-            .with_flight_dir(dir.clone())
-            .with_register_ttl(TTL)
-            .with_fault(FaultConfig {
-                seed: 7,
-                stall_after_register: 1.0,
-                ..Default::default()
-            }),
-    );
+    let mut cfg = DbConfig::default()
+        .with_events()
+        .with_flight_dir(dir.clone())
+        .with_register_ttl(TTL)
+        .with_fault(FaultConfig {
+            seed: 7,
+            stall_after_register: 1.0,
+            ..Default::default()
+        });
+    // Shift 0: publish every event — the assertions below require the
+    // sampled-tier `register` publish in the victim timeline.
+    cfg.obs.event_sample_shift = 0;
+    let db = presets::vc_to(cfg);
     db.seed(ObjectId(0), Value::from_u64(0));
 
     let err = db
@@ -236,4 +238,256 @@ fn exporters_render_parseable_output() {
     assert!(json.contains("\"phases\""));
     assert!(json.contains("\"rw_committed\": 5"));
     assert!(json.contains("\"vtnc\": 5"));
+}
+
+// ---- end-to-end transaction tracing -----------------------------------
+
+/// One explicitly traced commit yields a well-formed span tree: a single
+/// root, an `attempt` span carrying the commit outcome, and a `vc_queue`
+/// span closed with outcome "complete" — and both exporters render it.
+#[test]
+fn traced_commit_produces_single_rooted_span_tree() {
+    let db = presets::vc_2pl(DbConfig::default().with_events());
+    db.seed(ObjectId(0), Value::from_u64(0));
+
+    let ctx = db.start_trace();
+    let opts = TxnOptions::default().with_trace(ctx);
+    let mut txn = db.begin_read_write_with(&opts).unwrap();
+    txn.write(ObjectId(0), Value::from_u64(1)).unwrap();
+    assert_eq!(txn.trace_id(), Some(ctx.trace_id));
+    let tn = txn.commit().unwrap();
+
+    let snap = db.trace_snapshot(ctx.trace_id).expect("trace retained");
+    snap.validate().expect("well-formed span tree");
+    assert_eq!(snap.dropped_spans, 0);
+
+    let attempt = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "attempt")
+        .expect("attempt span");
+    assert!(attempt.attrs.contains(&("committed", 1)));
+    assert!(attempt.attrs.contains(&("tn", tn)));
+
+    let vc = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "vc_queue")
+        .expect("vc_queue span");
+    assert_eq!(vc.parent, attempt.span_id, "queue residency under attempt");
+    assert!(vc.attrs.contains(&("tn", tn)));
+    assert!(vc.attrs.contains(&("outcome", 0)), "0 = completed");
+
+    let chrome = db.trace_chrome_json(ctx.trace_id).unwrap();
+    assert_balanced_json(&chrome);
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"attempt\""));
+    let otlp = db.trace_otlp_json(ctx.trace_id).unwrap();
+    assert_balanced_json(&otlp);
+    assert!(otlp.contains("\"resourceSpans\""));
+
+    // Unknown ids export nothing rather than an empty document.
+    assert!(db.trace_snapshot(0xdead_beef).is_none());
+}
+
+/// A deadlock victim retried by the runner: every attempt lands in ONE
+/// trace — the aborted attempt (with its fatal `lock_wait`), the backoff
+/// sleep, and the committed attempt — and the flight-recorder post-mortem
+/// written at the deadlock names the victim's trace id.
+#[test]
+fn retry_attempts_share_one_trace_and_postmortem_names_it() {
+    use mvdb::core::retry::RetryPolicy;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    let dir = flight_dir("traced-deadlock");
+    let db = presets::vc_2pl(
+        DbConfig::default()
+            .with_events()
+            .with_flight_dir(dir.clone()),
+    );
+    db.seed(ObjectId(0), Value::from_u64(0));
+    db.seed(ObjectId(1), Value::from_u64(0));
+
+    let traces = [db.start_trace(), db.start_trace()];
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(1),
+        jitter: 0.0,
+        seed: 0,
+    };
+    let barrier = Barrier::new(2);
+    thread::scope(|scope| {
+        for (i, (first, second)) in [(0u64, 1u64), (1u64, 0u64)].into_iter().enumerate() {
+            let db = &db;
+            let barrier = &barrier;
+            let policy = &policy;
+            let opts = TxnOptions::default().with_trace(traces[i]);
+            scope.spawn(move || {
+                let tries = AtomicU32::new(0);
+                db.run_rw_deadline(policy, &opts, |t| {
+                    t.write(ObjectId(first), Value::from_u64(first + 10))?;
+                    // Only the first attempt synchronizes: the retry must
+                    // run free or it would deadlock against nobody.
+                    if tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                        barrier.wait();
+                    }
+                    t.write(ObjectId(second), Value::from_u64(second + 10))
+                })
+                .unwrap();
+            });
+        }
+    });
+    assert!(db.metrics().aborts_deadlock >= 1);
+
+    // Exactly one side was victimized; find its trace.
+    let snaps: Vec<_> = traces
+        .iter()
+        .map(|t| db.trace_snapshot(t.trace_id).expect("trace retained"))
+        .collect();
+    for s in &snaps {
+        s.validate().expect("well-formed span tree");
+    }
+    let victim = snaps
+        .iter()
+        .find(|s| {
+            s.spans
+                .iter()
+                .any(|sp| sp.name == "attempt" && sp.attrs.contains(&("committed", 0)))
+        })
+        .expect("one trace holds the aborted attempt");
+    let attempts: Vec<_> = victim
+        .spans
+        .iter()
+        .filter(|s| s.name == "attempt")
+        .collect();
+    assert!(
+        attempts.len() >= 2,
+        "aborted + retried attempt in one trace"
+    );
+    assert!(
+        attempts.iter().any(|a| a.attrs.contains(&("committed", 1))),
+        "the retry eventually committed"
+    );
+    assert!(
+        attempts
+            .iter()
+            .any(|a| a.attrs.iter().any(|&(k, _)| k == "abort_reason")),
+        "aborted attempt records its reason"
+    );
+    assert!(
+        victim.spans.iter().any(|s| s.name == "backoff"),
+        "backoff sleep between attempts is a span"
+    );
+    assert!(
+        victim
+            .spans
+            .iter()
+            .any(|s| s.name == "lock_wait" && s.attrs.contains(&("deadlock", 1))),
+        "the fatal lock wait that closed the cycle is in the victim's trace"
+    );
+
+    // The post-mortem written at the deadlock carries the victim's id.
+    let dumps = postmortems(&dir, "deadlock");
+    assert_eq!(dumps.len(), 1);
+    assert!(
+        dumps[0].contains(&format!("\"trace_id\": {}", victim.trace_id)),
+        "post-mortem must name the victim's trace: {}",
+        &dumps[0][..dumps[0].len().min(400)]
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A registration force-discarded by the reaper: the `vc_queue` span is
+/// closed by the *reaper thread* (no frame on its stack) with outcome
+/// "reaped", so the trace still explains where the transaction died.
+#[test]
+fn reaper_closes_vc_queue_span_with_reaped_outcome() {
+    const TTL: Duration = Duration::from_millis(20);
+    let db = presets::vc_to(DbConfig::default().with_events().with_register_ttl(TTL));
+    db.seed(ObjectId(0), Value::from_u64(0));
+
+    let ctx = db.start_trace();
+    let opts = TxnOptions::default().with_trace(ctx);
+    // The client hangs right after begin: under TO the registration is
+    // already in the VC queue, pinning vtnc until the reaper fires.
+    let txn = db.begin_read_write_with(&opts).unwrap();
+    txn.stall();
+    assert_eq!(db.vc().lag(), 1, "the stalled registration pins vtnc");
+
+    thread::sleep(TTL + Duration::from_millis(5));
+    let reaped = db.reap_stalled();
+    assert_eq!(reaped.len(), 1);
+
+    let snap = db.trace_snapshot(ctx.trace_id).unwrap();
+    snap.validate().expect("well-formed span tree");
+    let vc = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "vc_queue")
+        .expect("vc_queue span closed by the reaper");
+    assert!(vc.attrs.contains(&("tn", reaped[0])));
+    assert!(vc.attrs.contains(&("outcome", 2)), "2 = reaped");
+}
+
+/// Distributed 2PC under an explicit trace: prepare, the decision point
+/// and one commit leg per participant all land as spans in one tree, and
+/// an abort records its own span.
+#[test]
+fn two_pc_commit_and_abort_render_as_span_trees() {
+    use mvdb::dist::{Cluster, SiteId};
+
+    let c = Cluster::new(2);
+    let ctx = c.start_trace();
+    let opts = TxnOptions::default().with_trace(ctx);
+    let mut t = c.begin_rw_with(&opts);
+    t.write(SiteId(1), ObjectId(0), Value::from_u64(1)).unwrap();
+    t.write(SiteId(2), ObjectId(0), Value::from_u64(2)).unwrap();
+    t.commit().unwrap();
+
+    let snap = c.trace_snapshot(ctx.trace_id).unwrap();
+    snap.validate().expect("well-formed span tree");
+    let count = |name: &str| snap.spans.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("2pc_prepare"), 1);
+    assert_eq!(count("2pc_decide"), 1);
+    assert_eq!(count("2pc_commit_leg"), 2, "one leg per participant");
+    let mut leg_sites: Vec<u64> = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "2pc_commit_leg")
+        .map(|s| s.attrs.iter().find(|&&(k, _)| k == "site").unwrap().1)
+        .collect();
+    leg_sites.sort_unstable();
+    assert_eq!(leg_sites, vec![1, 2]);
+    assert!(snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "2pc_commit_leg")
+        .all(|s| s.attrs.contains(&("deliveries", 1))));
+    let chrome = c.trace_chrome_json(ctx.trace_id).unwrap();
+    assert_balanced_json(&chrome);
+    assert!(chrome.contains("\"2pc_prepare\""));
+
+    // Abort path: rollback across sites is one span.
+    let ctx2 = c.start_trace();
+    let opts2 = TxnOptions::default().with_trace(ctx2);
+    let mut t2 = c.begin_rw_with(&opts2);
+    t2.write(SiteId(1), ObjectId(1), Value::from_u64(9))
+        .unwrap();
+    t2.abort();
+    let snap2 = c.trace_snapshot(ctx2.trace_id).unwrap();
+    snap2.validate().expect("well-formed span tree");
+    assert_eq!(
+        snap2.spans.iter().filter(|s| s.name == "2pc_abort").count(),
+        1
+    );
+    assert_eq!(
+        snap2
+            .spans
+            .iter()
+            .filter(|s| s.name == "2pc_prepare")
+            .count(),
+        0
+    );
 }
