@@ -29,7 +29,11 @@ use std::sync::atomic::Ordering;
 pub struct Optimistic {
     /// Global validation critical section: validation + write phase are
     /// atomic with respect to each other (classic serial validation).
-    validation: Mutex<()>,
+    /// Carries the transaction number of the last validated commit, so
+    /// the next holder can hand the decentralized sequencer a conflict
+    /// floor that embeds the full validation order (see
+    /// [`VersionControl::register_after`](mvcc_core::VersionControl)).
+    validation: Mutex<u64>,
 }
 
 /// Per-transaction OCC state: read and write sets.
@@ -97,7 +101,7 @@ impl ConcurrencyControl for Optimistic {
         let m = &ctx.metrics;
         // Speculative trace leaf spanning the validation critical section.
         let mut span = mvcc_core::obs::trace::leaf("validate");
-        let _crit = self.validation.lock();
+        let mut crit = self.validation.lock();
 
         // Backward validation: every read must still be current.
         for &(obj, seen) in &txn.read_set {
@@ -115,8 +119,11 @@ impl ConcurrencyControl for Optimistic {
             }
         }
 
-        // Serial order fixed here: register inside the critical section.
-        let tn = ctx.vc.register();
+        // Serial order fixed here: register inside the critical section,
+        // strictly above the previously validated transaction — the lock
+        // handoff makes validation order = tn order even when numbers
+        // come from per-thread blocks.
+        let tn = ctx.vc.register_after(*crit);
         m.vc_register_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(mut span) = span.take() {
             span.attr("tn", tn);
@@ -152,7 +159,10 @@ impl ConcurrencyControl for Optimistic {
             ctx.store.notify(*obj);
         }
 
-        drop(_crit);
+        // Hand our number to the next validator before releasing the
+        // critical section.
+        *crit = tn;
+        drop(crit);
         // Deferred past the lock drop: a notification emit must never
         // extend the validation critical section.
         ctx.obs

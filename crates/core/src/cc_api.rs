@@ -63,7 +63,7 @@ impl CcContext {
         Self::with_parts(
             config.clone(),
             Arc::new(MvStore::with_shards(config.store_shards)),
-            Arc::new(VersionControl::new()),
+            Arc::new(VersionControl::from_config(&config)),
         )
     }
 

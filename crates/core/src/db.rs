@@ -146,11 +146,8 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             torn_bytes: scan_stats.torn_bytes,
         };
         let tracer = config.trace.then(|| Arc::new(Tracer::new()));
-        let mut ctx = CcContext::with_parts(
-            config,
-            Arc::new(store),
-            Arc::new(VersionControl::resumed(last_tn)),
-        );
+        let vc = Arc::new(VersionControl::resumed_from_config(last_tn, &config));
+        let mut ctx = CcContext::with_parts(config, Arc::new(store), vc);
         if let Some(sink) = sink {
             let (sink, arm) = Self::maybe_faulty(&ctx, sink);
             let live: Vec<wal::CommitRecord> =
@@ -203,11 +200,8 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     pub fn restore(cc: C, config: DbConfig, r: &mut impl std::io::Read) -> std::io::Result<Self> {
         let (store, watermark) = MvStore::restore(r)?;
         let tracer = config.trace.then(|| Arc::new(Tracer::new()));
-        let ctx = CcContext::with_parts(
-            config,
-            Arc::new(store),
-            Arc::new(VersionControl::resumed(watermark)),
-        );
+        let vc = Arc::new(VersionControl::resumed_from_config(watermark, &config));
+        let ctx = CcContext::with_parts(config, Arc::new(store), vc);
         let ro_registry = RoScanRegistry::with_slots(ctx.config.ro_slots);
         Ok(MvDatabase {
             core: DbCore {
@@ -707,6 +701,12 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
         let mut snap = self.core.ctx.metrics.snapshot();
         let (_, wait_ns) = self.core.ctx.vc.contention();
         snap.vc_lock_wait_ns = snap.vc_lock_wait_ns.saturating_add(wait_ns);
+        let vs = self.core.ctx.vc.vc_stats();
+        snap.vc_epoch_folds = snap.vc_epoch_folds.saturating_add(vs.epoch_folds);
+        snap.vc_blocks_allocated = snap.vc_blocks_allocated.saturating_add(vs.blocks_allocated);
+        snap.vc_watermark_scan_ns = snap
+            .vc_watermark_scan_ns
+            .saturating_add(vs.watermark_scan_ns);
         snap.gc_slot_contention = snap
             .gc_slot_contention
             .saturating_add(self.core.ro_registry.contention());

@@ -55,6 +55,7 @@ pub mod retry;
 pub mod trace;
 pub mod txn;
 pub mod vc;
+mod vc_dec;
 pub mod vcqueue;
 
 pub use cc_api::{CcContext, ConcurrencyControl};
@@ -79,7 +80,7 @@ pub use pressure::{
 pub use retry::RetryPolicy;
 pub use trace::Tracer;
 pub use txn::{RoTxn, RwTxn};
-pub use vc::VersionControl;
+pub use vc::{VcStats, VersionControl};
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {

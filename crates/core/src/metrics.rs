@@ -163,6 +163,15 @@ metrics! { ;
     aborts_deadline,
     /// Aborts caused by memory-pressure rejection.
     aborts_mem_pressure,
+    /// Watermark folds run by the decentralized VC sequencer (0 under
+    /// the centralized one).
+    vc_epoch_folds,
+    /// Transaction-number blocks carved by the decentralized VC
+    /// sequencer (0 under the centralized one).
+    vc_blocks_allocated,
+    /// Nanoseconds spent inside decentralized-VC watermark scans (0
+    /// under the centralized one).
+    vc_watermark_scan_ns,
 }
 
 #[cfg(test)]
@@ -198,10 +207,10 @@ mod tests {
     fn fields_cover_every_counter_in_order() {
         let m = Metrics::new();
         m.ro_begun.fetch_add(4, Ordering::Relaxed);
-        m.aborts_mem_pressure.fetch_add(9, Ordering::Relaxed);
+        m.vc_watermark_scan_ns.fetch_add(9, Ordering::Relaxed);
         let fields = m.snapshot().fields();
         assert_eq!(fields.first(), Some(&("ro_begun", 4)));
-        assert_eq!(fields.last(), Some(&("aborts_mem_pressure", 9)));
+        assert_eq!(fields.last(), Some(&("vc_watermark_scan_ns", 9)));
         // No duplicate names.
         let names: std::collections::HashSet<_> = fields.iter().map(|(n, _)| *n).collect();
         assert_eq!(names.len(), fields.len());

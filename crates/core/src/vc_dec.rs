@@ -1,0 +1,1176 @@
+//! The decentralized version-control sequencer (DESIGN.md §15).
+//!
+//! Replaces the centralized `tnc`-mutex + `VCQueue` with three
+//! decentralized mechanisms:
+//!
+//! 1. **Per-thread transaction-number blocks.** A single shared
+//!    `fetch_add` on a *block* counter hands each thread a range of
+//!    `vc_block_tns` consecutive numbers; individual draws inside the
+//!    block are thread-local. Number order therefore no longer embeds
+//!    real-time order — protocols pass their **conflict floor** to
+//!    [`DecentralVc::register_after`] and the drawer first tries an
+//!    *adjacent steal* of `floor + 1` (keeping the watermark gap-free on
+//!    conflict chains) before falling back to its own block.
+//! 2. **Lock-free register/complete.** Every number has a dedicated
+//!    entry (one state byte + two stamp words); registration, the commit
+//!    claim, completion, discard, and the reaper are all single CAS
+//!    transitions on that entry. Per-thread padded [`Slot`]s publish
+//!    `last_assigned` and an in-flight count, mirroring the
+//!    `obs::buffer` TLS registry pattern.
+//! 3. **Scan-based `vtnc` watermark.** Instead of mutating a shared
+//!    queue, the completing thread (amortized once per `vc_epoch_ops`
+//!    completions) *folds*: it scans entry states upward from `vtnc`
+//!    and publishes the largest contiguously-finished prefix with one
+//!    `Release` store. `VCstart` stays a single atomic load.
+//!
+//! Gaps — numbers carved into a block but never drawn — are the one new
+//! hazard: a FREE entry below an assigned number would pin `vtnc`
+//! forever. Four reclaim paths bound that: (a) a retiring thread marks
+//! its block tail *abandoned* (TLS destructor), and the walk treats
+//! abandoned entries as terminal; (b) when **no** transaction is in
+//! flight the walk may expire any FREE entry (nothing can legally draw
+//! a number below an already-assigned one except through a floor, and
+//! floors below `vtnc` are refused); (c) a whole-block claim deadline
+//! (the registration TTL) lets the walk expire gaps of a crashed owner;
+//! (d) `vc_gap_grace` consecutive stalled scans expire a gap even while
+//! other transactions run — the grace is counted in scans, not time, so
+//! simulated runs stay deterministic. Draws CAS `FREE → ACTIVE` and so
+//! lose cleanly to any concurrent expiry.
+
+use crate::clock::SharedClock;
+use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView};
+use crate::vc::{wait_visible_with, VcStats};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+// Entry states. FREE is 0 so freshly allocated blocks need no stores.
+const FREE: u8 = 0;
+const ACTIVE: u8 = 1;
+const COMMITTING: u8 = 2;
+const COMPLETE: u8 = 3;
+const DISCARDED: u8 = 4;
+/// Reclaimed gap: the number was carved into a block but expired before
+/// anyone drew it. Terminal, like COMPLETE/DISCARDED.
+const EXPIRED: u8 = 5;
+
+/// `abandoned_from` sentinel: no abandonment.
+const NO_ABANDON: u32 = u32::MAX;
+
+/// Per-number lifecycle record. Stamps are nanosecond offsets from the
+/// sequencer's lazily-anchored epoch, `+1` so `0` means "absent"; they
+/// are written *before* the `FREE → ACTIVE` CAS, whose `AcqRel` success
+/// publishes them. (Two drawers racing for one entry may each write
+/// stamps; the loser's CAS fails and at worst overwrites the winner's
+/// stamps with values computed nanoseconds apart under the same global
+/// TTL — benign, and the reaper only ever sees a *later* deadline.)
+#[derive(Default)]
+struct Entry {
+    state: AtomicU8,
+    /// Reaper deadline stamp (`0` = no TTL at registration time).
+    deadline: AtomicU64,
+    /// Registration stamp for the register→complete phase histogram and
+    /// `head_age` (`0` = not sampled).
+    registered_at: AtomicU64,
+}
+
+impl Entry {
+    /// `ACTIVE | COMMITTING → to`; fails on FREE or any terminal state.
+    fn finish(&self, to: u8) -> bool {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            if cur != ACTIVE && cur != COMMITTING {
+                return false;
+            }
+            match self
+                .state
+                .compare_exchange(cur, to, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+/// One contiguous range of `block_tns` numbers, `[first, first + N)`.
+struct Block {
+    first: u64,
+    /// The slot of the thread that carved this block (in-flight counts
+    /// are kept on the *block owner's* slot so a steal and its
+    /// completion balance the same counter).
+    owner: Arc<Slot>,
+    /// Whole-block TTL stamp: set at creation and refreshed on every
+    /// draw when a registration TTL is configured. Lets the watermark
+    /// walk expire never-drawn gaps of an owner that stopped making
+    /// progress (the "crashed block owner" reaper path). `0` = no TTL.
+    claim_deadline: AtomicU64,
+    /// First entry index of the abandoned tail (owner retired or moved
+    /// on with numbers ≤ a floor). Entries at or past this index are
+    /// terminal for the walk and refused by stealers.
+    abandoned_from: AtomicU32,
+    entries: Box<[Entry]>,
+}
+
+/// Padded per-thread publication record — the decentralized stand-in
+/// for "what is registered". Never removed from the registry: `cap`
+/// (the high-water mark standing in for `tnc`) must stay monotone after
+/// a thread exits.
+#[repr(align(128))]
+struct Slot {
+    /// Highest number this thread has drawn (anywhere, steals included).
+    last_assigned: AtomicU64,
+    /// Draws minus terminal transitions, counted on the *block owner's*
+    /// slot. The walk may reclaim gaps freely when the global sum is 0.
+    inflight: AtomicU64,
+    /// Set by the TLS destructor: the owning thread is gone, its gaps
+    /// may be reclaimed immediately.
+    retired: AtomicBool,
+}
+
+impl Slot {
+    fn new(base: u64) -> Self {
+        Slot {
+            last_assigned: AtomicU64::new(base),
+            inflight: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Watermark-walk persistent state, guarded by the `advance` mutex.
+struct WalkState {
+    /// The gap the last walk stopped at (`0` = none).
+    gap_tn: u64,
+    /// Consecutive walks that stopped at exactly `gap_tn`.
+    gap_reps: u64,
+}
+
+struct DecShared {
+    /// Registry identity for the TLS cache (instance-unique).
+    id: u64,
+    /// Resume point: every number `≤ base` is complete by definition.
+    base: u64,
+    block_tns: u64,
+    epoch_ops: u64,
+    gap_grace: u64,
+    /// Registration TTL in ns (`0` = reaper disabled).
+    ttl_ns: AtomicU64,
+    /// Next block index — THE one shared allocation `fetch_add`.
+    next_block: AtomicU64,
+    blocks: RwLock<BTreeMap<u64, Arc<Block>>>,
+    slots: Mutex<Vec<Arc<Slot>>>,
+    /// Highest number handed out through the *ordered* plain
+    /// [`DecentralVc::register`] path; chained as an implicit floor so
+    /// successive plain registrations stay monotone in real time.
+    issue_tail: AtomicU64,
+    vtnc: AtomicU64,
+    /// The tn the last completed walk stopped at (`0` = none) — the
+    /// decentral analog of the queue head. Written only under `advance`.
+    blocker: AtomicU64,
+    /// Set (SeqCst) after every state transition, cleared (SeqCst) at
+    /// the top of every walk. The SeqCst pairing with `inflight`
+    /// guarantees the globally-last fold observes every decrement: a
+    /// completer decrements, *then* sets dirty; a folder clears dirty,
+    /// *then* reads the slots.
+    dirty: AtomicBool,
+    advance: Mutex<WalkState>,
+    epoch_folds: AtomicU64,
+    blocks_allocated: AtomicU64,
+    scan_ns: AtomicU64,
+    visible_cv: Condvar,
+    visible_mu: Mutex<()>,
+    obs: OnceLock<Arc<Obs>>,
+    clock: OnceLock<SharedClock>,
+    /// Stamp anchor, initialized from the attached clock on first use.
+    anchor: OnceLock<Instant>,
+}
+
+/// One thread's cached handle into one sequencer instance.
+struct TlsVc {
+    id: u64,
+    shared: Weak<DecShared>,
+    slot: Arc<Slot>,
+    /// Current block and draw cursor (next entry index to try).
+    block: Option<(Arc<Block>, u32)>,
+    /// Completions since the last epoch fold by this thread.
+    ops: u64,
+}
+
+impl Drop for TlsVc {
+    fn drop(&mut self) {
+        self.slot.retired.store(true, Ordering::SeqCst);
+        if let Some((b, cursor)) = self.block.take() {
+            b.abandoned_from.store(cursor, Ordering::SeqCst);
+        }
+        if let Some(sh) = self.shared.upgrade() {
+            sh.dirty.store(true, Ordering::SeqCst);
+            sh.fold();
+        }
+    }
+}
+
+thread_local! {
+    static SEQS: RefCell<Vec<TlsVc>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Find (or register) this thread's handle for `shared`, pruning
+/// handles of dropped sequencers along the way.
+fn with_tls<R>(shared: &Arc<DecShared>, f: impl FnOnce(&DecShared, &mut TlsVc) -> R) -> R {
+    SEQS.with(|cell| {
+        let mut v = cell.borrow_mut();
+        v.retain(|t| t.shared.strong_count() > 0);
+        let idx = match v.iter().position(|t| t.id == shared.id) {
+            Some(i) => i,
+            None => {
+                let slot = Arc::new(Slot::new(shared.base));
+                shared.slots.lock().push(Arc::clone(&slot));
+                v.push(TlsVc {
+                    id: shared.id,
+                    shared: Arc::downgrade(shared),
+                    slot,
+                    block: None,
+                    ops: 0,
+                });
+                v.len() - 1
+            }
+        };
+        f(shared, &mut v[idx])
+    })
+}
+
+impl DecShared {
+    #[inline]
+    fn obs_on(&self) -> Option<&Obs> {
+        match self.obs.get() {
+            Some(o) if o.on() => Some(o),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn now(&self) -> Instant {
+        match self.clock.get() {
+            Some(c) => c.now(),
+            None => Instant::now(),
+        }
+    }
+
+    #[inline]
+    fn stamp_at(&self, t: Instant) -> u64 {
+        let anchor = *self.anchor.get_or_init(|| t);
+        t.saturating_duration_since(anchor).as_nanos() as u64 + 1
+    }
+
+    #[inline]
+    fn stamp_now(&self) -> u64 {
+        self.stamp_at(self.now())
+    }
+
+    /// Locate the block covering `tn`, trying the thread's own block
+    /// before the shared map.
+    fn block_of(&self, tls: &TlsVc, tn: u64) -> Option<Arc<Block>> {
+        if let Some((b, _)) = &tls.block {
+            if tn >= b.first && tn < b.first + self.block_tns {
+                return Some(Arc::clone(b));
+            }
+        }
+        self.find_block(tn)
+    }
+
+    fn find_block(&self, tn: u64) -> Option<Arc<Block>> {
+        if tn <= self.base {
+            return None;
+        }
+        let idx = (tn - self.base - 1) / self.block_tns;
+        self.blocks.read().get(&idx).cloned()
+    }
+
+    /// Carve the next block out of the number space.
+    fn claim_block(&self, tls: &TlsVc, claim_deadline: u64) -> Arc<Block> {
+        let idx = self.next_block.fetch_add(1, Ordering::SeqCst);
+        let first = idx
+            .checked_mul(self.block_tns)
+            .and_then(|o| o.checked_add(self.base))
+            .and_then(|o| o.checked_add(1))
+            .expect("transaction number space exhausted");
+        // `u64::MAX` is reserved (floors saturate there).
+        assert!(
+            first
+                .checked_add(self.block_tns - 1)
+                .is_some_and(|last| last < u64::MAX),
+            "transaction number space exhausted"
+        );
+        let entries: Box<[Entry]> = (0..self.block_tns).map(|_| Entry::default()).collect();
+        let block = Arc::new(Block {
+            first,
+            owner: Arc::clone(&tls.slot),
+            claim_deadline: AtomicU64::new(claim_deadline),
+            abandoned_from: AtomicU32::new(NO_ABANDON),
+            entries,
+        });
+        self.blocks.write().insert(idx, Arc::clone(&block));
+        self.blocks_allocated.fetch_add(1, Ordering::Relaxed);
+        block
+    }
+
+    /// Draw a number `> floor` (and `> vtnc`), stamping and activating
+    /// its entry.
+    fn draw(&self, tls: &mut TlsVc, floor: u64, want_stamp: bool) -> u64 {
+        let ttl = self.ttl_ns.load(Ordering::Relaxed);
+        let now_stamp = if ttl != 0 || want_stamp {
+            self.stamp_now()
+        } else {
+            0
+        };
+        let deadline = if ttl != 0 {
+            now_stamp.saturating_add(ttl)
+        } else {
+            0
+        };
+        let reg = if want_stamp { now_stamp } else { 0 };
+
+        // Adjacent steal first: `floor + 1` extends the conflict chain
+        // with no gap, so watermark progress on hot objects never waits
+        // on grace. Refused past an abandoned tail (the walk may already
+        // have treated those entries as terminal) and at/below `vtnc`.
+        if floor > 0 && floor < u64::MAX {
+            let target = floor + 1;
+            if target > self.vtnc.load(Ordering::Acquire) {
+                if let Some(b) = self.block_of(tls, target) {
+                    let eidx = (target - b.first) as usize;
+                    let e = &b.entries[eidx];
+                    if (eidx as u32) < b.abandoned_from.load(Ordering::SeqCst)
+                        && e.state.load(Ordering::Acquire) == FREE
+                    {
+                        e.deadline.store(deadline, Ordering::Relaxed);
+                        e.registered_at.store(reg, Ordering::Relaxed);
+                        if e.state
+                            .compare_exchange(FREE, ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            if ttl != 0 {
+                                b.claim_deadline.store(deadline, Ordering::Relaxed);
+                            }
+                            b.owner.inflight.fetch_add(1, Ordering::SeqCst);
+                            tls.slot.last_assigned.fetch_max(target, Ordering::SeqCst);
+                            return target;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Own-block cursor path.
+        loop {
+            if tls.block.is_none() {
+                tls.block = Some((self.claim_block(tls, deadline), 0));
+            }
+            let (block, cursor) = tls.block.as_mut().expect("block just ensured");
+            if u64::from(*cursor) >= self.block_tns {
+                tls.block = None;
+                continue;
+            }
+            let tn = block.first + u64::from(*cursor);
+            if tn <= floor {
+                if block.first + self.block_tns - 1 <= floor {
+                    // Every remaining number is below the floor: abandon
+                    // the tail so the walk can pass it, take a fresh
+                    // block (whose `first` is necessarily > floor, since
+                    // floor's own block was carved earlier).
+                    block.abandoned_from.store(*cursor, Ordering::SeqCst);
+                    tls.block = None;
+                    self.dirty.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                // Floor sits inside the block: retire this number only.
+                let _ = block.entries[*cursor as usize].state.compare_exchange(
+                    FREE,
+                    EXPIRED,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                *cursor += 1;
+                self.dirty.store(true, Ordering::SeqCst);
+                continue;
+            }
+            let e = &block.entries[*cursor as usize];
+            e.deadline.store(deadline, Ordering::Relaxed);
+            e.registered_at.store(reg, Ordering::Relaxed);
+            let won = e
+                .state
+                .compare_exchange(FREE, ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok();
+            *cursor += 1;
+            if won {
+                if ttl != 0 {
+                    block.claim_deadline.store(deadline, Ordering::Relaxed);
+                }
+                block.owner.inflight.fetch_add(1, Ordering::SeqCst);
+                tls.slot.last_assigned.fetch_max(tn, Ordering::SeqCst);
+                return tn;
+            }
+            // Lost the entry to an expiry — try the next number.
+        }
+    }
+
+    /// High-water mark over every slot: the decentral stand-in for
+    /// "last assigned number" (`tnc − 1`).
+    fn cap(&self) -> u64 {
+        let slots = self.slots.lock();
+        let mut cap = self.base;
+        for s in slots.iter() {
+            cap = cap.max(s.last_assigned.load(Ordering::SeqCst));
+        }
+        cap
+    }
+
+    fn queue_len(&self) -> usize {
+        let slots = self.slots.lock();
+        slots
+            .iter()
+            .map(|s| s.inflight.load(Ordering::SeqCst))
+            .sum::<u64>() as usize
+    }
+
+    /// The epoch fold: run watermark walks until the dirty flag stays
+    /// clear. Non-blocking — if another thread holds the advance lock,
+    /// *it* will observe our dirty flag (re-checked after its walk, and
+    /// again here after the unlock) and re-walk on our behalf.
+    fn fold(&self) {
+        let mut advanced_from: Option<u64> = None;
+        loop {
+            {
+                let Some(mut st) = self.advance.try_lock() else {
+                    return;
+                };
+                loop {
+                    self.dirty.store(false, Ordering::SeqCst);
+                    if let Some(before) = self.sweep(&mut st) {
+                        advanced_from.get_or_insert(before);
+                    }
+                    self.epoch_folds.fetch_add(1, Ordering::Relaxed);
+                    if !self.dirty.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            }
+            if let Some(_before) = advanced_from.take() {
+                let _waiters = self.visible_mu.lock();
+                self.visible_cv.notify_all();
+            }
+            // A transition that landed between our last walk and the
+            // unlock would otherwise be folded by nobody.
+            if !self.dirty.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    /// One watermark walk. Returns the pre-walk `vtnc` if it advanced.
+    fn sweep(&self, st: &mut WalkState) -> Option<u64> {
+        let t0 = self.now();
+        let now_stamp = self.stamp_at(t0);
+        let (cap, quiet) = {
+            let slots = self.slots.lock();
+            let mut cap = self.base;
+            let mut inflight = 0u64;
+            for s in slots.iter() {
+                cap = cap.max(s.last_assigned.load(Ordering::SeqCst));
+                inflight += s.inflight.load(Ordering::SeqCst);
+            }
+            (cap, inflight == 0)
+        };
+        let vtnc0 = self.vtnc.load(Ordering::Acquire);
+        let mut v = vtnc0;
+        // The walk may pass any terminal entry, but `vtnc` is only ever
+        // published at a *completed* number — the centralized queue has
+        // the same property (it drains completed heads and merely
+        // removes discarded ones), and landing `vtnc` on an aborted
+        // number would be observable noise for snapshots and GC.
+        let mut publish = vtnc0;
+        let mut blocker = 0u64;
+        {
+            let blocks = self.blocks.read();
+            'walk: while v < cap {
+                let tn = v + 1;
+                let idx = (tn - self.base - 1) / self.block_tns;
+                let Some(block) = blocks.get(&idx) else {
+                    // Block pruned or (transiently) not yet published —
+                    // stop conservatively.
+                    blocker = tn;
+                    st.gap_tn = 0;
+                    st.gap_reps = 0;
+                    break 'walk;
+                };
+                let eidx = (tn - block.first) as usize;
+                loop {
+                    match block.entries[eidx].state.load(Ordering::Acquire) {
+                        COMPLETE => {
+                            v = tn;
+                            publish = tn;
+                            break;
+                        }
+                        DISCARDED | EXPIRED => {
+                            v = tn;
+                            break;
+                        }
+                        ACTIVE | COMMITTING => {
+                            blocker = tn;
+                            st.gap_tn = 0;
+                            st.gap_reps = 0;
+                            break 'walk;
+                        }
+                        _ => {
+                            // FREE: a gap. Terminal if abandoned;
+                            // otherwise reclaim when safe, else stop.
+                            if eidx as u32 >= block.abandoned_from.load(Ordering::SeqCst) {
+                                v = tn;
+                                break;
+                            }
+                            let reps = if st.gap_tn == tn { st.gap_reps + 1 } else { 1 };
+                            let cd = block.claim_deadline.load(Ordering::Relaxed);
+                            let expire = quiet
+                                || block.owner.retired.load(Ordering::SeqCst)
+                                || (cd != 0 && cd <= now_stamp)
+                                || reps > self.gap_grace;
+                            if expire {
+                                if block.entries[eidx]
+                                    .state
+                                    .compare_exchange(
+                                        FREE,
+                                        EXPIRED,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    )
+                                    .is_ok()
+                                {
+                                    st.gap_tn = 0;
+                                    st.gap_reps = 0;
+                                    v = tn;
+                                    break;
+                                }
+                                continue; // someone drew it — re-read
+                            }
+                            st.gap_tn = tn;
+                            st.gap_reps = reps;
+                            blocker = tn;
+                            break 'walk;
+                        }
+                    }
+                }
+            }
+        }
+        let advanced = publish > vtnc0;
+        if advanced {
+            self.vtnc.store(publish, Ordering::Release);
+        }
+        self.blocker.store(blocker, Ordering::Relaxed);
+        if advanced {
+            // Prune blocks wholly at or below the watermark.
+            let mut w = self.blocks.write();
+            while let Some((&i, b)) = w.iter().next() {
+                if b.first + self.block_tns - 1 <= publish {
+                    w.remove(&i);
+                } else {
+                    break;
+                }
+            }
+        }
+        let elapsed = self.now().saturating_duration_since(t0);
+        self.scan_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        advanced.then_some(vtnc0)
+    }
+}
+
+/// The decentralized sequencer — see module docs. Public surface is the
+/// [`crate::VersionControl`] facade.
+pub(crate) struct DecentralVc {
+    shared: Arc<DecShared>,
+}
+
+impl DecentralVc {
+    pub(crate) fn resumed(vtnc: u64, block_tns: usize, epoch_ops: u64, gap_grace: u64) -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let block_tns = block_tns.clamp(1, 1 << 20) as u64;
+        DecentralVc {
+            shared: Arc::new(DecShared {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                base: vtnc,
+                block_tns,
+                epoch_ops: epoch_ops.max(1),
+                gap_grace,
+                ttl_ns: AtomicU64::new(0),
+                next_block: AtomicU64::new(0),
+                blocks: RwLock::new(BTreeMap::new()),
+                slots: Mutex::new(Vec::new()),
+                issue_tail: AtomicU64::new(vtnc),
+                vtnc: AtomicU64::new(vtnc),
+                blocker: AtomicU64::new(0),
+                dirty: AtomicBool::new(false),
+                advance: Mutex::new(WalkState {
+                    gap_tn: 0,
+                    gap_reps: 0,
+                }),
+                epoch_folds: AtomicU64::new(0),
+                blocks_allocated: AtomicU64::new(0),
+                scan_ns: AtomicU64::new(0),
+                visible_cv: Condvar::new(),
+                visible_mu: Mutex::new(()),
+                obs: OnceLock::new(),
+                clock: OnceLock::new(),
+                anchor: OnceLock::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn attach_obs(&self, obs: Arc<Obs>) -> Arc<Obs> {
+        self.shared.obs.get_or_init(|| obs).clone()
+    }
+
+    pub(crate) fn attach_clock(&self, clock: SharedClock) {
+        let _ = self.shared.clock.set(clock);
+    }
+
+    pub(crate) fn set_register_ttl(&self, ttl: Option<Duration>) {
+        let ns = match ttl {
+            // `Some(0)` still arms the reaper: round up to 1 ns.
+            Some(d) => (d.as_nanos() as u64).max(1),
+            None => 0,
+        };
+        self.shared.ttl_ns.store(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn register_ttl(&self) -> Option<Duration> {
+        match self.shared.ttl_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn start(&self) -> u64 {
+        self.shared.vtnc.load(Ordering::Acquire)
+    }
+
+    /// Ordered registration: chains through the global issue tail so
+    /// successive plain `register()` calls observe strictly increasing
+    /// numbers in real time (the legacy contract baselines rely on).
+    pub(crate) fn register(&self) -> u64 {
+        let floor = self.shared.issue_tail.load(Ordering::SeqCst);
+        self.register_at_floor(floor)
+    }
+
+    pub(crate) fn register_after(&self, floor: u64) -> u64 {
+        self.register_at_floor(floor)
+    }
+
+    fn register_at_floor(&self, floor: u64) -> u64 {
+        let sh = &self.shared;
+        let obs = sh.obs_on();
+        let stamp = obs.is_some_and(|o| o.phase_sample());
+        let tn = with_tls(sh, |sh, tls| sh.draw(tls, floor, stamp));
+        sh.issue_tail.fetch_max(tn, Ordering::SeqCst);
+        if let Some(o) = obs {
+            o.emit(EventKind::Register, tn, 0);
+        }
+        crate::obs::trace::vc_register(tn);
+        tn
+    }
+
+    pub(crate) fn start_complete(&self, tn: u64) -> bool {
+        let sh = &self.shared;
+        sh.find_block(tn).is_some_and(|b| {
+            b.entries[(tn - b.first) as usize]
+                .state
+                .compare_exchange(ACTIVE, COMMITTING, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        })
+    }
+
+    pub(crate) fn discard(&self, tn: u64) -> bool {
+        let sh = &self.shared;
+        let obs = sh.obs_on();
+        let vtnc_before = sh.vtnc.load(Ordering::Acquire);
+        let removed = sh.find_block(tn).is_some_and(|b| {
+            let done = b.entries[(tn - b.first) as usize].finish(DISCARDED);
+            if done {
+                b.owner.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+            done
+        });
+        if removed {
+            sh.dirty.store(true, Ordering::SeqCst);
+            // Discards always fold: an abort of the oldest registrant
+            // must release visibility immediately (module docs of
+            // `crate::vc`).
+            sh.fold();
+            if let Some(o) = obs {
+                let vtnc = sh.vtnc.load(Ordering::Acquire);
+                o.emit(EventKind::Discard, tn, vtnc);
+                if vtnc > vtnc_before {
+                    o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
+                }
+                o.tracer().close_vc_any(tn, 1);
+            }
+        }
+        removed
+    }
+
+    pub(crate) fn reap(&self) -> Vec<u64> {
+        let sh = &self.shared;
+        if sh.ttl_ns.load(Ordering::Relaxed) == 0 && sh.blocks.read().is_empty() {
+            return Vec::new();
+        }
+        let now = sh.stamp_now();
+        let blocks: Vec<Arc<Block>> = sh.blocks.read().values().cloned().collect();
+        let mut reaped = Vec::new();
+        for b in &blocks {
+            for (i, e) in b.entries.iter().enumerate() {
+                let d = e.deadline.load(Ordering::Relaxed);
+                if d != 0
+                    && d <= now
+                    && e.state.load(Ordering::Acquire) == ACTIVE
+                    && e.state
+                        .compare_exchange(ACTIVE, DISCARDED, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    b.owner.inflight.fetch_sub(1, Ordering::SeqCst);
+                    reaped.push(b.first + i as u64);
+                }
+            }
+        }
+        reaped.sort_unstable();
+        if !reaped.is_empty() {
+            sh.dirty.store(true, Ordering::SeqCst);
+            sh.fold();
+            if let Some(o) = sh.obs_on() {
+                let vtnc = sh.vtnc.load(Ordering::Acquire);
+                o.emit(EventKind::ReaperFire, reaped.len() as u64, vtnc);
+                for &tn in &reaped {
+                    o.tracer().close_vc_any(tn, 2);
+                }
+            }
+        }
+        reaped
+    }
+
+    pub(crate) fn complete(&self, tn: u64) -> u64 {
+        let sh = &self.shared;
+        let obs = sh.obs_on();
+        let vtnc_before = sh.vtnc.load(Ordering::Acquire);
+        let (found, reg_stamp, do_fold) = with_tls(sh, |sh, tls| {
+            let mut found = false;
+            let mut reg = 0u64;
+            if let Some(b) = sh.block_of(tls, tn) {
+                let e = &b.entries[(tn - b.first) as usize];
+                if obs.is_some() {
+                    reg = e.registered_at.load(Ordering::Relaxed);
+                }
+                if e.finish(COMPLETE) {
+                    b.owner.inflight.fetch_sub(1, Ordering::SeqCst);
+                    found = true;
+                }
+            }
+            tls.ops += 1;
+            let do_fold = if tls.ops >= sh.epoch_ops {
+                tls.ops = 0;
+                true
+            } else {
+                false
+            };
+            (found, reg, do_fold)
+        });
+        debug_assert!(found, "VCcomplete for unregistered tn {tn}");
+        let _ = found;
+        sh.dirty.store(true, Ordering::SeqCst);
+        if do_fold {
+            sh.fold();
+        }
+        let vtnc = sh.vtnc.load(Ordering::Acquire);
+        if let Some(o) = obs {
+            if reg_stamp != 0 {
+                o.phases().register_to_complete.record(Duration::from_nanos(
+                    sh.stamp_now().saturating_sub(reg_stamp),
+                ));
+            }
+            o.emit(EventKind::Complete, tn, vtnc);
+            if vtnc > vtnc_before {
+                o.emit(EventKind::VtncAdvance, vtnc, vtnc_before);
+            }
+            o.tracer().close_vc_any(tn, 0);
+        }
+        vtnc
+    }
+
+    pub(crate) fn vtnc(&self) -> u64 {
+        self.shared.vtnc.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn tnc(&self) -> u64 {
+        self.shared.cap() + 1
+    }
+
+    pub(crate) fn lag(&self) -> u64 {
+        self.shared
+            .cap()
+            .saturating_sub(self.shared.vtnc.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.shared.queue_len()
+    }
+
+    pub(crate) fn view(&self) -> VcView {
+        let sh = &self.shared;
+        let vtnc = sh.vtnc.load(Ordering::Acquire);
+        let blocker = sh.blocker.load(Ordering::Relaxed);
+        let head_tn = (blocker > vtnc).then_some(blocker);
+        let head_age_us = head_tn.and_then(|tn| {
+            let b = sh.find_block(tn)?;
+            let at = b.entries[(tn - b.first) as usize]
+                .registered_at
+                .load(Ordering::Relaxed);
+            (at != 0).then(|| sh.stamp_now().saturating_sub(at) / 1_000)
+        });
+        VcView {
+            tnc: sh.cap(),
+            vtnc,
+            queue_depth: sh.queue_len() as u64,
+            head_tn,
+            head_age_us,
+        }
+    }
+
+    pub(crate) fn wait_visible(&self, tn: u64, timeout: Duration) -> Option<u64> {
+        let sh = &self.shared;
+        wait_visible_with(
+            &sh.vtnc,
+            &sh.visible_mu,
+            &sh.visible_cv,
+            &|| sh.now(),
+            tn,
+            timeout,
+        )
+    }
+
+    pub(crate) fn stats(&self) -> VcStats {
+        let sh = &self.shared;
+        VcStats {
+            epoch_folds: sh.epoch_folds.load(Ordering::Relaxed),
+            blocks_allocated: sh.blocks_allocated.load(Ordering::Relaxed),
+            watermark_scan_ns: sh.scan_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset_stats(&self) {
+        let sh = &self.shared;
+        sh.epoch_folds.store(0, Ordering::Relaxed);
+        sh.blocks_allocated.store(0, Ordering::Relaxed);
+        sh.scan_ns.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let sh = &self.shared;
+        let res = (|| {
+            // `vtnc` first, then `cap`: `cap` is monotone, so a stale
+            // `vtnc` against a fresher `cap` can only under-report.
+            let vtnc = sh.vtnc.load(Ordering::Acquire);
+            let cap = sh.cap();
+            if vtnc > cap {
+                return Err(format!("vtnc {vtnc} >= tnc {}", cap + 1));
+            }
+            // The blocker/vtnc pair is only consistent under the advance
+            // lock (both are written there); skip when contended.
+            if let Some(_st) = sh.advance.try_lock() {
+                let blocker = sh.blocker.load(Ordering::Relaxed);
+                let vtnc = sh.vtnc.load(Ordering::Acquire);
+                if blocker != 0 && blocker <= vtnc {
+                    return Err(format!("queued tn {blocker} <= vtnc {vtnc}"));
+                }
+            }
+            Ok(())
+        })();
+        if let Err(msg) = &res {
+            if let Some(o) = sh.obs.get() {
+                o.dump(
+                    FlightTrigger::InvariantViolation,
+                    &DumpContext {
+                        detail: msg.clone(),
+                        vc: Some(self.view()),
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn dec(block_tns: usize, epoch_ops: u64, gap_grace: u64) -> DecentralVc {
+        DecentralVc::resumed(0, block_tns, epoch_ops, gap_grace)
+    }
+
+    #[test]
+    fn block_exhaustion_at_u64_boundary_panics() {
+        let vc = DecentralVc::resumed(u64::MAX - 16, 16, 1, 32);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vc.register()))
+            .expect_err("allocation past u64::MAX must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("transaction number space exhausted"),
+            "unexpected panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn near_boundary_resume_still_issues_below_reserved_max() {
+        // Small block flush against the boundary: tns MAX-8..=MAX-1 fit
+        // (u64::MAX itself stays reserved), the next block panics.
+        let vc = DecentralVc::resumed(u64::MAX - 9, 8, 1, 32);
+        for i in 1..=8u64 {
+            assert_eq!(vc.register(), u64::MAX - 9 + i);
+        }
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vc.register())).is_err());
+    }
+
+    #[test]
+    fn dying_thread_does_not_stall_vtnc() {
+        let vc = Arc::new(dec(16, 1, u64::MAX)); // grace effectively off
+        let t1 = vc.register_after(0); // main claims block 1..=16
+        let vc2 = Arc::clone(&vc);
+        thread::spawn(move || {
+            // Worker claims its own block (floor 0 skips the steal),
+            // draws one number, completes it, then dies with 15 numbers
+            // undrawn.
+            let tn = vc2.register_after(0);
+            vc2.complete(tn);
+        })
+        .join()
+        .unwrap();
+        // The worker's TLS destructor retired its slot and abandoned the
+        // block tail; completing t1 must fold straight past the corpse.
+        vc.complete(t1);
+        assert_eq!(vc.vtnc(), vc.shared.cap());
+        assert_eq!(vc.queue_len(), 0);
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn ttl_reclaims_gap_in_unpublished_block() {
+        // A live block owner that stops drawing (no retirement, no
+        // abandonment) while another transaction keeps the system
+        // non-quiet: only the whole-block claim deadline may reclaim its
+        // never-drawn numbers.
+        let vc = Arc::new(dec(4, 1, u64::MAX)); // grace effectively off
+        vc.set_register_ttl(Some(Duration::from_secs(60))); // long: no reap
+        let vc2 = Arc::clone(&vc);
+        let parked = Arc::new(std::sync::Barrier::new(2));
+        let parked2 = Arc::clone(&parked);
+        let release = Arc::new(std::sync::Barrier::new(2));
+        let release2 = Arc::clone(&release);
+        let a = thread::spawn(move || {
+            // Owner claims block 1..=4, finishes one number, then parks
+            // with 2..=4 unpublished and its TLS intact.
+            let tn = vc2.register_after(0);
+            vc2.complete(tn);
+            parked2.wait();
+            release2.wait();
+        });
+        parked.wait();
+        // Main holds an active txn so the system is never quiet.
+        let hold = vc.register_after(0); // main's own block, 5..=8
+                                         // Shrink the TTL and backdate the owner's block claim so the
+                                         // deadline is already past (deterministic — no sleeps).
+        vc.set_register_ttl(Some(Duration::from_nanos(1)));
+        assert_eq!(vc.vtnc(), 1, "owner completed exactly tn 1");
+        let blk = vc.shared.find_block(2).expect("owner block live");
+        blk.claim_deadline.store(1, Ordering::Relaxed); // epoch + 1 ns
+                                                        // Any fold now expires gaps 2..=4 via the claim deadline (the
+                                                        // watermark itself stays at 1 until `hold` completes: it only
+                                                        // publishes at completed numbers).
+        let poke = vc.register_after(hold);
+        vc.complete(poke);
+        for tn in 2..=4u64 {
+            assert_eq!(
+                blk.entries[(tn - blk.first) as usize]
+                    .state
+                    .load(Ordering::Relaxed),
+                EXPIRED,
+                "claim-deadline expiry should reclaim gap {tn}"
+            );
+        }
+        assert_eq!(vc.vtnc(), 1);
+        release.wait();
+        a.join().unwrap();
+        vc.complete(hold);
+        assert_eq!(vc.vtnc(), vc.shared.cap());
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn floors_expire_and_abandon_inside_blocks() {
+        let vc = dec(4, 1, u64::MAX);
+        let t1 = vc.register_after(0); // block 1..=4, cursor 1
+                                       // Floor 5: block 1 (2..=4 left) is wholly ≤ 5 → abandoned; block
+                                       // 2 starts at 5 which is ≤ 5 → expired in place; tn = 6.
+        let t6 = vc.register_after(5);
+        assert_eq!(t6, 6);
+        vc.complete(t1); // walk: 2..=4 abandoned, 5 expired, blocked at 6
+        assert_eq!(vc.vtnc(), 1, "vtnc publishes only at completed tns");
+        vc.complete(t6); // now the walk crosses 2..=5 and lands on 6
+        assert_eq!(vc.vtnc(), 6);
+        // Leftovers 7..=8 in block 2 are still stealable.
+        let hold = vc.register_after(vc.shared.cap());
+        assert_eq!(hold, 7);
+        let t8 = vc.register_after(hold);
+        assert_eq!(t8, 8);
+        vc.complete(t8);
+        assert_eq!(vc.vtnc(), 6, "hold pins the watermark");
+        vc.complete(hold);
+        assert_eq!(vc.vtnc(), vc.shared.cap());
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn grace_expires_idle_owners_gap_under_load() {
+        // Thread A draws from its block then goes idle mid-block; main
+        // keeps completing while holding one active txn (never quiet).
+        // Folds stop at A's first undrawn number and must reclaim the
+        // gaps after `gap_grace` stalled scans each.
+        let vc = Arc::new(dec(8, 1, 2));
+        let parked = Arc::new(std::sync::Barrier::new(2));
+        let parked2 = Arc::clone(&parked);
+        let release = Arc::new(std::sync::Barrier::new(2));
+        let release2 = Arc::clone(&release);
+        let vc2 = Arc::clone(&vc);
+        let a = thread::spawn(move || {
+            let tn = vc2.register_after(0); // block 1..=8, draws 1
+            vc2.complete(tn);
+            parked2.wait();
+            release2.wait(); // TLS stays alive: no retirement/abandon
+        });
+        parked.wait();
+        let hold = vc.register_after(0); // main's block: non-quiet forever
+        let blk = vc.shared.find_block(2).expect("idle owner's block");
+        let mut reclaimed = false;
+        for _ in 0..64 {
+            let tn = vc.register_after(hold);
+            vc.complete(tn);
+            // Gaps 2..=8 expire after `gap_grace` stalled scans each;
+            // vtnc itself stays below `hold` until it completes.
+            if (2..=8u64).all(|tn| {
+                blk.entries[(tn - blk.first) as usize]
+                    .state
+                    .load(Ordering::Relaxed)
+                    == EXPIRED
+            }) {
+                reclaimed = true;
+                break;
+            }
+        }
+        assert!(reclaimed, "grace never reclaimed the idle owner's gaps");
+        release.wait();
+        a.join().unwrap();
+        vc.complete(hold);
+        assert_eq!(vc.vtnc(), vc.shared.cap());
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn steal_refuses_abandoned_tail() {
+        let vc = dec(4, 1, u64::MAX);
+        let t1 = vc.register_after(0); // block 1..=4, cursor 1
+        let t5 = vc.register_after(4); // block 1..=4 wholly ≤ 4 → abandon 2..=4; block 2, tn 5
+        assert_eq!(t5, 5);
+        vc.complete(t1);
+        vc.complete(t5);
+        // 2..=4 were walked past as abandoned — stealing them now (floor
+        // 1 → target 2) must be refused, else a number ≤ vtnc would go
+        // live.
+        assert_eq!(vc.vtnc(), 5);
+        let next = vc.register_after(1);
+        assert!(next > vc.vtnc(), "stole a watermarked number: {next}");
+        vc.complete(next);
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn epoch_batching_defers_visibility_until_fold() {
+        let vc = dec(16, 4, 32); // fold every 4 completions per thread
+        let tns: Vec<u64> = (0..4).map(|_| vc.register()).collect();
+        vc.complete(tns[0]);
+        vc.complete(tns[1]);
+        vc.complete(tns[2]);
+        // Three completions, epoch is 4 → no fold yet; vtnc may lag.
+        assert!(vc.vtnc() <= 3);
+        vc.complete(tns[3]); // 4th completion folds
+        assert_eq!(vc.vtnc(), 4);
+        assert!(vc.stats().epoch_folds >= 1);
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn stats_count_blocks_and_folds() {
+        let vc = dec(2, 1, 32);
+        for _ in 0..5 {
+            let tn = vc.register();
+            vc.complete(tn);
+        }
+        let s = vc.stats();
+        assert!(s.blocks_allocated >= 3, "5 tns / block of 2 ⇒ ≥ 3 blocks");
+        assert!(s.epoch_folds >= 5, "epoch 1 folds on every completion");
+        vc.reset_stats();
+        assert_eq!(vc.stats(), VcStats::default());
+    }
+
+    #[test]
+    fn many_threads_with_floors_converge() {
+        let vc = Arc::new(dec(8, 2, 4));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let vc = Arc::clone(&vc);
+            handles.push(thread::spawn(move || {
+                let mut floor = 0u64;
+                for i in 0..300 {
+                    let tn = vc.register_after(floor);
+                    assert!(tn > floor);
+                    floor = tn;
+                    if i % 5 == 0 {
+                        vc.discard(tn);
+                    } else {
+                        assert!(vc.start_complete(tn));
+                        vc.complete(tn);
+                    }
+                    vc.validate().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Two more ordered completions fill an epoch (epoch_ops = 2) and
+        // force a final fold past any per-thread residue; the second is
+        // the highest number so the watermark lands exactly on it.
+        let a = vc.register();
+        vc.complete(a);
+        let b = vc.register();
+        vc.complete(b);
+        assert_eq!(vc.queue_len(), 0);
+        assert_eq!(vc.vtnc(), vc.shared.cap());
+        vc.validate().unwrap();
+    }
+}

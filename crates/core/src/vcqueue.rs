@@ -1,11 +1,14 @@
 //! `VCQueue` — the ordered list of registered, not-yet-visible read-write
 //! transactions (paper Figure 1).
 //!
-//! Entries are inserted in transaction-number order (registration happens
-//! under the version-control lock, which also assigns the numbers), so the
-//! queue is a `VecDeque` with `push_back` inserts. `drain_completed` pops
-//! completed entries off the head and reports the last popped number — the
-//! new `vtnc`.
+//! Entries are kept sorted by transaction number. The centralized
+//! sequencer registers in number order (registration happens under the
+//! version-control lock, which also assigns the numbers), so the common
+//! insert is a `push_back`; out-of-order tns — possible when callers
+//! allocate numbers away from the queue lock — fall back to a binary
+//! search (`partition_point`) insertion. `drain_completed` pops completed
+//! entries off the head and reports the last popped number — the new
+//! `vtnc`.
 
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -52,12 +55,14 @@ impl VcQueue {
         Self::default()
     }
 
-    /// Insert a newly registered transaction. `tn` must exceed every
-    /// number already queued (registration order = number order).
+    /// Insert a newly registered transaction. Sorted order is maintained
+    /// regardless of insertion order: in-order tns (the centralized
+    /// sequencer's only case) append in O(1); out-of-order tns binary-
+    /// search their slot.
     ///
     /// # Panics
-    /// In debug builds, if `tn` is out of order — that would mean the
-    /// version-control lock discipline was violated.
+    /// In debug builds, if `tn` is already queued — duplicate
+    /// registration means the sequencer handed a number out twice.
     pub fn insert(&mut self, tn: u64, deadline: Option<Instant>) {
         self.insert_at(tn, deadline, None);
     }
@@ -70,16 +75,22 @@ impl VcQueue {
         deadline: Option<Instant>,
         registered_at: Option<Instant>,
     ) {
-        debug_assert!(
-            self.entries.back().is_none_or(|e| e.tn < tn),
-            "VCQueue insert out of order: {tn}"
-        );
-        self.entries.push_back(Entry {
+        let entry = Entry {
             tn,
             state: EntryState::Active,
             deadline,
             registered_at,
-        });
+        };
+        if self.entries.back().is_none_or(|e| e.tn < tn) {
+            self.entries.push_back(entry);
+        } else {
+            let idx = self.entries.partition_point(|e| e.tn < tn);
+            debug_assert!(
+                self.entries.get(idx).is_none_or(|e| e.tn != tn),
+                "VCQueue duplicate insert: {tn}"
+            );
+            self.entries.insert(idx, entry);
+        }
     }
 
     /// Claim `tn` for commit: transition its entry from `Active` to
@@ -276,12 +287,29 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "out of order")]
-    fn out_of_order_insert_panics_in_debug() {
+    fn out_of_order_insert_lands_sorted() {
         let mut q = VcQueue::new();
         q.insert(5, None);
         q.insert(3, None);
+        q.insert(4, None);
+        q.insert(1, None);
+        assert_eq!(q.head_tn(), Some(1));
+        assert_eq!(q.state_of(4), Some(EntryState::Active));
+        for tn in [1, 3, 4, 5] {
+            assert!(q.mark_complete(tn));
+        }
+        assert_eq!(q.drain_completed(), Some(5));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate insert")]
+    fn duplicate_insert_panics_in_debug() {
+        let mut q = VcQueue::new();
+        q.insert(5, None);
+        q.insert(3, None);
+        q.insert(5, None);
     }
 
     #[test]

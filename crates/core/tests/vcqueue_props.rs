@@ -178,6 +178,58 @@ proptest! {
         prop_assert!(q.drain_completed().is_none());
     }
 
+    /// Insert-order independence: the queue's observable behavior is a
+    /// function of the *set* of registered numbers, not the order they
+    /// arrived in. With out-of-order timestamp registration (and with
+    /// block-drawn numbers from the decentralized sequencer racing into
+    /// the legacy queue under `centralized_vc`), any permutation of the
+    /// same inserts must drain identically.
+    #[test]
+    fn insert_order_does_not_matter(
+        raw in proptest::collection::vec(1u64..40, 2..20),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut sorted = raw;
+        sorted.sort_unstable();
+        sorted.dedup();
+        // Fisher–Yates with a splitmix stream: an arbitrary permutation
+        // of the same number set.
+        let mut shuffled = sorted.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            shuffled.swap(i, (z % (i as u64 + 1)) as usize);
+        }
+        let mut a = VcQueue::new();
+        for &tn in &sorted {
+            a.insert(tn, None);
+        }
+        let mut b = VcQueue::new();
+        for &tn in &shuffled {
+            b.insert(tn, None);
+        }
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.head_tn(), b.head_tn());
+        // Complete everything in yet another order; both queues must
+        // report the same frontier: the maximum, exactly once, and only
+        // when the head-contiguous prefix is complete.
+        let mut done_a = None;
+        let mut done_b = None;
+        for &tn in shuffled.iter().rev() {
+            prop_assert!(a.start_committing(tn) && a.mark_complete(tn));
+            prop_assert!(b.start_committing(tn) && b.mark_complete(tn));
+            if let Some(v) = a.drain_completed() { done_a = Some(v); }
+            if let Some(v) = b.drain_completed() { done_b = Some(v); }
+            prop_assert_eq!(done_a, done_b, "queues diverged at tn {}", tn);
+        }
+        prop_assert_eq!(done_a, sorted.last().copied());
+        prop_assert!(a.is_empty() && b.is_empty());
+    }
+
     /// Claimed entries survive any number of reaper ticks.
     #[test]
     fn claimed_entries_are_reaper_proof(n in 1u64..20, ticks in 1usize..5) {

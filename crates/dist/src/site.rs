@@ -60,11 +60,15 @@ impl Site {
 
     /// Fresh site with an explicit lock-wait timeout and time source.
     pub fn with_clock(id: SiteId, lock_timeout: Duration, clock: SharedClock) -> Self {
+        let vc = DistVc::new(id.0);
+        // Visibility waits measure their deadline against the site clock,
+        // so a simulated cluster replays them deterministically.
+        vc.attach_clock(clock.clone());
         Site {
             id,
             store: MvStore::new(),
             locks: LockManager::new(),
-            vc: DistVc::new(id.0),
+            vc,
             metrics: Metrics::new(),
             lock_timeout,
             clock,

@@ -23,10 +23,12 @@
 //! 3. `vtnc` = the largest known final below the barrier.
 
 use crate::gtn::Gtn;
+use mvcc_core::clock::SharedClock;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Entry {
@@ -52,6 +54,10 @@ pub struct DistVc {
     vtnc: AtomicU64,
     visible_cv: Condvar,
     visible_mu: Mutex<()>,
+    /// Time source for [`Self::wait_visible`] deadlines. Unset falls back
+    /// to the wall clock; a simulated cluster attaches its
+    /// [`SimClock`](mvcc_core::SimClock) so waits replay byte-stable.
+    clock: OnceLock<SharedClock>,
 }
 
 impl DistVc {
@@ -67,6 +73,21 @@ impl DistVc {
             vtnc: AtomicU64::new(0),
             visible_cv: Condvar::new(),
             visible_mu: Mutex::new(()),
+            clock: OnceLock::new(),
+        }
+    }
+
+    /// Attach the site's time source (first attachment wins). Wait
+    /// deadlines are measured against it, so a simulated clock makes
+    /// every `wait_visible` decision a pure function of virtual time.
+    pub fn attach_clock(&self, clock: SharedClock) {
+        let _ = self.clock.set(clock);
+    }
+
+    fn now(&self) -> Instant {
+        match self.clock.get() {
+            Some(c) => c.now(),
+            None => Instant::now(),
         }
     }
 
@@ -174,25 +195,20 @@ impl DistVc {
 
     /// Block until `vtnc ≥ g` (used by lazily-contacted sites in a
     /// distributed read-only transaction). `None` on timeout.
+    ///
+    /// Gtn order is encoded-u64 order, so the site shares the core
+    /// module's wait helper verbatim: the deadline comes from the
+    /// attached clock, never from wall time directly.
     pub fn wait_visible(&self, g: Gtn, timeout: Duration) -> Option<Gtn> {
-        // Zero-timeout fail-fast: poll once, never park (the simulated
-        // cluster drives catch-up explicitly instead of waiting).
-        if timeout.is_zero() {
-            let v = self.vtnc();
-            return (v >= g).then_some(v);
-        }
-        let deadline = std::time::Instant::now() + timeout;
-        let mut guard = self.visible_mu.lock();
-        loop {
-            let v = self.vtnc();
-            if v >= g {
-                return Some(v);
-            }
-            if self.visible_cv.wait_until(&mut guard, deadline).timed_out() {
-                let v = self.vtnc();
-                return (v >= g).then_some(v);
-            }
-        }
+        mvcc_core::vc::wait_visible_with(
+            &self.vtnc,
+            &self.visible_mu,
+            &self.visible_cv,
+            &|| self.now(),
+            g.encoded(),
+            timeout,
+        )
+        .map(Gtn)
     }
 
     /// Number of registered (in-doubt or pre-barrier) transactions.
