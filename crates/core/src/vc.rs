@@ -74,10 +74,14 @@ pub struct VcStats {
 }
 
 /// Block until `*vtnc ≥ tn`, parking on `cv` under `mu`, with the timeout
-/// decided **solely** by comparing `now()` against the deadline — never by
-/// the condvar's own wall-clock timeout. Real condvars cannot park until a
-/// *virtual* instant, so the wait parks in short real-time slices and
-/// re-reads the injected clock on every wake; a simulated run that
+/// decided **solely** by comparing the clock against the deadline — never
+/// by the condvar's own wall-clock timeout.
+///
+/// With no clock attached (or a real one) the wait parks precisely until
+/// the deadline or a visibility notify — no periodic wakeups. A
+/// *simulated* clock's deadline may lie in the real future, so a real
+/// condvar cannot park until it; that case parks in short real-time
+/// slices and re-reads virtual time on every wake, so a run that
 /// advances virtual time past the deadline observes the timeout on the
 /// next slice boundary, making replayed visibility waits byte-stable.
 ///
@@ -91,15 +95,20 @@ pub fn wait_visible_with(
     vtnc: &AtomicU64,
     mu: &Mutex<()>,
     cv: &Condvar,
-    now: &dyn Fn() -> Instant,
+    clock: Option<&SharedClock>,
     tn: u64,
     timeout: Duration,
 ) -> Option<u64> {
+    let now = || match clock {
+        Some(c) => c.now(),
+        None => Instant::now(),
+    };
     if timeout.is_zero() {
         let v = vtnc.load(Ordering::Acquire);
         return (v >= tn).then_some(v);
     }
     let deadline = now() + timeout;
+    let sliced = clock.is_some_and(|c| c.is_simulated());
     let mut guard = mu.lock();
     loop {
         let v = vtnc.load(Ordering::Acquire);
@@ -111,10 +120,14 @@ pub fn wait_visible_with(
             let v = vtnc.load(Ordering::Acquire);
             return (v >= tn).then_some(v);
         }
-        let slice = deadline
-            .saturating_duration_since(t)
-            .min(Duration::from_millis(25));
-        let _ = cv.wait_for(&mut guard, slice);
+        if sliced {
+            let slice = deadline
+                .saturating_duration_since(t)
+                .min(Duration::from_millis(25));
+            let _ = cv.wait_for(&mut guard, slice);
+        } else {
+            let _ = cv.wait_until(&mut guard, deadline);
+        }
     }
 }
 
@@ -431,7 +444,7 @@ impl CentralVc {
             &self.vtnc,
             &self.visible_mu,
             &self.visible_cv,
-            &|| self.now(),
+            self.clock.get(),
             tn,
             timeout,
         )

@@ -26,8 +26,10 @@
 //! Gaps — numbers carved into a block but never drawn — are the one new
 //! hazard: a FREE entry below an assigned number would pin `vtnc`
 //! forever. Four reclaim paths bound that: (a) a retiring thread marks
-//! its block tail *abandoned* (TLS destructor), and the walk treats
-//! abandoned entries as terminal; (b) when **no** transaction is in
+//! its block tail *abandoned* (TLS destructor), and the walk expires
+//! abandoned entries on contact (a CAS, so a racing adjacent steal
+//! loses cleanly instead of activating a watermarked number); (b) when
+//! **no** transaction is in
 //! flight the walk may expire any FREE entry (nothing can legally draw
 //! a number below an already-assigned one except through a floor, and
 //! floors below `vtnc` are refused); (c) a whole-block claim deadline
@@ -61,12 +63,14 @@ const EXPIRED: u8 = 5;
 const NO_ABANDON: u32 = u32::MAX;
 
 /// Per-number lifecycle record. Stamps are nanosecond offsets from the
-/// sequencer's lazily-anchored epoch, `+1` so `0` means "absent"; they
-/// are written *before* the `FREE → ACTIVE` CAS, whose `AcqRel` success
-/// publishes them. (Two drawers racing for one entry may each write
-/// stamps; the loser's CAS fails and at worst overwrites the winner's
-/// stamps with values computed nanoseconds apart under the same global
-/// TTL — benign, and the reaper only ever sees a *later* deadline.)
+/// sequencer's lazily-anchored epoch, `+1` so `0` means "absent"; only
+/// the drawer that *wins* the `FREE → ACTIVE` CAS writes them (a loser
+/// must never touch the stamps — its values could differ, e.g. a
+/// `deadline` of 0 after a racing `set_register_ttl(None)`, which would
+/// permanently hide the winner's ACTIVE entry from the TTL reaper).
+/// Readers tolerate the transient pre-store `0` through their existing
+/// `!= 0` guards: the reaper skips the entry until the next pass and
+/// the phase histogram/`head_age` drop the sample.
 #[derive(Default)]
 struct Entry {
     state: AtomicU8,
@@ -110,7 +114,7 @@ struct Block {
     claim_deadline: AtomicU64,
     /// First entry index of the abandoned tail (owner retired or moved
     /// on with numbers ≤ a floor). Entries at or past this index are
-    /// terminal for the walk and refused by stealers.
+    /// refused by stealers and expired by the walk on contact.
     abandoned_from: AtomicU32,
     entries: Box<[Entry]>,
 }
@@ -345,20 +349,18 @@ impl DecShared {
                     let e = &b.entries[eidx];
                     if (eidx as u32) < b.abandoned_from.load(Ordering::SeqCst)
                         && e.state.load(Ordering::Acquire) == FREE
+                        && e.state
+                            .compare_exchange(FREE, ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
                     {
                         e.deadline.store(deadline, Ordering::Relaxed);
                         e.registered_at.store(reg, Ordering::Relaxed);
-                        if e.state
-                            .compare_exchange(FREE, ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
-                            .is_ok()
-                        {
-                            if ttl != 0 {
-                                b.claim_deadline.store(deadline, Ordering::Relaxed);
-                            }
-                            b.owner.inflight.fetch_add(1, Ordering::SeqCst);
-                            tls.slot.last_assigned.fetch_max(target, Ordering::SeqCst);
-                            return target;
+                        if ttl != 0 {
+                            b.claim_deadline.store(deadline, Ordering::Relaxed);
                         }
+                        b.owner.inflight.fetch_add(1, Ordering::SeqCst);
+                        tls.slot.last_assigned.fetch_max(target, Ordering::SeqCst);
+                        return target;
                     }
                 }
             }
@@ -398,14 +400,14 @@ impl DecShared {
                 continue;
             }
             let e = &block.entries[*cursor as usize];
-            e.deadline.store(deadline, Ordering::Relaxed);
-            e.registered_at.store(reg, Ordering::Relaxed);
             let won = e
                 .state
                 .compare_exchange(FREE, ACTIVE, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok();
             *cursor += 1;
             if won {
+                e.deadline.store(deadline, Ordering::Relaxed);
+                e.registered_at.store(reg, Ordering::Relaxed);
                 if ttl != 0 {
                     block.claim_deadline.store(deadline, Ordering::Relaxed);
                 }
@@ -440,14 +442,25 @@ impl DecShared {
     /// clear. Non-blocking — if another thread holds the advance lock,
     /// *it* will observe our dirty flag (re-checked after its walk, and
     /// again here after the unlock) and re-walk on our behalf.
+    ///
+    /// Walks are bounded *per lock hold*: under sustained completion
+    /// churn the dirty flag can be re-set faster than one walk clears
+    /// it, and an unbounded re-walk would pin the folding thread's
+    /// `complete()`/`discard()` under the advance lock indefinitely.
+    /// After [`MAX_WALKS_PER_HOLD`] passes the lock is released (and
+    /// waiters notified) before the post-unlock dirty recheck decides
+    /// whether to re-acquire — giving concurrent folders a window to
+    /// take over the residue, and this call an exit the moment one does.
     fn fold(&self) {
+        /// Walk passes per advance-lock hold before releasing.
+        const MAX_WALKS_PER_HOLD: u32 = 3;
         let mut advanced_from: Option<u64> = None;
         loop {
             {
                 let Some(mut st) = self.advance.try_lock() else {
                     return;
                 };
-                loop {
+                for _ in 0..MAX_WALKS_PER_HOLD {
                     self.dirty.store(false, Ordering::SeqCst);
                     if let Some(before) = self.sweep(&mut st) {
                         advanced_from.get_or_insert(before);
@@ -525,11 +538,36 @@ impl DecShared {
                             break 'walk;
                         }
                         _ => {
-                            // FREE: a gap. Terminal if abandoned;
-                            // otherwise reclaim when safe, else stop.
+                            // FREE: a gap. Abandoned gaps are expired on
+                            // the spot — never passed silently: a stealer
+                            // that read `abandoned_from` before the owner
+                            // abandoned may still be racing for this
+                            // entry, and passing it FREE would let its
+                            // `FREE → ACTIVE` CAS activate a tn at or
+                            // below the vtnc this walk publishes. The CAS
+                            // makes exactly one side win: either the
+                            // entry expires here (the steal loses its
+                            // CAS) or the steal already activated it (we
+                            // re-read and stop at ACTIVE).
                             if eidx as u32 >= block.abandoned_from.load(Ordering::SeqCst) {
-                                v = tn;
-                                break;
+                                if block.entries[eidx]
+                                    .state
+                                    .compare_exchange(
+                                        FREE,
+                                        EXPIRED,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    )
+                                    .is_ok()
+                                {
+                                    if st.gap_tn == tn {
+                                        st.gap_tn = 0;
+                                        st.gap_reps = 0;
+                                    }
+                                    v = tn;
+                                    break;
+                                }
+                                continue; // a stealer won it — re-read
                             }
                             let reps = if st.gap_tn == tn { st.gap_reps + 1 } else { 1 };
                             let cd = block.claim_deadline.load(Ordering::Relaxed);
@@ -852,7 +890,7 @@ impl DecentralVc {
             &sh.vtnc,
             &sh.visible_mu,
             &sh.visible_cv,
-            &|| sh.now(),
+            sh.clock.get(),
             tn,
             timeout,
         )
@@ -1087,6 +1125,30 @@ mod tests {
         a.join().unwrap();
         vc.complete(hold);
         assert_eq!(vc.vtnc(), vc.shared.cap());
+        vc.validate().unwrap();
+    }
+
+    #[test]
+    fn walk_expires_abandoned_gaps_before_passing() {
+        let vc = dec(4, 1, u64::MAX);
+        let t1 = vc.register_after(0); // block 1..=4, cursor 1
+        let t5 = vc.register_after(4); // 2..=4 abandoned; block 2, tn 5
+        let blk = vc.shared.find_block(2).expect("abandoned block live");
+        vc.complete(t1);
+        vc.complete(t5);
+        assert_eq!(vc.vtnc(), 5);
+        // The walk must have expired the abandoned gaps via CAS — passing
+        // them while still FREE would leave a window for a racing
+        // adjacent steal to activate a tn ≤ the published vtnc.
+        for tn in 2..=4u64 {
+            assert_eq!(
+                blk.entries[(tn - blk.first) as usize]
+                    .state
+                    .load(Ordering::Relaxed),
+                EXPIRED,
+                "abandoned gap {tn} was passed without expiry"
+            );
+        }
         vc.validate().unwrap();
     }
 

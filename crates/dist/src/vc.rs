@@ -28,7 +28,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Entry {
@@ -82,13 +82,6 @@ impl DistVc {
     /// every `wait_visible` decision a pure function of virtual time.
     pub fn attach_clock(&self, clock: SharedClock) {
         let _ = self.clock.set(clock);
-    }
-
-    fn now(&self) -> Instant {
-        match self.clock.get() {
-            Some(c) => c.now(),
-            None => Instant::now(),
-        }
     }
 
     /// `VCstart` for this site: the current visible bound, lock-free.
@@ -204,7 +197,7 @@ impl DistVc {
             &self.vtnc,
             &self.visible_mu,
             &self.visible_cv,
-            &|| self.now(),
+            self.clock.get(),
             g.encoded(),
             timeout,
         )
