@@ -18,6 +18,7 @@ pub mod e15_scalability;
 pub mod e16_obs;
 pub mod e17_overload;
 pub mod e18_vc_decentralized;
+pub mod e19_contention;
 
 /// An experiment: id, title, and runner.
 pub struct Experiment {
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "e18",
             title: "Decentralized VC — per-thread tn blocks, epoch folds, scan-based vtnc",
             run: e18_vc_decentralized::run,
+        },
+        Experiment {
+            id: "e19",
+            title: "Contention attribution — hot-key fidelity and always-on cost",
+            run: e19_contention::run,
         },
     ]
 }

@@ -71,6 +71,16 @@ pub struct Acquired {
     /// on entry (sharding-level contention, as opposed to a lock-mode
     /// conflict).
     pub contended: bool,
+    /// The first conflicting holder observed when the request blocked
+    /// (`0` when granted immediately). Attribution data, not a grant
+    /// decision: the holder may have released by the time the waiter is
+    /// granted, but it is the token the wait should be blamed on.
+    pub blocker: u64,
+    /// Nanoseconds spent blocked (`0` when granted immediately).
+    /// Measured inside the manager from the clock read it already does
+    /// on entry, so callers that want wait attribution need no clock
+    /// reads of their own on the uncontended path.
+    pub waited_ns: u64,
 }
 
 #[derive(Default)]
@@ -219,6 +229,12 @@ impl LockManager {
         &self.shards[mvcc_storage::shard::shard_index(obj.get(), self.shards.len())]
     }
 
+    /// The shard index `obj` hashes to (for contention attribution: the
+    /// hot-shard sketch keys on this).
+    pub fn shard_of(&self, obj: ObjectId) -> u64 {
+        mvcc_storage::shard::shard_index(obj.get(), self.shards.len()) as u64
+    }
+
     /// Acquire (or upgrade to) `mode` on `obj` for `token`, blocking up to
     /// `timeout`. With `detect_deadlocks`, a wait that would close a
     /// waits-for cycle fails fast with [`LockError::Deadlock`].
@@ -243,12 +259,16 @@ impl LockManager {
                 Ok(()) => Ok(Acquired {
                     waited: false,
                     contended,
+                    blocker: 0,
+                    waited_ns: 0,
                 }),
                 Err(_) => Err(LockError::Timeout),
             };
         }
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut waited = false;
+        let mut first_blocker = 0u64;
         loop {
             let blockers = match table.entry(obj).or_default().try_grant(token, mode) {
                 Ok(()) => {
@@ -256,10 +276,24 @@ impl LockManager {
                     if waited && detect_deadlocks {
                         self.waits_for.lock().clear(token);
                     }
-                    return Ok(Acquired { waited, contended });
+                    return Ok(Acquired {
+                        waited,
+                        contended,
+                        blocker: first_blocker,
+                        // One extra clock read, and only on the waited
+                        // path — grants that never blocked skip it.
+                        waited_ns: if waited {
+                            start.elapsed().as_nanos() as u64
+                        } else {
+                            0
+                        },
+                    });
                 }
                 Err(blockers) => blockers,
             };
+            if first_blocker == 0 {
+                first_blocker = blockers.first().copied().unwrap_or(0);
+            }
             if detect_deadlocks {
                 let mut wf = self.waits_for.lock();
                 wf.set(token, blockers);
@@ -277,7 +311,12 @@ impl LockManager {
                     self.waits_for.lock().clear(token);
                 }
                 return if granted {
-                    Ok(Acquired { waited, contended })
+                    Ok(Acquired {
+                        waited,
+                        contended,
+                        blocker: first_blocker,
+                        waited_ns: start.elapsed().as_nanos() as u64,
+                    })
                 } else {
                     Err(LockError::Timeout)
                 };

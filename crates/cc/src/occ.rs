@@ -111,6 +111,11 @@ impl ConcurrencyControl for Optimistic {
                 // id 0: the loser has no transaction number (it never
                 // registers); aux names the conflicting object.
                 ctx.obs.emit(EventKind::Validate, 0, obj.get());
+                // Hot-key attribution: a validation failure is an abort
+                // charged to the object whose version moved underneath us.
+                if let Some(attr) = ctx.obs.attr() {
+                    attr.topk().record_key(obj.get(), 0, true);
+                }
                 if let Some(mut span) = span {
                     span.attr("failed_object", obj.get());
                     span.finish();

@@ -18,7 +18,8 @@
 //! transaction numbers.
 
 use mvcc_core::{
-    AbortReason, CcContext, ConcurrencyControl, DbError, Deadline, EventKind, TxnOptions,
+    AbortReason, CcContext, ConcurrencyControl, DbError, Deadline, EventKind, TxnOptions, TxnPhase,
+    WaitPoint,
 };
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::store::WaitOutcome;
@@ -63,6 +64,20 @@ impl TimestampOrdering {
             ctx.vc.discard(txn.tn);
             ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().clear_phase(txn.tn);
+        }
+    }
+
+    /// The oldest in-flight writer blocking `tn` on this chain — the
+    /// transaction a pending-wait should be blamed on. Under TO the
+    /// transaction number doubles as the blame token (`txn_obs_id`).
+    fn oldest_blocker(c: &mvcc_storage::VersionChain, tn: u64) -> u64 {
+        c.pending()
+            .iter()
+            .filter_map(|p| p.reserved_number.filter(|&n| n < tn))
+            .min()
+            .unwrap_or(0)
     }
 
     /// The wait bound for `txn`'s blocking reads/writes: the configured
@@ -107,6 +122,9 @@ impl ConcurrencyControl for TimestampOrdering {
         ctx.metrics
             .vc_register_calls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(tn, TxnPhase::Execute);
+        }
         Ok(ToTxn {
             tn,
             written: Vec::new(),
@@ -135,6 +153,10 @@ impl ConcurrencyControl for TimestampOrdering {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
+        let mut blocker = 0u64;
+        // Attribution clocks the wait from first block, not from entry:
+        // the unblocked fast path must stay free of clock reads.
+        let mut attr_started = None;
         // Speculative trace leaf, finished only when the read blocked.
         let span = mvcc_core::obs::trace::leaf("blocked");
         let result = ctx.store.wait_until(obj, timeout, |c| {
@@ -148,6 +170,8 @@ impl ConcurrencyControl for TimestampOrdering {
             if c.has_pending_older_than(tn) {
                 if !blocked {
                     blocked = true;
+                    blocker = Self::oldest_blocker(c, tn);
+                    attr_started = ctx.obs.attr_timer();
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
                     ctx.obs.emit(EventKind::Blocked, tn, obj.get());
                 }
@@ -159,6 +183,12 @@ impl ConcurrencyControl for TimestampOrdering {
             WaitOutcome::Ready((v.number, v.value.clone()))
         });
         if blocked {
+            if let (Some(attr), Some(started)) = (ctx.obs.attr(), attr_started) {
+                let ns = ctx.obs.since(started).as_nanos() as u64;
+                attr.topk().record_key(obj.get(), ns, result.is_err());
+                attr.blame()
+                    .record(WaitPoint::PendingWait, obj.get(), blocker, ns);
+            }
             if let Some(mut span) = span {
                 span.attr("object", obj.get());
                 span.finish();
@@ -182,6 +212,9 @@ impl ConcurrencyControl for TimestampOrdering {
         let m = &ctx.metrics;
         m.rw_sync_actions.fetch_add(1, Ordering::Relaxed);
         let mut blocked = false;
+        let mut blocker = 0u64;
+        // Clock reads start at first block — see `read`.
+        let mut attr_started = None;
         // Speculative trace leaf, finished only when the write blocked.
         let span = mvcc_core::obs::trace::leaf("blocked");
         let decision = ctx.store.wait_until(obj, timeout, |c| {
@@ -194,6 +227,8 @@ impl ConcurrencyControl for TimestampOrdering {
             if c.has_pending_older_than(tn) {
                 if !blocked {
                     blocked = true;
+                    blocker = Self::oldest_blocker(c, tn);
+                    attr_started = ctx.obs.attr_timer();
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
                     ctx.obs.emit(EventKind::Blocked, tn, obj.get());
                 }
@@ -207,6 +242,12 @@ impl ConcurrencyControl for TimestampOrdering {
             WaitOutcome::Ready(Ok(()))
         });
         if blocked {
+            if let (Some(attr), Some(started)) = (ctx.obs.attr(), attr_started) {
+                let ns = ctx.obs.since(started).as_nanos() as u64;
+                attr.topk().record_key(obj.get(), ns, decision.is_err());
+                attr.blame()
+                    .record(WaitPoint::PendingWait, obj.get(), blocker, ns);
+            }
             if let Some(mut span) = span {
                 span.attr("object", obj.get());
                 span.finish();
@@ -216,6 +257,16 @@ impl ConcurrencyControl for TimestampOrdering {
             Ok(inner) => inner,
             Err(_) => Err(DbError::Aborted(self.timeout_reason(ctx, txn))),
         };
+        // TO-rejection abort, charged to the contended key — recorded
+        // here, after the chain cell's lock is gone.
+        if matches!(
+            outcome,
+            Err(DbError::Aborted(AbortReason::TimestampConflict))
+        ) {
+            if let Some(attr) = ctx.obs.attr() {
+                attr.topk().record_key(obj.get(), 0, true);
+            }
+        }
         match outcome {
             Ok(()) => {
                 if !txn.written.contains(&obj) {
@@ -233,6 +284,9 @@ impl ConcurrencyControl for TimestampOrdering {
 
     fn commit(&self, ctx: &CcContext, mut txn: ToTxn) -> Result<u64, DbError> {
         debug_assert!(!txn.doomed);
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(txn.tn, TxnPhase::Commit);
+        }
         // Claim the VC entry (Active → Committing) before touching the
         // store: if the stall reaper already force-discarded us while we
         // sat between begin and commit, we must abort — our registration
@@ -245,6 +299,9 @@ impl ConcurrencyControl for TimestampOrdering {
                 ctx.store.notify(obj);
             }
             txn.doomed = true; // VC entry already gone; no VCdiscard
+            if let Some(attr) = ctx.obs.attr() {
+                attr.blame().clear_phase(txn.tn);
+            }
             return Err(DbError::Aborted(AbortReason::Reaped));
         }
         // Durability point: log the writeset before any update is applied
@@ -260,6 +317,9 @@ impl ConcurrencyControl for TimestampOrdering {
             ctx.vc.discard(txn.tn);
             ctx.metrics.vc_discard_calls.fetch_add(1, Ordering::Relaxed);
             txn.doomed = true;
+            if let Some(attr) = ctx.obs.attr() {
+                attr.blame().clear_phase(txn.tn);
+            }
             return Err(e);
         }
         // perform database updates; clear pending read actions
@@ -277,6 +337,9 @@ impl ConcurrencyControl for TimestampOrdering {
         ctx.metrics
             .vc_complete_calls
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().clear_phase(txn.tn);
+        }
         Ok(txn.tn)
     }
 

@@ -23,7 +23,7 @@ use crate::lock::{LockError, LockManager, LockMode};
 use mvcc_core::config::DeadlockPolicy;
 use mvcc_core::{
     AbortReason, CcContext, ConcurrencyControl, DbError, Deadline, DumpContext, EventKind,
-    FlightTrigger, TxnOptions,
+    FlightTrigger, TxnOptions, TxnPhase, WaitPoint,
 };
 use mvcc_model::{ObjectId, TxnId};
 use mvcc_storage::{PendingVersion, Value};
@@ -56,6 +56,26 @@ pub struct TplTxn {
     /// and rw-edge observed so far; the rw-edges *into* this transaction
     /// are covered by the read-timestamp stamps taken at commit.
     floor: u64,
+    /// Contention-attribution samples buffered until the transaction's
+    /// locks are gone. Recording a sketch or ledger entry between two
+    /// lock acquisitions perturbs the lock-handoff dynamics the layer is
+    /// supposed to *observe* (measured as a mode flip from fast
+    /// deadlock-retry churn into parked convoys, costing most of the
+    /// cell's throughput), so every sample waits here — a txn-private
+    /// push — and flushes after `release_all`.
+    pending_attr: Vec<AttrSample>,
+}
+
+/// One deferred attribution sample from the lock slow path.
+struct AttrSample {
+    obj: u64,
+    shard: u64,
+    /// First conflicting holder observed (`0` = unknown).
+    blocker: u64,
+    /// Nanoseconds blocked (`0` for fail-fast deadlock victims).
+    ns: u64,
+    /// Whether the encounter killed the transaction.
+    abort: bool,
 }
 
 impl Default for TwoPhaseLocking {
@@ -109,16 +129,36 @@ impl TwoPhaseLocking {
             None => ctx.config.lock_wait_timeout,
         };
         let timer = ctx.obs.timer();
+        let attr_on = ctx.obs.attr().is_some();
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(txn.token, TxnPhase::LockWait);
+        }
         // Speculative trace leaf: finished only when the acquire actually
         // waited, discarded on the uncontended fast path.
         let span = mvcc_core::obs::trace::leaf("lock_wait");
-        match self.locks.acquire(txn.token, obj, mode, timeout, detect) {
+        let res = self.locks.acquire(txn.token, obj, mode, timeout, detect);
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(txn.token, TxnPhase::Execute);
+        }
+        match res {
             Ok(a) => {
                 if a.waited {
                     m.rw_blocks.fetch_add(1, Ordering::Relaxed);
                     if let Some(started) = timer {
                         ctx.obs.phases().lock_wait.record(ctx.obs.since(started));
                         ctx.obs.emit(EventKind::LockWait, txn.token, obj.get());
+                    }
+                    if attr_on {
+                        // Deferred: the wait duration comes from the lock
+                        // manager's own clocking, the sample flushes after
+                        // this transaction's locks are released.
+                        txn.pending_attr.push(AttrSample {
+                            obj: obj.get(),
+                            shard: self.locks.shard_of(obj),
+                            blocker: a.blocker,
+                            ns: a.waited_ns,
+                            abort: false,
+                        });
                     }
                     if let Some(mut span) = span {
                         span.attr("object", obj.get());
@@ -137,6 +177,15 @@ impl TwoPhaseLocking {
                 // must show the lock wait that closed the cycle.
                 ctx.obs
                     .emit_always(EventKind::LockWait, txn.token, obj.get());
+                if attr_on {
+                    txn.pending_attr.push(AttrSample {
+                        obj: obj.get(),
+                        shard: self.locks.shard_of(obj),
+                        blocker: 0,
+                        ns: 0,
+                        abort: true,
+                    });
+                }
                 if let Some(mut span) = span {
                     span.attr("object", obj.get());
                     span.attr("deadlock", 1);
@@ -164,12 +213,41 @@ impl TwoPhaseLocking {
                 Err(DbError::Aborted(AbortReason::Deadlock))
             }
             Err(LockError::Timeout) => {
+                // The full timeout was spent blocked on this key; the
+                // blocker is unknown (the request never granted), so the
+                // blame lands unattributed but the hot-key charge is real.
+                if attr_on {
+                    txn.pending_attr.push(AttrSample {
+                        obj: obj.get(),
+                        shard: self.locks.shard_of(obj),
+                        blocker: 0,
+                        ns: timeout.as_nanos() as u64,
+                        abort: true,
+                    });
+                }
                 // A wait clipped by the deadline (rather than the plain
                 // lock timeout) is a deadline miss, not lock contention.
                 if txn.deadline.is_some_and(|d| d.expired(&*ctx.config.clock)) {
                     return Err(DbError::Aborted(AbortReason::DeadlineExceeded));
                 }
                 Err(DbError::Aborted(AbortReason::WaitTimeout))
+            }
+        }
+    }
+
+    /// Flush the deferred attribution samples. Must only run once the
+    /// transaction holds no locks — see [`TplTxn::pending_attr`].
+    fn flush_attr(&self, ctx: &CcContext, txn: &TplTxn) {
+        if txn.pending_attr.is_empty() {
+            return;
+        }
+        let Some(attr) = ctx.obs.attr() else { return };
+        for s in &txn.pending_attr {
+            attr.topk().record_key(s.obj, s.ns, s.abort);
+            attr.topk().record_shard(s.shard, s.ns);
+            if s.ns > 0 {
+                attr.blame()
+                    .record(WaitPoint::LockWait, s.obj, s.blocker, s.ns);
             }
         }
     }
@@ -182,6 +260,10 @@ impl TwoPhaseLocking {
             ctx.store.notify(obj);
         }
         self.locks.release_all(txn.token, txn.locked.iter());
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().clear_phase(txn.token);
+        }
+        self.flush_attr(ctx, txn);
     }
 }
 
@@ -192,15 +274,20 @@ impl ConcurrencyControl for TwoPhaseLocking {
         "2pl"
     }
 
-    fn begin(&self, _ctx: &CcContext) -> Result<TplTxn, DbError> {
+    fn begin(&self, ctx: &CcContext) -> Result<TplTxn, DbError> {
         // sn(T) = ∞: no snapshot is taken; reads follow locks.
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(token, TxnPhase::Execute);
+        }
         Ok(TplTxn {
-            token: self.next_token.fetch_add(1, Ordering::Relaxed),
+            token,
             locked: HashSet::new(),
             written: Vec::new(),
             writes: Vec::new(),
             deadline: None,
             floor: 0,
+            pending_attr: Vec::new(),
         })
     }
 
@@ -283,6 +370,9 @@ impl ConcurrencyControl for TwoPhaseLocking {
     }
 
     fn commit(&self, ctx: &CcContext, txn: TplTxn) -> Result<u64, DbError> {
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().set_phase(txn.token, TxnPhase::Commit);
+        }
         // end(T): the lock point — every lock is held. Serial order fixed.
         // The floor carries every conflict edge observed through the
         // transaction's reads and writes; under the decentralized
@@ -342,12 +432,18 @@ impl ConcurrencyControl for TwoPhaseLocking {
 
         // clear locks
         self.locks.release_all(txn.token, txn.locked.iter());
+        if let Some(attr) = ctx.obs.attr() {
+            attr.blame().clear_phase(txn.token);
+        }
 
         // VCcomplete(T)
         ctx.vc.complete(tn);
         ctx.metrics
             .vc_complete_calls
             .fetch_add(1, Ordering::Relaxed);
+        // Locks are gone and the commit is published: the deferred
+        // attribution samples can no longer perturb anyone's waits.
+        self.flush_attr(ctx, &txn);
         Ok(tn)
     }
 

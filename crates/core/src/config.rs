@@ -189,6 +189,13 @@ impl DbConfig {
         self
     }
 
+    /// Enable contention attribution (hot-key/hot-shard sketches and the
+    /// blocking-blame ledger) on the current observability config.
+    pub fn with_attribution(mut self) -> Self {
+        self.obs.attribution = true;
+        self
+    }
+
     /// Inject a time source (the simulator's [`crate::SimClock`]).
     pub fn with_clock(mut self, clock: SharedClock) -> Self {
         self.clock = clock;

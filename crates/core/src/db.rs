@@ -576,8 +576,9 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
     /// [`GaugeSample::extra`].
     pub fn sample_gauges(&self) -> GaugeSample {
         let st = self.core.ctx.store.stats();
+        let vc = &self.core.ctx.vc;
         let mut sample = GaugeSample {
-            vc: self.core.ctx.vc.view(),
+            vc: vc.view(),
             live_versions: st.committed_versions as u64,
             pending_versions: st.pending_versions as u64,
             locked_objects: 0,
@@ -588,6 +589,8 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
                 .wal
                 .as_ref()
                 .map_or(0, |wal| wal.backlog_bytes()),
+            centralized_vc: vc.is_centralized(),
+            vc_dec: vc.wait_points().map(|m| m.gauges()),
             extra: Vec::new(),
         };
         for (name, value) in self.cc.gauges() {
@@ -621,6 +624,7 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             Some(&self.sample_gauges()),
             Some(&self.phase_latencies()),
             Some(&self.core.ctx.obs.event_counts()),
+            self.core.ctx.obs.attr_snapshot().as_ref(),
         )
     }
 
@@ -632,6 +636,18 @@ impl<C: ConcurrencyControl> MvDatabase<C> {
             Some(&self.sample_gauges()),
             Some(&self.phase_latencies()),
             Some(&self.core.ctx.obs.event_counts()),
+        )
+    }
+
+    /// Render the contention-attribution profile — hot keys/shards, the
+    /// folded blocking-blame profile, and (under the decentralized VC)
+    /// the per-thread wait-point map — as one JSON object. The
+    /// `attribution` section is `null` unless
+    /// [`ObsConfig::attribution`](crate::obs::ObsConfig) is enabled.
+    pub fn profile_json(&self) -> String {
+        crate::obs::profile_json(
+            self.core.ctx.obs.attr_snapshot().as_ref(),
+            self.core.ctx.vc.wait_points().as_ref(),
         )
     }
 

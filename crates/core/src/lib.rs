@@ -70,8 +70,8 @@ pub use fault::{FaultConfig, FaultInjector, FaultPoint, FaultyFile};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use mvcc_storage::wal::FsyncPolicy;
 pub use obs::{
-    DumpContext, EventKind, FlightTrigger, GaugeCollector, GaugeSample, Obs, ObsConfig,
-    PhaseSnapshot, VcView,
+    Attribution, DumpContext, EventKind, FlightTrigger, GaugeCollector, GaugeSample, Obs,
+    ObsConfig, PhaseSnapshot, TxnPhase, VcView, WaitPoint,
 };
 pub use pressure::{
     AdmissionController, AdmissionPermit, Deadline, PressureConfig, PressureLevel, TenantId,

@@ -14,12 +14,19 @@
 //! [`parse_exposition`] is a strict validator used by the round-trip
 //! tests and CI.
 
+use super::blame::WaitPoint;
 use super::event::{EventKind, KIND_COUNT};
-use super::gauges::GaugeSample;
+use super::gauges::{GaugeSample, VcWaitPointMap};
 use super::phases::PhaseSnapshot;
 use super::trace::TraceSnapshot;
+use super::AttrSnapshot;
 use crate::metrics::MetricsSnapshot;
-use mvcc_storage::Histogram;
+use mvcc_storage::{Histogram, SketchEntry};
+
+/// Version of the JSON shapes emitted by [`json_snapshot`] and
+/// [`profile_json`]. Bumped whenever a key is added, removed, or
+/// renamed, so downstream scrapers can detect shape changes.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Per-kind event counters plus buffer accounting, for exporters.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +87,7 @@ pub fn prometheus_text(
     gauges: Option<&GaugeSample>,
     phases: Option<&PhaseSnapshot>,
     events: Option<&EventCounts>,
+    attr: Option<&AttrSnapshot>,
 ) -> String {
     let mut out = String::with_capacity(8192);
     for (name, value) in metrics.fields() {
@@ -124,7 +132,89 @@ pub fn prometheus_text(
             push_histogram(&mut out, &format!("mvdb_phase_{phase}_ns"), h);
         }
     }
+    if let Some(a) = attr {
+        push_sketch_family(&mut out, "mvdb_hot_key", "key", &a.hot_keys);
+        push_sketch_family(&mut out, "mvdb_hot_shard", "shard", &a.hot_shards);
+        out.push_str(
+            "# HELP mvdb_blame_wait_ns_total blocked ns by wait point and blocker phase\n\
+             # TYPE mvdb_blame_wait_ns_total counter\n",
+        );
+        // Aggregate rows by (wait, phase): one sample per label set.
+        let mut by_pair: std::collections::BTreeMap<(&str, &str), u64> =
+            std::collections::BTreeMap::new();
+        for r in &a.blame.rows {
+            *by_pair
+                .entry((r.wait.name(), r.blocker_phase.name()))
+                .or_default() += r.wait_ns;
+        }
+        for ((wait, phase), ns) in by_pair {
+            out.push_str(&format!(
+                "mvdb_blame_wait_ns_total{{wait=\"{wait}\",blocker_phase=\"{phase}\"}} {ns}\n"
+            ));
+        }
+        for (name, help, values) in [
+            (
+                "mvdb_blame_attributed_ns_total",
+                "blocked ns attributed to a named blocker",
+                &a.blame.attributed_ns,
+            ),
+            (
+                "mvdb_blame_unattributed_ns_total",
+                "blocked ns with no blocker identity",
+                &a.blame.unattributed_ns,
+            ),
+            (
+                "mvdb_blame_samples_total",
+                "completed waits recorded",
+                &a.blame.samples,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (i, v) in values.iter().enumerate() {
+                out.push_str(&format!("{name}{{wait=\"{}\"}} {v}\n", wait_point_name(i)));
+            }
+        }
+    }
     out
+}
+
+fn wait_point_name(i: usize) -> &'static str {
+    [
+        WaitPoint::LockWait,
+        WaitPoint::PendingWait,
+        WaitPoint::VisibilityWait,
+        WaitPoint::FoldStall,
+    ][i]
+        .name()
+}
+
+/// Append one top-K sketch as three labeled counter families:
+/// `{base}_contended_ns_total`, `{base}_hits_total`, `{base}_aborts_total`.
+fn push_sketch_family(out: &mut String, base: &str, label: &str, entries: &[SketchEntry]) {
+    for (suffix, help, get) in [
+        (
+            "contended_ns_total",
+            "ns spent blocked, by hottest",
+            (|e: &SketchEntry| e.contended_ns) as fn(&SketchEntry) -> u64,
+        ),
+        ("hits_total", "contention encounters", |e: &SketchEntry| {
+            e.hits
+        }),
+        ("aborts_total", "contention aborts", |e: &SketchEntry| {
+            e.aborts
+        }),
+    ] {
+        out.push_str(&format!(
+            "# HELP {base}_{suffix} {help}\n# TYPE {base}_{suffix} counter\n"
+        ));
+        for e in entries {
+            out.push_str(&format!(
+                "{base}_{suffix}{{{label}=\"{}\"}} {}\n",
+                e.key,
+                get(e)
+            ));
+        }
+    }
 }
 
 /// Strictly validate Prometheus text exposition, as produced by
@@ -295,7 +385,7 @@ pub fn parse_exposition(text: &str) -> Result<usize, String> {
 }
 
 /// Render everything as one JSON object:
-/// `{"counters":{...},"gauges":{...}|null,"phases":{...}|null,"events":{...}|null}`.
+/// `{"schema_version":N,"counters":{...},"gauges":{...}|null,"phases":{...}|null,"events":{...}|null}`.
 pub fn json_snapshot(
     metrics: &MetricsSnapshot,
     gauges: Option<&GaugeSample>,
@@ -303,7 +393,9 @@ pub fn json_snapshot(
     events: Option<&EventCounts>,
 ) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"counters\": {");
+    out.push_str(&format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"counters\": {{"
+    ));
     for (i, (name, value)) in metrics.fields().into_iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -364,6 +456,124 @@ pub fn json_snapshot(
                 "\n    }},\n    \"published\": {},\n    \"dropped\": {}\n  }}",
                 e.published, e.dropped
             ));
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn push_sketch_entries(out: &mut String, entries: &[SketchEntry], indent: &str) {
+    out.push('[');
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{indent}  {{\"key\": {}, \"hits\": {}, \"contended_ns\": {}, \"aborts\": {}}}",
+            e.key, e.hits, e.contended_ns, e.aborts
+        ));
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+        out.push_str(indent);
+    }
+    out.push(']');
+}
+
+fn push_wait_point_array(out: &mut String, values: &[u64; super::blame::WAIT_POINTS]) {
+    out.push('{');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {v}", wait_point_name(i)));
+    }
+    out.push('}');
+}
+
+/// Render the contention-attribution profile (and the decentralized-VC
+/// wait-point map, when the engine is decentralized) as one JSON
+/// object. `attr` is `None` when attribution is disabled:
+/// `{"schema_version":N,"attribution":{...}|null,"vc_wait_points":{...}|null}`.
+///
+/// The blame profile carries each folded row both structured and in
+/// pprof "folded" form (`wait;blocker_phase;target wait_ns`), so
+/// flame-graph tooling can consume `rows[].folded` directly.
+pub fn profile_json(attr: Option<&AttrSnapshot>, wait: Option<&VcWaitPointMap>) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"attribution\": "
+    ));
+    match attr {
+        Some(a) => {
+            out.push_str("{\n    \"hot_keys\": ");
+            push_sketch_entries(&mut out, &a.hot_keys, "    ");
+            out.push_str(",\n    \"hot_shards\": ");
+            push_sketch_entries(&mut out, &a.hot_shards, "    ");
+            out.push_str(",\n    \"blame\": {\n      \"samples\": ");
+            push_wait_point_array(&mut out, &a.blame.samples);
+            out.push_str(",\n      \"attributed_ns\": ");
+            push_wait_point_array(&mut out, &a.blame.attributed_ns);
+            out.push_str(",\n      \"unattributed_ns\": ");
+            push_wait_point_array(&mut out, &a.blame.unattributed_ns);
+            out.push_str(",\n      \"rows\": [");
+            for (i, r) in a.blame.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n        {{\"wait\": \"{}\", \"blocker_phase\": \"{}\", \"target\": {}, \
+                     \"samples\": {}, \"wait_ns\": {}, \"folded\": \"{}\"}}",
+                    r.wait.name(),
+                    r.blocker_phase.name(),
+                    r.target.map_or("null".into(), |t| t.to_string()),
+                    r.samples,
+                    r.wait_ns,
+                    json_escape(&r.folded())
+                ));
+            }
+            if !a.blame.rows.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("],\n      \"top_blockers\": ");
+            push_sketch_entries(&mut out, &a.blame.top_blockers, "      ");
+            out.push_str("\n    }\n  }");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"vc_wait_points\": ");
+    match wait {
+        Some(w) => {
+            out.push_str(&format!(
+                "{{\n    \"vtnc\": {},\n    \"blocker_tn\": {},\n    \"blocks_live\": {},\n    \
+                 \"epoch_folds\": {},\n    \"watermark_scan_ns\": {},\n    \
+                 \"inflight_total\": {},\n    \"max_thread_lag\": {},\n    \"threads\": [",
+                w.vtnc,
+                w.blocker_tn.map_or("null".into(), |t| t.to_string()),
+                w.blocks_live,
+                w.epoch_folds,
+                w.watermark_scan_ns,
+                w.inflight_total(),
+                w.max_thread_lag(),
+            ));
+            for (i, t) in w.threads.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"last_assigned\": {}, \"inflight\": {}, \"retired\": {}, \
+                     \"watermark_lag\": {}}}",
+                    t.last_assigned,
+                    t.inflight,
+                    t.retired,
+                    t.watermark_lag(w.vtnc)
+                ));
+            }
+            if !w.threads.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]\n  }");
         }
         None => out.push_str("null"),
     }
@@ -498,6 +708,7 @@ mod tests {
             Some(&gauges),
             Some(&phases.snapshot()),
             Some(&sample_events()),
+            None,
         );
         assert!(text.contains("mvdb_rw_committed 5"));
         assert!(text.contains("# TYPE mvdb_rw_committed counter"));
@@ -526,7 +737,7 @@ mod tests {
             phases.ro_read.record(Duration::from_micros(us));
         }
         let m = Metrics::new();
-        let text = prometheus_text(&m.snapshot(), None, Some(&phases.snapshot()), None);
+        let text = prometheus_text(&m.snapshot(), None, Some(&phases.snapshot()), None, None);
         let buckets: Vec<u64> = text
             .lines()
             .filter(|l| l.starts_with("mvdb_phase_ro_read_ns_bucket"))
@@ -564,11 +775,74 @@ mod tests {
         }
     }
 
+    fn sample_attr() -> AttrSnapshot {
+        use crate::obs::{blame::TxnPhase, Attribution, ObsConfig};
+        let attr = Attribution::new(&ObsConfig::default().with_attribution(true));
+        attr.topk().record_key(42, 1000, true);
+        attr.topk().record_key(7, 250, false);
+        attr.topk().record_shard(3, 1250);
+        attr.blame().set_phase(9, TxnPhase::Commit);
+        attr.blame().record(WaitPoint::LockWait, 42, 9, 1000);
+        attr.blame().record(WaitPoint::VisibilityWait, 11, 0, 300);
+        attr.snapshot()
+    }
+
+    #[test]
+    fn prometheus_attr_sections_validate() {
+        let m = Metrics::new();
+        let attr = sample_attr();
+        let text = prometheus_text(&m.snapshot(), None, None, None, Some(&attr));
+        assert!(text.contains("mvdb_hot_key_contended_ns_total{key=\"42\"} 1000"));
+        assert!(text.contains("mvdb_hot_key_aborts_total{key=\"42\"} 1"));
+        assert!(text.contains("mvdb_hot_shard_contended_ns_total{shard=\"3\"} 1250"));
+        assert!(text.contains(
+            "mvdb_blame_wait_ns_total{wait=\"lock_wait\",blocker_phase=\"commit\"} 1000"
+        ));
+        assert!(text.contains("mvdb_blame_attributed_ns_total{wait=\"lock_wait\"} 1000"));
+        assert!(text.contains("mvdb_blame_unattributed_ns_total{wait=\"visibility_wait\"} 300"));
+        assert!(text.contains("mvdb_blame_samples_total{wait=\"lock_wait\"} 1"));
+        parse_exposition(&text).expect("conformant exposition with attribution");
+    }
+
+    #[test]
+    fn profile_json_shape() {
+        use crate::obs::gauges::{VcThreadPoint, VcWaitPointMap};
+        // Disabled: both sections null, schema version present.
+        let text = profile_json(None, None);
+        assert!(text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(text.contains("\"attribution\": null"));
+        assert!(text.contains("\"vc_wait_points\": null"));
+
+        let attr = sample_attr();
+        let map = VcWaitPointMap {
+            vtnc: 10,
+            blocker_tn: Some(12),
+            blocks_live: 1,
+            epoch_folds: 4,
+            watermark_scan_ns: 555,
+            threads: vec![VcThreadPoint {
+                last_assigned: 14,
+                inflight: 2,
+                retired: false,
+            }],
+        };
+        let text = profile_json(Some(&attr), Some(&map));
+        assert!(text.contains("\"hot_keys\""));
+        assert!(text.contains("\"key\": 42"));
+        assert!(text.contains("\"folded\": \"lock_wait;blocker_commit;target_42 1000\""));
+        assert!(text.contains("\"attributed_ns\": {\"lock_wait\": 1000"));
+        assert!(text.contains("\"blocker_tn\": 12"));
+        assert!(text.contains("\"watermark_lag\": 4"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
     #[test]
     fn json_snapshot_shape() {
         let m = Metrics::new();
         m.ro_begun.fetch_add(2, Ordering::Relaxed);
         let text = json_snapshot(&m.snapshot(), None, None, Some(&sample_events()));
+        assert!(text.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(text.contains("\"counters\""));
         assert!(text.contains("\"ro_begun\": 2"));
         assert!(text.contains("\"gauges\": null"));

@@ -29,26 +29,30 @@
 //! * [`export`] — Prometheus-text, JSON, Chrome `trace_event`, and
 //!   OTLP-like emitters over all of the above.
 
+pub mod blame;
 pub mod event;
 pub mod export;
 pub mod gauges;
 pub mod phases;
 pub mod recorder;
+pub mod topk;
 pub mod trace;
 
 mod buffer;
 
+pub use blame::{BlameLedger, BlameRow, BlameSnapshot, TxnPhase, WaitPoint, WAIT_POINTS};
 pub use buffer::DrainPause;
 pub use event::{
     abort_reason_code, abort_reason_name, Event, EventBus, EventKind, Tier, KIND_COUNT,
 };
 pub use export::{
-    chrome_trace_json, json_snapshot, otlp_trace_json, parse_exposition, prometheus_text,
-    EventCounts,
+    chrome_trace_json, json_snapshot, otlp_trace_json, parse_exposition, profile_json,
+    prometheus_text, EventCounts, SCHEMA_VERSION,
 };
-pub use gauges::{GaugeCollector, GaugeSample, VcView};
+pub use gauges::{GaugeCollector, GaugeSample, VcDecGauges, VcThreadPoint, VcView, VcWaitPointMap};
 pub use phases::{PhaseHistograms, PhaseSnapshot};
 pub use recorder::{DumpContext, FlightRecorder, FlightTrigger};
+pub use topk::ContentionTopK;
 pub use trace::{Span, SpanRegistry, TraceCtx, TraceSnapshot};
 
 use crate::clock::{real_clock, SharedClock, SharedRng};
@@ -86,6 +90,16 @@ pub struct ObsConfig {
     /// Publish every kept event straight into the global seqlock ring
     /// instead of buffering (the legacy path, kept as E16's A/B arm).
     pub direct_publish: bool,
+    /// Contention attribution: hot-key/hot-shard top-K tables plus the
+    /// blocking-blame ledger. Off by default; when off, attribution
+    /// state is never allocated and feed sites see `None`.
+    pub attribution: bool,
+    /// Slots in each top-K contention sketch (keys, shards, blockers).
+    /// Zero selects the default (64).
+    pub attr_keys: usize,
+    /// Row budget of the blame ledger's folded profile. Zero selects
+    /// the default (256).
+    pub attr_rows: usize,
 }
 
 impl Default for ObsConfig {
@@ -99,6 +113,9 @@ impl Default for ObsConfig {
             span_sample_shift: 10,
             thread_buffer: 0,
             direct_publish: false,
+            attribution: false,
+            attr_keys: 0,
+            attr_rows: 0,
         }
     }
 }
@@ -139,6 +156,95 @@ impl ObsConfig {
         self.direct_publish = on;
         self
     }
+
+    /// Enable contention attribution (top-K tables + blame ledger).
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
+    }
+
+    /// Size the attribution sketches (0 = default 64).
+    pub fn with_attr_keys(mut self, slots: usize) -> Self {
+        self.attr_keys = slots;
+        self
+    }
+
+    /// Size the blame ledger's row budget (0 = default 256).
+    pub fn with_attr_rows(mut self, rows: usize) -> Self {
+        self.attr_rows = rows;
+        self
+    }
+}
+
+/// The contention-attribution state: hot-key/hot-shard top-K tables and
+/// the blocking-blame ledger. Allocated only when
+/// [`ObsConfig::attribution`] is set; feed sites check
+/// [`Obs::attr`] (an `Option`) and skip everything when disabled.
+pub struct Attribution {
+    topk: ContentionTopK,
+    blame: BlameLedger,
+}
+
+impl Attribution {
+    fn new(cfg: &ObsConfig) -> Attribution {
+        let keys = if cfg.attr_keys == 0 {
+            64
+        } else {
+            cfg.attr_keys
+        };
+        let rows = if cfg.attr_rows == 0 {
+            256
+        } else {
+            cfg.attr_rows
+        };
+        Attribution {
+            topk: ContentionTopK::new(keys, keys.min(32).max(8)),
+            blame: BlameLedger::new(rows, keys),
+        }
+    }
+
+    /// The hot-key / hot-shard tables.
+    pub fn topk(&self) -> &ContentionTopK {
+        &self.topk
+    }
+
+    /// The blocking-blame ledger.
+    pub fn blame(&self) -> &BlameLedger {
+        &self.blame
+    }
+
+    /// Copy out everything the exporters need.
+    pub fn snapshot(&self) -> AttrSnapshot {
+        AttrSnapshot {
+            hot_keys: self.topk.hot_keys(usize::MAX),
+            hot_shards: self.topk.hot_shards(usize::MAX),
+            blame: self.blame.snapshot(),
+        }
+    }
+
+    /// Clear all attribution state (between experiment phases).
+    pub fn reset(&self) {
+        self.topk.reset();
+        self.blame.reset();
+    }
+}
+
+impl std::fmt::Debug for Attribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Attribution").finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time copy of the attribution state, consumed by
+/// [`profile_json`], [`prometheus_text`], and the flight recorder.
+#[derive(Debug, Clone, Default)]
+pub struct AttrSnapshot {
+    /// Hottest keys, worst first (contended-ns, then hits).
+    pub hot_keys: Vec<mvcc_storage::SketchEntry>,
+    /// Hottest lock shards, worst first.
+    pub hot_shards: Vec<mvcc_storage::SketchEntry>,
+    /// The folded blame profile.
+    pub blame: BlameSnapshot,
 }
 
 /// The per-engine observability hub: event bus + buffers + phase
@@ -157,6 +263,7 @@ pub struct Obs {
     sample_shift: u8,
     span_shift: u8,
     direct: bool,
+    attr: Option<Arc<Attribution>>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -210,6 +317,7 @@ impl Obs {
             sample_shift: cfg.event_sample_shift,
             span_shift: cfg.span_sample_shift,
             direct: cfg.direct_publish,
+            attr: cfg.attribution.then(|| Arc::new(Attribution::new(cfg))),
         }
     }
 
@@ -413,6 +521,18 @@ impl Obs {
         }
     }
 
+    /// Start an attribution timer: `Some(now)` whenever attribution is
+    /// enabled, independent of event recording — blame and hot-key data
+    /// must see every contended acquisition even with the event bus off.
+    #[inline]
+    pub fn attr_timer(&self) -> Option<Instant> {
+        if self.attr.is_some() {
+            Some(self.clock.now())
+        } else {
+            None
+        }
+    }
+
     /// Elapsed time since a [`timer`](Self::timer) stamp, on the same
     /// clock that produced it.
     #[inline]
@@ -440,10 +560,26 @@ impl Obs {
         &self.tracer
     }
 
+    /// The contention-attribution state, `None` unless
+    /// [`ObsConfig::attribution`] was set. Feed sites check this once
+    /// and pay nothing when attribution is off.
+    #[inline]
+    pub fn attr(&self) -> Option<&Arc<Attribution>> {
+        self.attr.as_ref()
+    }
+
+    /// Snapshot attribution state, `None` when attribution is off.
+    pub fn attr_snapshot(&self) -> Option<AttrSnapshot> {
+        self.attr.as_ref().map(|a| a.snapshot())
+    }
+
     /// Take a post-mortem dump (no-op unless a flight dir is configured).
-    /// Flushes buffers first so the dump window is current.
+    /// Flushes buffers first so the dump window is current. When
+    /// attribution is on, the dump includes the hot-key table and the
+    /// folded blame profile at trigger time.
     pub fn dump(&self, trigger: FlightTrigger, ctx: &DumpContext) -> Option<PathBuf> {
-        self.recorder.dump(trigger, &self.events, ctx)
+        self.recorder
+            .dump_with(trigger, &self.events, ctx, self.attr_snapshot().as_ref())
     }
 }
 

@@ -11,6 +11,7 @@
 use super::event::{abort_reason_name, Event, EventBus, EventKind};
 use super::export::json_escape;
 use super::gauges::VcView;
+use super::AttrSnapshot;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -97,10 +98,23 @@ impl FlightRecorder {
         bus: &EventBus,
         ctx: &DumpContext,
     ) -> Option<PathBuf> {
+        self.dump_with(trigger, bus, ctx, None)
+    }
+
+    /// [`dump`](Self::dump) plus the contention-attribution tables —
+    /// the hot-key/hot-shard top-K and the folded blame profile — when
+    /// attribution is enabled at trigger time.
+    pub fn dump_with(
+        &self,
+        trigger: FlightTrigger,
+        bus: &EventBus,
+        ctx: &DumpContext,
+        attr: Option<&AttrSnapshot>,
+    ) -> Option<PathBuf> {
         let dir = self.dir.as_deref()?;
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let events = bus.recent(self.window);
-        let json = render_dump(trigger, &events, ctx);
+        let json = render_dump(trigger, &events, ctx, attr);
         let path = dir.join(format!(
             "postmortem-{}-{}-{}.json",
             trigger.name(),
@@ -139,7 +153,12 @@ fn push_event(out: &mut String, ev: &Event) {
     out.push('}');
 }
 
-fn render_dump(trigger: FlightTrigger, events: &[Event], ctx: &DumpContext) -> String {
+fn render_dump(
+    trigger: FlightTrigger,
+    events: &[Event],
+    ctx: &DumpContext,
+    attr: Option<&AttrSnapshot>,
+) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     out.push_str(&format!("  \"trigger\": \"{}\",\n", trigger.name()));
@@ -186,6 +205,33 @@ fn render_dump(trigger: FlightTrigger, events: &[Event], ctx: &DumpContext) -> S
             out.push_str("],\n");
         }
         None => out.push_str("  \"waits_for\": null,\n"),
+    }
+    match attr {
+        Some(a) => {
+            // Top 10 of each table — a post-mortem wants the worst
+            // offenders, not the full export (that is profile_json).
+            out.push_str("  \"hot_keys\": [");
+            for (i, e) in a.hot_keys.iter().take(10).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"key\":{},\"hits\":{},\"contended_ns\":{},\"aborts\":{}}}",
+                    e.key, e.hits, e.contended_ns, e.aborts
+                ));
+            }
+            out.push_str("],\n  \"blame_folded\": [");
+            for (i, r) in a.blame.rows.iter().take(10).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", json_escape(&r.folded())));
+            }
+            out.push_str("],\n");
+        }
+        None => {
+            out.push_str("  \"hot_keys\": null,\n  \"blame_folded\": null,\n");
+        }
     }
     if let Some(victim) = ctx.victim {
         out.push_str("  \"victim_timeline\": [\n");
@@ -266,6 +312,39 @@ mod tests {
         let timeline = text.split("\"victim_timeline\"").nth(1).unwrap();
         let timeline = timeline.split("\"event_count\"").next().unwrap();
         assert_eq!(timeline.matches("\"id\":7").count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_with_attribution_includes_tables() {
+        use crate::obs::{blame::TxnPhase, blame::WaitPoint, Attribution, ObsConfig};
+        let dir = std::env::temp_dir().join(format!("mvdb-obs-attr-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = FlightRecorder::new(Some(dir.clone()), 64);
+        let bus = EventBus::new(64, true);
+        let attr = Attribution::new(&ObsConfig::default().with_attribution(true));
+        attr.topk().record_key(42, 900, true);
+        attr.blame().set_phase(5, TxnPhase::Validate);
+        attr.blame().record(WaitPoint::LockWait, 42, 5, 900);
+        let snap = attr.snapshot();
+        let path = r
+            .dump_with(
+                FlightTrigger::Overload,
+                &bus,
+                &DumpContext::default(),
+                Some(&snap),
+            )
+            .expect("dump");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"hot_keys\": [{\"key\":42,"));
+        assert!(text.contains("lock_wait;blocker_validate;target_42 900"));
+        // And without attribution the sections are null, not absent.
+        let plain = r
+            .dump(FlightTrigger::Overload, &bus, &DumpContext::default())
+            .expect("dump");
+        let text = std::fs::read_to_string(&plain).unwrap();
+        assert!(text.contains("\"hot_keys\": null"));
+        assert!(text.contains("\"blame_folded\": null"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

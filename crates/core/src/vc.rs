@@ -50,7 +50,7 @@
 //!   free from the global lock).
 
 use crate::clock::SharedClock;
-use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView};
+use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView, VcWaitPointMap, WaitPoint};
 use crate::vc_dec::DecentralVc;
 use crate::vcqueue::VcQueue;
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -440,14 +440,31 @@ impl CentralVc {
     }
 
     fn wait_visible(&self, tn: u64, timeout: Duration) -> Option<u64> {
-        wait_visible_with(
+        // Blame instrumentation: only when attribution is on AND the wait
+        // will actually block — the satisfied fast path stays untouched.
+        let attr = if self.vtnc.load(Ordering::Acquire) < tn {
+            self.obs.get().and_then(|o| o.attr().cloned())
+        } else {
+            None
+        };
+        let wait = attr.as_ref().map(|_| {
+            // The blocker is whatever pins the queue head at wait start.
+            (self.inner().queue.head_tn().unwrap_or(0), self.now())
+        });
+        let res = wait_visible_with(
             &self.vtnc,
             &self.visible_mu,
             &self.visible_cv,
             self.clock.get(),
             tn,
             timeout,
-        )
+        );
+        if let (Some(attr), Some((blocker, started))) = (attr, wait) {
+            let ns = self.now().saturating_duration_since(started).as_nanos() as u64;
+            attr.blame()
+                .record(WaitPoint::VisibilityWait, tn, blocker, ns);
+        }
+        res
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -813,6 +830,17 @@ impl VersionControl {
         match &self.imp {
             Imp::Central(c) => c.view(),
             Imp::Dec(d) => d.view(),
+        }
+    }
+
+    /// The decentralized-VC wait-point map: per-thread watermark lag,
+    /// in-flight counts, block occupancy, and the current walk blocker.
+    /// `None` under the centralized engine — its queue-centric gauges
+    /// ([`VcView`]) cover that case.
+    pub fn wait_points(&self) -> Option<VcWaitPointMap> {
+        match &self.imp {
+            Imp::Central(_) => None,
+            Imp::Dec(d) => Some(d.wait_points()),
         }
     }
 

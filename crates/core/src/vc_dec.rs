@@ -40,7 +40,9 @@
 //! lose cleanly to any concurrent expiry.
 
 use crate::clock::SharedClock;
-use crate::obs::{DumpContext, EventKind, FlightTrigger, Obs, VcView};
+use crate::obs::{
+    DumpContext, EventKind, FlightTrigger, Obs, VcThreadPoint, VcView, VcWaitPointMap, WaitPoint,
+};
 use crate::vc::{wait_visible_with, VcStats};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cell::RefCell;
@@ -621,6 +623,19 @@ impl DecShared {
         let elapsed = self.now().saturating_duration_since(t0);
         self.scan_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        // Fold-stall blame: a walk that could not advance and stopped at
+        // a pinned tn charges its scan time to that tn (the blocker is
+        // also the blocked-on target here — the stall *is* the entry).
+        if !advanced && blocker != 0 {
+            if let Some(attr) = self.obs.get().and_then(|o| o.attr()) {
+                attr.blame().record(
+                    WaitPoint::FoldStall,
+                    blocker,
+                    blocker,
+                    elapsed.as_nanos() as u64,
+                );
+            }
+        }
         advanced.then_some(vtnc0)
     }
 }
@@ -886,14 +901,59 @@ impl DecentralVc {
 
     pub(crate) fn wait_visible(&self, tn: u64, timeout: Duration) -> Option<u64> {
         let sh = &self.shared;
-        wait_visible_with(
+        // Blame instrumentation mirrors the centralized engine: only on
+        // waits that will actually block, only with attribution on. The
+        // blocker is the tn the last watermark walk stopped at.
+        let attr = if sh.vtnc.load(Ordering::Acquire) < tn {
+            sh.obs.get().and_then(|o| o.attr().cloned())
+        } else {
+            None
+        };
+        let wait = attr
+            .as_ref()
+            .map(|_| (sh.blocker.load(Ordering::Relaxed), sh.now()));
+        let res = wait_visible_with(
             &sh.vtnc,
             &sh.visible_mu,
             &sh.visible_cv,
             sh.clock.get(),
             tn,
             timeout,
-        )
+        );
+        if let (Some(attr), Some((blocker, started))) = (attr, wait) {
+            let ns = sh.now().saturating_duration_since(started).as_nanos() as u64;
+            attr.blame()
+                .record(WaitPoint::VisibilityWait, tn, blocker, ns);
+        }
+        res
+    }
+
+    /// The per-thread wait-point map (see
+    /// [`crate::VersionControl::wait_points`]). Thread points come out
+    /// in slot-registration order, which is stable for the life of the
+    /// sequencer.
+    pub(crate) fn wait_points(&self) -> VcWaitPointMap {
+        let sh = &self.shared;
+        let vtnc = sh.vtnc.load(Ordering::Acquire);
+        let blocker = sh.blocker.load(Ordering::Relaxed);
+        let threads = sh
+            .slots
+            .lock()
+            .iter()
+            .map(|s| VcThreadPoint {
+                last_assigned: s.last_assigned.load(Ordering::SeqCst),
+                inflight: s.inflight.load(Ordering::SeqCst),
+                retired: s.retired.load(Ordering::SeqCst),
+            })
+            .collect();
+        VcWaitPointMap {
+            vtnc,
+            blocker_tn: (blocker > vtnc).then_some(blocker),
+            blocks_live: sh.blocks.read().len() as u64,
+            epoch_folds: sh.epoch_folds.load(Ordering::Relaxed),
+            watermark_scan_ns: sh.scan_ns.load(Ordering::Relaxed),
+            threads,
+        }
     }
 
     pub(crate) fn stats(&self) -> VcStats {

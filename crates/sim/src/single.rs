@@ -100,6 +100,7 @@ where
     cfg.obs = ObsConfig::default();
     cfg.obs.events = true;
     cfg.obs.event_capacity = 1 << 14;
+    cfg.obs.attribution = spec.attribution;
     // Trace 1 in 4 read-write transactions end to end. The sampling
     // decision draws from the injected engine rng, so a replay traces
     // exactly the same transactions and the span trees land in the

@@ -248,6 +248,12 @@ pub struct SimSpec {
     pub faults: FaultProfile,
     /// Deliberately planted defect, if any.
     pub sabotage: Sabotage,
+    /// Enable contention attribution (hot-key sketches + blame ledger)
+    /// in the engine under test. Attribution is passive — it draws no
+    /// randomness and emits no events — so a run's canonical trace must
+    /// be byte-identical with it on or off (covered by a determinism
+    /// test).
+    pub attribution: bool,
 }
 
 impl Default for SimSpec {
@@ -263,6 +269,7 @@ impl Default for SimSpec {
             objects: 8,
             faults: FaultProfile::Light,
             sabotage: Sabotage::None,
+            attribution: false,
         }
     }
 }

@@ -159,3 +159,36 @@ fn heavy_faults_still_pass_oracles() {
     let r = run_spec(&spec);
     assert!(r.passed(), "{spec}: {:?}", r.violations);
 }
+
+#[test]
+fn attribution_enabled_replays_byte_equal_and_schedule_invisible() {
+    // Contention attribution must be deterministic under replay AND
+    // invisible to the schedule: it draws no randomness and emits no
+    // events, so the canonical trace is byte-identical whether the
+    // hot-key sketches and blame ledger are recording or not.
+    for protocol in Protocol::ALL {
+        let on = SimSpec {
+            seed: 42,
+            protocol,
+            attribution: true,
+            ..SimSpec::default()
+        };
+        let a = run_spec(&on);
+        let b = run_spec(&on);
+        assert_eq!(
+            a.trace, b.trace,
+            "{protocol}: replay with attribution diverged (fingerprints {} vs {})",
+            a.fingerprint, b.fingerprint
+        );
+        let off = SimSpec {
+            attribution: false,
+            ..on
+        };
+        let c = run_spec(&off);
+        assert_eq!(
+            a.trace, c.trace,
+            "{protocol}: attribution perturbed the canonical trace"
+        );
+        assert!(a.passed(), "{on}: {:?}", a.violations);
+    }
+}

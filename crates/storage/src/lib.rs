@@ -33,6 +33,7 @@ pub mod gc;
 pub mod histogram;
 pub mod persist;
 pub mod shard;
+pub mod sketch;
 pub mod stats;
 pub mod store;
 pub mod value;
@@ -43,6 +44,7 @@ pub use chain::VersionChain;
 pub use gc::{GcStats, RoScanRegistry};
 pub use histogram::{AtomicHistogram, Histogram};
 pub use persist::CheckpointStats;
+pub use sketch::{SketchEntry, TopKSketch};
 pub use stats::StoreStats;
 pub use store::{MvStore, PressureStats, WaitOutcome, WaitTimeout};
 pub use value::Value;

@@ -1,0 +1,369 @@
+//! Lock-free space-saving top-K sketch (Metwally et al., "Efficient
+//! computation of frequent and top-k elements in data streams").
+//!
+//! Fixed memory, O(K) record, mergeable — the frequency-sketch sibling of
+//! [`AtomicHistogram`](crate::AtomicHistogram), kept in `mvcc-storage`
+//! (the lowest shared crate) so both the engine's observability layer and
+//! the workload driver can use it. The engine feeds it contention events
+//! (lock conflicts, validation failures, timestamp rejections, aborts)
+//! keyed by object id or lock shard; [`TopKSketch::snapshot`] surfaces
+//! the hottest keys with their contended nanoseconds and abort counts.
+//!
+//! The classic space-saving guarantees hold per key currently monitored
+//! (single-writer; concurrent writers only widen the bound by in-flight
+//! races):
+//!
+//! * **no undercount** — `estimate(k) ≥ true_count(k)`;
+//! * **bounded overcount** — `estimate(k) ≤ true_count(k) + N/K` where
+//!   `N` is the total number of recorded hits and `K` the capacity;
+//! * **heavy hitters survive** — any key with `true_count(k) > N/K`
+//!   occupies a slot.
+//!
+//! Eviction inherits the displaced slot's *hit* count (that is what the
+//! bound rests on) but restarts the contended-ns and abort tallies, so
+//! time attribution never migrates across unrelated keys.
+//!
+//! Every mutation is a CAS or relaxed RMW on plain atomics — no locks,
+//! no unsafe — so a single-threaded (simulated) run is fully
+//! deterministic: same input stream, same snapshot, byte for byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Reserved key meaning "slot unoccupied". Recording this key is remapped
+/// to `EMPTY_KEY - 1` (object ids and shard indices never reach it).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// How many times a record retries its claim CAS before force-merging
+/// into the current minimum slot. Only reachable under concurrent
+/// eviction churn; the fallback trades a little accuracy for progress.
+const CLAIM_RETRIES: usize = 4;
+
+struct Slot {
+    key: AtomicU64,
+    hits: AtomicU64,
+    contended_ns: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            key: AtomicU64::new(EMPTY_KEY),
+            hits: AtomicU64::new(0),
+            contended_ns: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        }
+    }
+
+    fn bump(&self, hits: u64, ns: u64, aborts: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.contended_ns.fetch_add(ns, Ordering::Relaxed);
+        self.aborts.fetch_add(aborts, Ordering::Relaxed);
+    }
+}
+
+/// One surfaced key with its accumulated tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// The recorded key (object id, lock shard, blocker token, …).
+    pub key: u64,
+    /// Estimated record count (space-saving bounds above).
+    pub hits: u64,
+    /// Total contended nanoseconds attributed to this key since it last
+    /// entered the sketch.
+    pub contended_ns: u64,
+    /// Aborts attributed to this key since it last entered the sketch.
+    pub aborts: u64,
+}
+
+/// Concurrent space-saving top-K sketch. See the module docs.
+pub struct TopKSketch {
+    slots: Box<[Slot]>,
+    /// Total hits ever recorded (the `N` of the `N/K` error bound).
+    total_hits: AtomicU64,
+}
+
+impl TopKSketch {
+    /// A sketch monitoring at most `capacity` keys (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TopKSketch {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            total_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Monitored-key capacity (the `K` of the error bound).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total hits recorded since creation or the last [`reset`](Self::reset).
+    pub fn total_hits(&self) -> u64 {
+        self.total_hits.load(Ordering::Relaxed)
+    }
+
+    /// Record one occurrence of `key` carrying `ns` contended
+    /// nanoseconds; `abort` additionally charges one abort to the key.
+    pub fn record(&self, key: u64, ns: u64, abort: bool) {
+        self.record_weighted(key, 1, ns, u64::from(abort));
+    }
+
+    /// Record `hits` occurrences of `key` at once (the merge path).
+    pub fn record_weighted(&self, key: u64, hits: u64, ns: u64, aborts: u64) {
+        if hits == 0 && ns == 0 && aborts == 0 {
+            return;
+        }
+        let key = if key == EMPTY_KEY { EMPTY_KEY - 1 } else { key };
+        self.total_hits.fetch_add(hits, Ordering::Relaxed);
+        for _ in 0..CLAIM_RETRIES {
+            // Pass 1: existing occupant or first empty slot, tracking the
+            // minimum-hits occupant for the space-saving takeover.
+            let mut empty = None;
+            let mut min_idx = 0usize;
+            let mut min_hits = u64::MAX;
+            for (i, s) in self.slots.iter().enumerate() {
+                match s.key.load(Ordering::Acquire) {
+                    k if k == key => {
+                        s.bump(hits, ns, aborts);
+                        return;
+                    }
+                    EMPTY_KEY => {
+                        if empty.is_none() {
+                            empty = Some(i);
+                        }
+                    }
+                    _ => {
+                        let h = s.hits.load(Ordering::Relaxed);
+                        if h < min_hits {
+                            min_hits = h;
+                            min_idx = i;
+                        }
+                    }
+                }
+            }
+            if let Some(i) = empty {
+                let s = &self.slots[i];
+                if s.key
+                    .compare_exchange(EMPTY_KEY, key, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    s.bump(hits, ns, aborts);
+                    return;
+                }
+                continue; // lost the slot — the winner might even be `key`
+            }
+            // Pass 2: space-saving eviction of the minimum. The new key
+            // inherits the displaced hit count (keeping `estimate ≥ true`
+            // for the *evictor* while bounding its overcount by the
+            // minimum, which is ≤ N/K); time and abort tallies restart.
+            let s = &self.slots[min_idx];
+            let old = s.key.load(Ordering::Acquire);
+            if old != EMPTY_KEY
+                && old != key
+                && s.key
+                    .compare_exchange(old, key, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                s.contended_ns.store(ns, Ordering::Relaxed);
+                s.aborts.store(aborts, Ordering::Relaxed);
+                s.hits.fetch_add(hits, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Contention fallback: merge into whatever currently holds the
+        // minimum so the record is never lost outright.
+        let mut min_idx = 0usize;
+        let mut min_hits = u64::MAX;
+        for (i, s) in self.slots.iter().enumerate() {
+            let h = s.hits.load(Ordering::Relaxed);
+            if h < min_hits {
+                min_hits = h;
+                min_idx = i;
+            }
+        }
+        self.slots[min_idx].bump(hits, ns, aborts);
+    }
+
+    /// Current estimate for `key`, if monitored.
+    pub fn estimate(&self, key: u64) -> Option<u64> {
+        let mut total = None;
+        for s in &self.slots {
+            if s.key.load(Ordering::Acquire) == key {
+                *total.get_or_insert(0) += s.hits.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
+    /// Snapshot the monitored keys, duplicates merged (concurrent inserts
+    /// of one new key can transiently occupy two slots), sorted hottest
+    /// first: by contended-ns, then hits, then key — a total order, so
+    /// identical contents always snapshot identically.
+    pub fn snapshot(&self) -> Vec<SketchEntry> {
+        let mut out: Vec<SketchEntry> = Vec::with_capacity(self.slots.len());
+        for s in &self.slots {
+            let key = s.key.load(Ordering::Acquire);
+            if key == EMPTY_KEY {
+                continue;
+            }
+            let e = SketchEntry {
+                key,
+                hits: s.hits.load(Ordering::Relaxed),
+                contended_ns: s.contended_ns.load(Ordering::Relaxed),
+                aborts: s.aborts.load(Ordering::Relaxed),
+            };
+            match out.iter_mut().find(|x| x.key == key) {
+                Some(x) => {
+                    x.hits += e.hits;
+                    x.contended_ns += e.contended_ns;
+                    x.aborts += e.aborts;
+                }
+                None => out.push(e),
+            }
+        }
+        out.sort_by(|a, b| {
+            b.contended_ns
+                .cmp(&a.contended_ns)
+                .then(b.hits.cmp(&a.hits))
+                .then(a.key.cmp(&b.key))
+        });
+        out
+    }
+
+    /// The `n` hottest entries (see [`snapshot`](Self::snapshot) for the
+    /// order).
+    pub fn top(&self, n: usize) -> Vec<SketchEntry> {
+        let mut v = self.snapshot();
+        v.truncate(n);
+        v
+    }
+
+    /// Fold another sketch into this one. Entries are replayed hottest
+    /// first in the other sketch's snapshot order — a deterministic
+    /// sequence, so merging identical inputs yields identical results.
+    pub fn merge(&self, other: &TopKSketch) {
+        for e in other.snapshot() {
+            self.record_weighted(e.key, e.hits, e.contended_ns, e.aborts);
+        }
+    }
+
+    /// Reset to empty (between experiment phases; not linearizable with
+    /// concurrent writers — same caveat as [`AtomicHistogram::reset`]
+    /// (crate::AtomicHistogram::reset)).
+    pub fn reset(&self) {
+        for s in &self.slots {
+            s.key.store(EMPTY_KEY, Ordering::Release);
+            s.hits.store(0, Ordering::Relaxed);
+            s.contended_ns.store(0, Ordering::Relaxed);
+            s.aborts.store(0, Ordering::Relaxed);
+        }
+        self.total_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_surfaces_tallies() {
+        let s = TopKSketch::new(4);
+        s.record(7, 100, false);
+        s.record(7, 50, true);
+        s.record(9, 10, false);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].key, 7);
+        assert_eq!(snap[0].hits, 2);
+        assert_eq!(snap[0].contended_ns, 150);
+        assert_eq!(snap[0].aborts, 1);
+        assert_eq!(snap[1].key, 9);
+        assert_eq!(s.total_hits(), 3);
+        assert_eq!(s.estimate(7), Some(2));
+        assert_eq!(s.estimate(42), None);
+    }
+
+    #[test]
+    fn eviction_inherits_hits_but_not_time() {
+        let s = TopKSketch::new(2);
+        for _ in 0..5 {
+            s.record(1, 10, false);
+        }
+        s.record(2, 10, false);
+        // Key 3 evicts the minimum (key 2, 1 hit): inherits its hit
+        // count (+1) but starts its own ns/abort tallies.
+        s.record(3, 77, true);
+        let snap = s.snapshot();
+        let three = snap.iter().find(|e| e.key == 3).expect("3 monitored");
+        assert_eq!(three.hits, 2, "inherited min + own");
+        assert_eq!(three.contended_ns, 77, "time does not migrate");
+        assert_eq!(three.aborts, 1);
+        assert!(s.estimate(2).is_none(), "min was evicted");
+    }
+
+    #[test]
+    fn heavy_hitter_survives_churn() {
+        let s = TopKSketch::new(4);
+        for i in 0..200u64 {
+            s.record(1000, 5, false); // the heavy key, every other record
+            s.record(i, 1, false); // 200 distinct light keys
+        }
+        let est = s.estimate(1000).expect("heavy hitter must be monitored");
+        assert!(est >= 200, "no undercount: {est}");
+        let n = s.total_hits();
+        let k = s.capacity() as u64;
+        assert!(est <= 200 + n / k, "overcount above N/K: {est}");
+        assert_eq!(s.top(1)[0].key, 1000);
+    }
+
+    #[test]
+    fn merge_accumulates_and_reset_clears() {
+        let a = TopKSketch::new(4);
+        let b = TopKSketch::new(4);
+        a.record(1, 10, false);
+        b.record(1, 20, true);
+        b.record(2, 5, false);
+        a.merge(&b);
+        assert_eq!(a.estimate(1), Some(2));
+        let snap = a.snapshot();
+        assert_eq!(snap[0].key, 1);
+        assert_eq!(snap[0].contended_ns, 30);
+        assert_eq!(snap[0].aborts, 1);
+        a.reset();
+        assert!(a.snapshot().is_empty());
+        assert_eq!(a.total_hits(), 0);
+    }
+
+    #[test]
+    fn reserved_key_is_remapped() {
+        let s = TopKSketch::new(2);
+        s.record(u64::MAX, 1, false);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].key, u64::MAX - 1);
+    }
+
+    #[test]
+    fn concurrent_records_never_lose_time() {
+        use std::sync::Arc;
+        let s = Arc::new(TopKSketch::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    s.record(t * 3 + i % 3, 1, false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total_hits(), 4000);
+        // ns accounting is conserved: every record carried 1 ns.
+        let total_ns: u64 = s.snapshot().iter().map(|e| e.contended_ns).sum();
+        assert!(total_ns <= 4000);
+        assert!(total_ns > 0);
+    }
+}

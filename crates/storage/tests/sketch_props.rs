@@ -1,0 +1,108 @@
+//! Property tests for the space-saving top-K sketch: the classic
+//! error bound (estimate never under-counts and over-counts by at most
+//! `N/K`), heavy hitters are always monitored, and single-threaded
+//! record/merge order produces a deterministic snapshot.
+
+use mvcc_storage::TopKSketch;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn feed(sketch: &TopKSketch, keys: &[u64]) {
+    for &k in keys {
+        sketch.record(k, 0, false);
+    }
+}
+
+fn true_counts(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Space-saving guarantee: for every key, `true ≤ estimate` when
+    /// monitored, and `estimate ≤ true + N/K` (N = stream length,
+    /// K = capacity). Unmonitored keys have true count ≤ N/K.
+    #[test]
+    fn estimate_within_space_saving_bound(
+        keys in proptest::collection::vec(0u64..32, 1..400),
+        cap in 1usize..16,
+    ) {
+        let sketch = TopKSketch::new(cap);
+        feed(&sketch, &keys);
+        let n = keys.len() as u64;
+        let k = sketch.capacity() as u64;
+        let bound = n / k;
+        let truth = true_counts(&keys);
+        for (&key, &count) in &truth {
+            match sketch.estimate(key) {
+                Some(est) => {
+                    prop_assert!(est >= count,
+                        "estimate {est} under-counts true {count} for key {key}");
+                    prop_assert!(est <= count + bound,
+                        "estimate {est} > true {count} + bound {bound} for key {key}");
+                }
+                None => prop_assert!(count <= bound,
+                    "unmonitored key {key} has true count {count} > bound {bound}"),
+            }
+        }
+        prop_assert_eq!(sketch.total_hits(), n);
+    }
+
+    /// Any key whose true frequency exceeds N/K is guaranteed to be
+    /// monitored (the heavy-hitter property of space saving).
+    #[test]
+    fn heavy_hitters_always_monitored(
+        keys in proptest::collection::vec(0u64..16, 1..300),
+        cap in 2usize..12,
+    ) {
+        let sketch = TopKSketch::new(cap);
+        feed(&sketch, &keys);
+        let bound = keys.len() as u64 / sketch.capacity() as u64;
+        for (&key, &count) in &true_counts(&keys) {
+            if count > bound {
+                prop_assert!(sketch.estimate(key).is_some(),
+                    "heavy hitter {key} (count {count} > {bound}) evicted");
+            }
+        }
+    }
+
+    /// Replaying the same stream into a fresh sketch reproduces the
+    /// snapshot exactly, and merging two halves sequentially equals
+    /// feeding the concatenated stream (single-threaded determinism —
+    /// what the SimRng-driven simulator relies on for replay).
+    #[test]
+    fn merge_and_replay_deterministic(
+        a in proptest::collection::vec(0u64..24, 0..150),
+        b in proptest::collection::vec(0u64..24, 0..150),
+        cap in 1usize..10,
+    ) {
+        let once = TopKSketch::new(cap);
+        feed(&once, &a);
+        feed(&once, &b);
+
+        let again = TopKSketch::new(cap);
+        feed(&again, &a);
+        feed(&again, &b);
+        prop_assert_eq!(once.snapshot(), again.snapshot());
+
+        // Merge of a perfect (lossless) sketch into another preserves
+        // totals: the merged total_hits equals the stream length.
+        let left = TopKSketch::new(32);
+        feed(&left, &a);
+        let right = TopKSketch::new(32);
+        feed(&right, &b);
+        left.merge(&right);
+        prop_assert_eq!(left.total_hits(), (a.len() + b.len()) as u64);
+        let whole = TopKSketch::new(32);
+        feed(&whole, &a);
+        feed(&whole, &b);
+        // Capacity 32 > key universe 24: nothing evicts, so the merged
+        // snapshot must agree with the directly-fed one exactly.
+        prop_assert_eq!(left.snapshot(), whole.snapshot());
+    }
+}

@@ -491,3 +491,110 @@ fn two_pc_commit_and_abort_render_as_span_trees() {
         0
     );
 }
+
+// ---- contention attribution -------------------------------------------
+
+/// With attribution off and the centralized sequencer, `profile_json`
+/// is fully static — pinned by a golden file so the schema (and its
+/// `schema_version` stamp) cannot drift silently.
+#[test]
+fn profile_json_matches_golden_when_disabled() {
+    let db = presets::vc_2pl(DbConfig::default().with_centralized_vc(true));
+    assert_eq!(
+        db.profile_json(),
+        include_str!("golden/profile_disabled.json"),
+        "profile_json schema drifted; update tests/golden/profile_disabled.json \
+         and bump SCHEMA_VERSION if the change is real"
+    );
+    let json = db.metrics_json();
+    assert!(
+        json.contains("\"schema_version\": 2"),
+        "metrics_json must lead with the schema version: {json}"
+    );
+}
+
+/// A forced lock conflict on one key surfaces that key in the hot-key
+/// sketch with non-zero contended time, and the blame ledger attributes
+/// the wait to the holder's token with a named phase.
+#[test]
+fn attribution_names_hot_key_and_blocker() {
+    use std::sync::Arc;
+    let db = Arc::new(presets::vc_2pl(DbConfig::default().with_attribution()));
+    db.seed(ObjectId(5), Value::from_u64(0));
+    let mut t1 = db.begin_read_write().unwrap();
+    t1.write(ObjectId(5), Value::from_u64(1)).unwrap();
+    let db2 = Arc::clone(&db);
+    let h = thread::spawn(move || {
+        let mut t2 = db2.begin_read_write().unwrap();
+        t2.write(ObjectId(5), Value::from_u64(2)).unwrap();
+        t2.commit().unwrap();
+    });
+    // Let the second writer block on the exclusive lock, then release.
+    thread::sleep(Duration::from_millis(50));
+    t1.commit().unwrap();
+    h.join().unwrap();
+
+    let profile = db.profile_json();
+    assert_balanced_json(&profile);
+    assert!(profile.contains("\"schema_version\": 2"));
+    assert!(
+        profile.contains("\"key\": 5"),
+        "hot-key sketch must name the contended object: {profile}"
+    );
+    assert!(
+        profile.contains("\"wait\": \"lock_wait\""),
+        "blame ledger must carry the lock-wait row: {profile}"
+    );
+    assert!(
+        profile.contains("\"target\": 5"),
+        "the blame row must name the contended object: {profile}"
+    );
+    // The blocker (t1's token) was published in the phase table, so the
+    // wait must not land on the unknown phase.
+    assert!(
+        !profile.contains("\"blocker_phase\": \"unknown\""),
+        "lock wait should be attributed to a known blocker phase: {profile}"
+    );
+
+    let prom = db.prometheus_text();
+    assert!(prom.contains("mvdb_hot_key_contended_ns_total{key=\"5\"}"));
+    assert!(prom.contains("mvdb_hot_key_aborts_total{key=\"5\"}"));
+    assert!(prom.contains("# TYPE mvdb_blame_wait_ns_total counter"));
+    assert!(prom.contains("mvdb_blame_attributed_ns_total{wait=\"lock_wait\"}"));
+}
+
+/// Under the decentralized sequencer the wait-point map replaces the
+/// legacy queue gauges: `profile_json` carries per-thread watermark
+/// state, and the Prometheus export gates `vcqueue_*` off in favor of
+/// `vcdec_*`.
+#[test]
+fn attribution_exposes_vc_dec_wait_points() {
+    let db = presets::vc_2pl(DbConfig::default().with_attribution());
+    db.seed(ObjectId(0), Value::from_u64(0));
+    for i in 0..4u64 {
+        db.run_rw(10, |t| t.write(ObjectId(0), Value::from_u64(i)))
+            .unwrap();
+    }
+    let profile = db.profile_json();
+    assert_balanced_json(&profile);
+    assert!(profile.contains("\"vc_wait_points\": {"));
+    assert!(profile.contains("\"threads\": ["));
+    assert!(profile.contains("\"last_assigned\""));
+
+    let prom = db.prometheus_text();
+    assert!(prom.contains("mvdb_gauge_vcdec_inflight"));
+    assert!(
+        !prom.contains("mvdb_gauge_vcqueue_depth"),
+        "legacy queue gauges are meaningless under vc_dec and must be gated off"
+    );
+
+    // The centralized engine keeps the legacy gauges and omits vcdec_*.
+    let central = presets::vc_2pl(DbConfig::default().with_centralized_vc(true));
+    central.seed(ObjectId(0), Value::from_u64(0));
+    central
+        .run_rw(10, |t| t.write(ObjectId(0), Value::from_u64(1)))
+        .unwrap();
+    let prom = central.prometheus_text();
+    assert!(prom.contains("mvdb_gauge_vcqueue_depth"));
+    assert!(!prom.contains("mvdb_gauge_vcdec_inflight"));
+}
